@@ -1,0 +1,36 @@
+//! Criterion microbenchmarks of SplitBeam head/tail inference — the per-packet
+//! cost that replaces the station's SVD + Givens pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam::model::SplitBeamModel;
+use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitbeam_inference");
+    for (order, bw) in [(2usize, Bandwidth::Mhz20), (3, Bandwidth::Mhz40)] {
+        let config = SplitBeamConfig::new(
+            MimoConfig::symmetric(order, bw),
+            CompressionLevel::OneEighth,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = SplitBeamModel::new(config.clone(), &mut rng);
+        let input: Vec<f32> = (0..config.input_dim())
+            .map(|i| ((i as f32) * 0.173).sin() * 0.1)
+            .collect();
+        let label = format!("{order}x{order}@{bw}");
+        group.bench_with_input(BenchmarkId::new("head", &label), &input, |b, x| {
+            b.iter(|| model.compress(std::hint::black_box(x)).unwrap())
+        });
+        let bottleneck = model.compress(&input).unwrap();
+        group.bench_with_input(BenchmarkId::new("tail", &label), &bottleneck, |b, x| {
+            b.iter(|| model.reconstruct(std::hint::black_box(x)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark of the end-to-end MU-MIMO BER link simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
+use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig};
+use wifi_phy::ofdm::Bandwidth;
+
+fn bench_link(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let model = ChannelModel::new(EnvironmentProfile::e1(), Bandwidth::Mhz20, 2, 2, 1);
+    let snapshot = model.sample(&mut rng);
+    let feedback = snapshot.ideal_beamforming();
+    let config = LinkConfig {
+        symbols_per_subcarrier: 1,
+        ..LinkConfig::default()
+    };
+    c.bench_function("mu_mimo_ber_2x2_20mhz", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            simulate_mu_mimo_ber(
+                std::hint::black_box(&snapshot),
+                std::hint::black_box(&feedback),
+                &config,
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("channel_snapshot_3x3_80mhz", |b| {
+        let model = ChannelModel::new(EnvironmentProfile::e2(), Bandwidth::Mhz80, 3, 3, 1);
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            std::hint::black_box(model.sample(&mut rng))
+        })
+    });
+}
+
+criterion_group!(benches, bench_link);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks of the 802.11 station-side pipeline: complex SVD
+//! and Givens decomposition/reconstruction of beamforming matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dot11_bfi::givens::GivensAngles;
+use mimo_math::svd::Svd;
+use mimo_math::{CMatrix, Complex64};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_matrix(rng: &mut impl Rng, n: usize) -> CMatrix {
+    CMatrix::from_fn(n, n, |_, _| {
+        Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    })
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    for n in [2usize, 3, 4, 8] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let h = random_matrix(&mut rng, n);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &h, |b, h| {
+            b.iter(|| Svd::compute(std::hint::black_box(h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_givens(c: &mut Criterion) {
+    let mut group = c.benchmark_group("givens");
+    for n in [2usize, 3, 4] {
+        let mut rng = ChaCha8Rng::seed_from_u64(10 + n as u64);
+        let v = Svd::compute(&random_matrix(&mut rng, n)).beamforming_matrix(1);
+        group.bench_with_input(BenchmarkId::new("decompose", n), &v, |b, v| {
+            b.iter(|| GivensAngles::decompose(std::hint::black_box(v)).unwrap())
+        });
+        let angles = GivensAngles::decompose(&v).unwrap();
+        group.bench_with_input(BenchmarkId::new("reconstruct", n), &angles, |b, a| {
+            b.iter(|| std::hint::black_box(a).reconstruct())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd, bench_givens);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: training objective — the paper's normalized L1 (Eq. 8) vs MSE.
+
+use neural::loss::Loss;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam::training::{train_model, TrainingOptions};
+use splitbeam_bench::{dataset, measure_ber, print_table, training_data, FeedbackScheme, Workload};
+use splitbeam_datasets::catalog::dataset_for;
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let spec = dataset_for(2, Bandwidth::Mhz20, "E2").expect("catalog entry");
+    let generated = dataset(&spec, &workload, 701);
+    let (train_snaps, val_snaps, test) = generated.split_train_val_test();
+    let config = SplitBeamConfig::new(spec.mimo, CompressionLevel::OneEighth);
+    let train = training_data(&config, train_snaps);
+    let val = training_data(&config, val_snaps);
+
+    let mut rows = Vec::new();
+    for (name, loss) in [("normalized L1 (Eq. 8)", Loss::NormalizedL1), ("MSE", Loss::Mse), ("MAE", Loss::Mae)] {
+        let options = TrainingOptions {
+            epochs: workload.epochs,
+            loss,
+            ..TrainingOptions::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let (model, history) = train_model(&config, train.examples(), val.examples(), &options, &mut rng);
+        let ber = measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 72);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.5}", history.final_train_loss()),
+            format!("{ber:.4}"),
+        ]);
+    }
+    print_table(
+        "Ablation: training objective vs BER (2x2 @ 20 MHz, K = 1/8)",
+        &["loss", "final train loss", "BER"],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Ablation: effect of the bottleneck quantization width on BER (a design
+//! choice the paper fixes at 16 bits/value; DESIGN.md calls it out for study).
+
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam_bench::{dataset, print_table, train_splitbeam, Workload};
+use splitbeam_datasets::catalog::dataset_for;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig, LinkReport};
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let spec = dataset_for(2, Bandwidth::Mhz20, "E1").expect("catalog entry");
+    let generated = dataset(&spec, &workload, 601);
+    let (_, _, test) = generated.split_train_val_test();
+    let config = SplitBeamConfig::new(spec.mimo, CompressionLevel::OneEighth);
+    let model = train_splitbeam(&config, &generated, &workload, 61);
+
+    let mut rows = Vec::new();
+    for bits in [4u8, 6, 8, 12, 16] {
+        let mut rng = ChaCha8Rng::seed_from_u64(62);
+        let link = LinkConfig {
+            snr_db: workload.snr_db,
+            symbols_per_subcarrier: 1,
+            ..LinkConfig::default()
+        };
+        let mut report = LinkReport::empty();
+        for snap in test.iter().take(workload.test_snapshots) {
+            let mut feedback = Vec::new();
+            for user in 0..snap.num_users() {
+                feedback.push(model.feedback_for_user_quantized(snap, user, bits).unwrap());
+            }
+            if let Ok(r) = simulate_mu_mimo_ber(snap, &feedback, &link, &mut rng) {
+                report.merge(&r);
+            }
+        }
+        rows.push(vec![format!("{bits}"), format!("{:.4}", report.ber())]);
+    }
+    print_table(
+        "Ablation: bottleneck quantization width vs BER (2x2 @ 20 MHz, K = 1/8)",
+        &["bits per value", "BER"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 9: BER as a function of the compression rate K (SplitBeam 1/32 ...
+//! 1/4 vs 802.11) for 2x2 and 3x3 configurations in E1 and E2 at 20/40/80 MHz.
+
+use dot11_bfi::quantize::AngleResolution;
+use splitbeam::config::SplitBeamConfig;
+use splitbeam_bench::{
+    dataset, measure_ber, print_table, standard_levels, train_splitbeam, FeedbackScheme, Workload,
+};
+use splitbeam_datasets::catalog::dataset_for;
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for order in [2usize, 3] {
+        for env in ["E1", "E2"] {
+            for bw in [Bandwidth::Mhz20, Bandwidth::Mhz40, Bandwidth::Mhz80] {
+                let spec = dataset_for(order, bw, env).expect("catalog entry");
+                let generated = dataset(&spec, &workload, 100 + spec.id.0 as u64);
+                let (_, _, test) = generated.split_train_val_test();
+                for level in standard_levels() {
+                    let config = SplitBeamConfig::new(spec.mimo, level);
+                    let model = train_splitbeam(&config, &generated, &workload, 7 + spec.id.0 as u64);
+                    let ber =
+                        measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 13);
+                    rows.push(vec![
+                        format!("{order}x{order}"),
+                        env.to_string(),
+                        format!("{bw}"),
+                        format!("SB {}", level.label()),
+                        format!("{ber:.4}"),
+                    ]);
+                }
+                let dot11 = measure_ber(
+                    &FeedbackScheme::Dot11(AngleResolution::High),
+                    test,
+                    &workload,
+                    None,
+                    13,
+                );
+                rows.push(vec![
+                    format!("{order}x{order}"),
+                    env.to_string(),
+                    format!("{bw}"),
+                    "802.11".to_string(),
+                    format!("{dot11:.4}"),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Figure 9: BER vs compression rate (SplitBeam vs 802.11)",
+        &["config", "env", "bandwidth", "scheme", "BER"],
+        &rows,
+    );
+}

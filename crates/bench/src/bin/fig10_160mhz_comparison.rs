@@ -1,0 +1,66 @@
+//! Figure 10: BER and STA computational load at 160 MHz (synthetic Model-B
+//! datasets D13-D15), K = 1/8, rate-1/2 BCC; SplitBeam vs LB-SciFi vs 802.11.
+
+use dot11_bfi::complexity::dot11_sta_flops;
+use dot11_bfi::quantize::AngleResolution;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam_baselines::lbscifi::LbSciFiConfig;
+use splitbeam_bench::{
+    dataset, measure_ber, print_table, train_lbscifi, train_splitbeam, FeedbackScheme, Workload,
+};
+use splitbeam_datasets::catalog::dataset_catalog;
+use splitbeam_datasets::catalog::DatasetKind;
+use wifi_phy::coding::CodeRate;
+
+fn main() {
+    let mut workload = Workload::from_env();
+    // 160 MHz models are large; keep the default run small but representative.
+    workload.samples = workload.samples.min(60);
+    workload.test_snapshots = workload.test_snapshots.min(4);
+    let mut rows = Vec::new();
+    for spec in dataset_catalog().iter().filter(|d| d.kind == DatasetKind::Synthetic) {
+        let generated = dataset(spec, &workload, 200 + spec.id.0 as u64);
+        let (_, _, test) = generated.split_train_val_test();
+        let config = SplitBeamConfig::new(spec.mimo, CompressionLevel::OneEighth);
+        let model = train_splitbeam(&config, &generated, &workload, 17);
+        let lbs_config = LbSciFiConfig::new(spec.mimo, 0.125);
+        let lbs = train_lbscifi(&lbs_config, &generated, &workload, 18);
+        let coding = Some(CodeRate::Half);
+        let schemes: Vec<(&str, f64, u64)> = vec![
+            (
+                "SplitBeam",
+                measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, coding, 19),
+                model.head_macs(),
+            ),
+            (
+                "LB-SciFi",
+                measure_ber(&FeedbackScheme::LbSciFi(&lbs), test, &workload, coding, 19),
+                lbs.sta_flops(),
+            ),
+            (
+                "802.11",
+                measure_ber(
+                    &FeedbackScheme::Dot11(AngleResolution::High),
+                    test,
+                    &workload,
+                    coding,
+                    19,
+                ),
+                dot11_sta_flops(spec.mimo.nt, spec.mimo.nr, spec.mimo.subcarriers()),
+            ),
+        ];
+        for (name, ber, flops) in schemes {
+            rows.push(vec![
+                spec.mimo.label(),
+                name.to_string(),
+                format!("{ber:.5}"),
+                format!("{flops}"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 10: BER and STA load at 160 MHz (K = 1/8, rate-1/2 BCC)",
+        &["config", "scheme", "BER", "STA FLOPs"],
+        &rows,
+    );
+}

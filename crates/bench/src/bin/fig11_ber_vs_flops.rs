@@ -1,0 +1,55 @@
+//! Figure 11: BER as a function of the STA computational load — the SplitBeam
+//! compression sweep against the single 802.11 operating point, for 2x2 and
+//! 3x3 at 40 and 80 MHz.
+
+use dot11_bfi::complexity::dot11_sta_flops;
+use dot11_bfi::quantize::AngleResolution;
+use splitbeam::config::SplitBeamConfig;
+use splitbeam_bench::{
+    dataset, measure_ber, print_table, standard_levels, train_splitbeam, FeedbackScheme, Workload,
+};
+use splitbeam_datasets::catalog::dataset_for;
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for order in [2usize, 3] {
+        for bw in [Bandwidth::Mhz40, Bandwidth::Mhz80] {
+            let spec = dataset_for(order, bw, "E1").expect("catalog entry");
+            let generated = dataset(&spec, &workload, 300 + spec.id.0 as u64);
+            let (_, _, test) = generated.split_train_val_test();
+            for level in standard_levels() {
+                let config = SplitBeamConfig::new(spec.mimo, level);
+                let model = train_splitbeam(&config, &generated, &workload, 23);
+                let ber = measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 29);
+                rows.push(vec![
+                    format!("{order}x{order}"),
+                    format!("{bw}"),
+                    format!("SplitBeam {}", level.label()),
+                    format!("{}", model.head_macs()),
+                    format!("{ber:.4}"),
+                ]);
+            }
+            let dot11_ber = measure_ber(
+                &FeedbackScheme::Dot11(AngleResolution::High),
+                test,
+                &workload,
+                None,
+                29,
+            );
+            rows.push(vec![
+                format!("{order}x{order}"),
+                format!("{bw}"),
+                "802.11".to_string(),
+                format!("{}", dot11_sta_flops(order, order, bw.subcarriers())),
+                format!("{dot11_ber:.4}"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11: BER vs STA computational load",
+        &["config", "bandwidth", "scheme", "STA FLOPs/MACs", "BER"],
+        &rows,
+    );
+}

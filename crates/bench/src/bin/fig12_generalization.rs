@@ -1,0 +1,78 @@
+//! Figure 12: BER (K = 1/8) and STA computational load per compression level,
+//! SplitBeam vs LB-SciFi, single-environment (E1, E2) and cross-environment
+//! (E1/E2, E2/E1), for 3x3 MU-MIMO at 80 MHz.
+
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam_baselines::lbscifi::LbSciFiConfig;
+use splitbeam_bench::{
+    dataset, measure_ber, print_table, standard_levels, train_lbscifi, train_splitbeam,
+    FeedbackScheme, Workload,
+};
+use splitbeam_datasets::catalog::dataset_for;
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let spec_e1 = dataset_for(3, Bandwidth::Mhz80, "E1").expect("catalog entry");
+    let spec_e2 = dataset_for(3, Bandwidth::Mhz80, "E2").expect("catalog entry");
+    let data_e1 = dataset(&spec_e1, &workload, 401);
+    let data_e2 = dataset(&spec_e2, &workload, 402);
+
+    let config = SplitBeamConfig::new(spec_e1.mimo, CompressionLevel::OneEighth);
+    let lbs_config = LbSciFiConfig::new(spec_e1.mimo, 0.125);
+    let sb_e1 = train_splitbeam(&config, &data_e1, &workload, 41);
+    let sb_e2 = train_splitbeam(&config, &data_e2, &workload, 42);
+    let lbs_e1 = train_lbscifi(&lbs_config, &data_e1, &workload, 43);
+    let lbs_e2 = train_lbscifi(&lbs_config, &data_e2, &workload, 44);
+
+    let (_, _, test_e1) = data_e1.split_train_val_test();
+    let (_, _, test_e2) = data_e2.split_train_val_test();
+
+    // BER rows: single-environment (train and test in the same environment) and
+    // cross-environment (train in X, test in Y).
+    let sb_scheme_e1 = FeedbackScheme::SplitBeam(&sb_e1);
+    let sb_scheme_e2 = FeedbackScheme::SplitBeam(&sb_e2);
+    let lbs_scheme_e1 = FeedbackScheme::LbSciFi(&lbs_e1);
+    let lbs_scheme_e2 = FeedbackScheme::LbSciFi(&lbs_e2);
+    let cases: Vec<(&str, &FeedbackScheme, &[wifi_phy::channel::ChannelSnapshot])> = vec![
+        ("SplitBeam E1", &sb_scheme_e1, test_e1),
+        ("SplitBeam E2", &sb_scheme_e2, test_e2),
+        ("SplitBeam E1/E2", &sb_scheme_e1, test_e2),
+        ("SplitBeam E2/E1", &sb_scheme_e2, test_e1),
+        ("LB-SciFi E1", &lbs_scheme_e1, test_e1),
+        ("LB-SciFi E2", &lbs_scheme_e2, test_e2),
+        ("LB-SciFi E1/E2", &lbs_scheme_e1, test_e2),
+        ("LB-SciFi E2/E1", &lbs_scheme_e2, test_e1),
+    ];
+    let mut rows = Vec::new();
+    for (name, scheme, test) in cases {
+        let ber = measure_ber(scheme, test, &workload, None, 45);
+        rows.push(vec![name.to_string(), format!("{ber:.4}")]);
+    }
+    print_table(
+        "Figure 12 (top): BER, single- and cross-environment, 3x3 @ 80 MHz, K = 1/8",
+        &["scheme / environments", "BER"],
+        &rows,
+    );
+
+    // FLOP comparison per compression level (bottom half of the figure).
+    let mut flop_rows = Vec::new();
+    for level in standard_levels() {
+        let sb_config = SplitBeamConfig::new(spec_e1.mimo, level);
+        let lbs_cfg = LbSciFiConfig::new(spec_e1.mimo, level.ratio());
+        let sb_macs = splitbeam::complexity::splitbeam_head_macs(&sb_config);
+        let lbs_flops = dot11_bfi::complexity::dot11_sta_flops(3, 3, 242)
+            + (lbs_cfg.angle_dim() * lbs_cfg.latent_dim()) as u64;
+        flop_rows.push(vec![
+            level.label(),
+            format!("{sb_macs}"),
+            format!("{lbs_flops}"),
+            format!("{:.1}", 100.0 * (1.0 - sb_macs as f64 / lbs_flops as f64)),
+        ]);
+    }
+    print_table(
+        "Figure 12 (bottom): STA load per compression level, 3x3 @ 80 MHz",
+        &["K", "SplitBeam MACs", "LB-SciFi FLOPs", "saving %"],
+        &flop_rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 13: cross-environment BER vs bandwidth for 2x2 and 3x3 MU-MIMO at
+//! K = 1/8, against the 802.11 baseline and the single-environment result.
+
+use dot11_bfi::quantize::AngleResolution;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam_bench::{dataset, measure_ber, print_table, train_splitbeam, FeedbackScheme, Workload};
+use splitbeam_datasets::catalog::dataset_for;
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for order in [2usize, 3] {
+        for (train_env, test_env) in [("E1", "E2"), ("E2", "E1")] {
+            for bw in [Bandwidth::Mhz20, Bandwidth::Mhz40, Bandwidth::Mhz80] {
+                let train_spec = dataset_for(order, bw, train_env).expect("catalog entry");
+                let test_spec = dataset_for(order, bw, test_env).expect("catalog entry");
+                let train_data = dataset(&train_spec, &workload, 500 + train_spec.id.0 as u64);
+                let test_data = dataset(&test_spec, &workload, 500 + test_spec.id.0 as u64);
+                let config = SplitBeamConfig::new(train_spec.mimo, CompressionLevel::OneEighth);
+                let model = train_splitbeam(&config, &train_data, &workload, 51);
+
+                let (_, _, same_env_test) = train_data.split_train_val_test();
+                let (_, _, cross_env_test) = test_data.split_train_val_test();
+                let single = measure_ber(&FeedbackScheme::SplitBeam(&model), same_env_test, &workload, None, 53);
+                let cross = measure_ber(&FeedbackScheme::SplitBeam(&model), cross_env_test, &workload, None, 53);
+                let dot11 = measure_ber(
+                    &FeedbackScheme::Dot11(AngleResolution::High),
+                    cross_env_test,
+                    &workload,
+                    None,
+                    53,
+                );
+                rows.push(vec![
+                    format!("{order}x{order}"),
+                    format!("{train_env}/{test_env}"),
+                    format!("{bw}"),
+                    format!("{dot11:.4}"),
+                    format!("{single:.4}"),
+                    format!("{cross:.4}"),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Figure 13: cross-environment BER (K = 1/8)",
+        &["config", "train/test env", "bandwidth", "802.11", "single-env", "cross-env"],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Table I: the dataset catalog (D1-D15) and the generated sample counts.
+
+use splitbeam_bench::{dataset, print_table, Workload};
+use splitbeam_datasets::catalog::dataset_catalog;
+
+fn main() {
+    let workload = Workload::from_env();
+    let rows: Vec<Vec<String>> = dataset_catalog()
+        .iter()
+        .map(|spec| {
+            let generated = dataset(spec, &workload, spec.id.0 as u64);
+            vec![
+                format!("{}", spec.id),
+                format!("{:?}", spec.kind),
+                spec.mimo.label(),
+                spec.environment.clone(),
+                format!("{}", spec.samples),
+                format!("{}", generated.len()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I: datasets (paper sample budget vs generated-at-workload)",
+        &["id", "kind", "config", "env", "paper samples", "generated"],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Table II: impact of the bottleneck placement and size on BER for 2x2 MIMO
+//! at 20/40/80 MHz — the 3-layer SplitBeam model against deeper variants.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam::model::SplitBeamModel;
+use splitbeam::training::{train_model, TrainingOptions};
+use splitbeam_bench::{dataset, measure_ber, print_table, training_data, FeedbackScheme, Workload};
+use splitbeam_datasets::catalog::dataset_for;
+use wifi_phy::ofdm::Bandwidth;
+
+fn main() {
+    let workload = Workload::from_env();
+    let mut rows = Vec::new();
+    for bw in [Bandwidth::Mhz20, Bandwidth::Mhz40, Bandwidth::Mhz80] {
+        let spec = dataset_for(2, bw, "E1").expect("catalog entry");
+        let generated = dataset(&spec, &workload, 11 + bw.mhz() as u64);
+        let (train_snaps, val_snaps, test) = generated.split_train_val_test();
+
+        // Candidate architectures: the heuristic 3-layer model (K = 1/8) and a
+        // deeper variant with an extra tail layer (the paper's "more complex DNN").
+        let base = SplitBeamConfig::new(spec.mimo, CompressionLevel::OneEighth);
+        let candidates = vec![base.clone(), base.with_extra_tail_layer()];
+        for config in candidates {
+            let train_data = training_data(&config, train_snaps);
+            let val_data = training_data(&config, val_snaps);
+            let options = TrainingOptions {
+                epochs: workload.epochs,
+                ..TrainingOptions::default()
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            let (model, _): (SplitBeamModel, _) =
+                train_model(&config, train_data.examples(), val_data.examples(), &options, &mut rng);
+            let ber = measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 31);
+            rows.push(vec![
+                format!("{}", bw),
+                config.architecture_label(),
+                format!("{}", config.bottleneck_dim() / 2),
+                format!("{}", model.head_macs()),
+                format!("{:.4}", ber),
+            ]);
+        }
+    }
+    print_table(
+        "Table II: bottleneck architecture vs |B| vs BER (2x2)",
+        &["bandwidth", "architecture (real dims)", "|B| (complex)", "head MACs", "BER"],
+        &rows,
+    );
+}

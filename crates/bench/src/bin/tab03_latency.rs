@@ -1,0 +1,38 @@
+//! Table III: SplitBeam end-to-end latency vs MIMO order and bandwidth
+//! (K = 1/4, 200 MHz MAC-array accelerator).
+
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam_bench::print_table;
+use splitbeam_hwsim::accelerator::AcceleratorModel;
+use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+fn main() {
+    let paper_ms = [
+        (2, [0.0202, 0.0824, 0.3686, 1.477]),
+        (3, [0.0459, 0.1867, 0.8337, 3.314]),
+        (4, [0.0808, 0.3298, 1.4782, 5.883]),
+    ];
+    let mut rows = Vec::new();
+    for (order, paper) in paper_ms {
+        for (i, bw) in Bandwidth::ALL.iter().enumerate() {
+            let config = SplitBeamConfig::new(
+                MimoConfig::symmetric(order, *bw),
+                CompressionLevel::OneQuarter,
+            );
+            let accel = AcceleratorModel::zynq_200mhz(order, order);
+            let latency = accel.split_latency_from_config(&config);
+            rows.push(vec![
+                format!("{order}x{order}"),
+                format!("{bw}"),
+                format!("{:.4}", latency.total_s() * 1e3),
+                format!("{:.4}", paper[i]),
+            ]);
+        }
+    }
+    print_table(
+        "Table III: SplitBeam compute latency (ms), K = 1/4, 200 MHz clock",
+        &["MIMO", "bandwidth", "measured (model) ms", "paper ms"],
+        &rows,
+    );
+    println!("\nAll configurations must stay below the 10 ms MU-MIMO sounding deadline.");
+}

@@ -1,0 +1,63 @@
+//! Complex linear-algebra substrate for the SplitBeam reproduction.
+//!
+//! This crate provides the small, dependency-free numerical kernel every other
+//! crate in the workspace builds on:
+//!
+//! * [`Complex64`] — a complex scalar with the usual arithmetic,
+//! * [`CMatrix`] — a dense complex matrix with products, Hermitian transpose,
+//!   norms and slicing,
+//! * [`svd`] — a one-sided Jacobi singular value decomposition used to compute
+//!   the IEEE 802.11 beamforming matrix `V` from a channel estimate `H`,
+//! * [`qr`] — modified Gram–Schmidt QR used in tests and for orthonormality
+//!   checks,
+//! * [`solve`] — LU-based linear solves and inverses used by the zero-forcing
+//!   precoder.
+//!
+//! # Example
+//!
+//! ```
+//! use mimo_math::{CMatrix, Complex64, svd::Svd};
+//!
+//! // A 2x3 "channel" matrix.
+//! let h = CMatrix::from_fn(2, 3, |r, c| Complex64::new((r + c) as f64, r as f64 - c as f64));
+//! let svd = Svd::compute(&h);
+//! let reconstructed = svd.reconstruct();
+//! assert!(h.sub(&reconstructed).frobenius_norm() < 1e-9);
+//! ```
+
+pub mod complex;
+pub mod matrix;
+pub mod qr;
+pub mod solve;
+pub mod svd;
+
+pub use complex::Complex64;
+pub use matrix::CMatrix;
+
+/// Numerical tolerance used across the crate for "is approximately zero" checks.
+pub const EPS: f64 = 1e-12;
+
+/// Returns `true` when two floating-point numbers are within `tol` of each other.
+///
+/// This is a plain absolute-difference comparison; it is meant for test code and
+/// small tolerance checks, not a general ULP-aware comparison.
+///
+/// ```
+/// assert!(mimo_math::approx_eq(1.0, 1.0 + 1e-13, 1e-9));
+/// assert!(!mimo_math::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_behaves() {
+        assert!(approx_eq(0.0, 0.0, 0.0));
+        assert!(approx_eq(1.0, 1.0000000001, 1e-6));
+        assert!(!approx_eq(1.0, 2.0, 0.5));
+    }
+}

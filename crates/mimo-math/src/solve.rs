@@ -1,0 +1,226 @@
+//! Linear solves, inverses and pseudo-inverses for small complex systems.
+//!
+//! The zero-forcing precoder of the BER link simulation needs
+//! `W = H_eq (H_eq^H H_eq)^{-1}` (Section 5.2.1 of the paper); the Gram matrix
+//! there is at most `Ns x Ns` with `Ns <= 8`, so partial-pivoting LU is exact
+//! enough and trivially fast.
+
+use crate::matrix::CMatrix;
+
+/// Error produced by linear solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or numerically so) and cannot be inverted.
+    Singular,
+    /// The operands have incompatible shapes.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular to working precision"),
+            SolveError::ShapeMismatch => write!(f, "operand shapes are incompatible"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves `A X = B` for a square `A` using LU decomposition with partial pivoting.
+///
+/// # Errors
+/// Returns [`SolveError::ShapeMismatch`] if `A` is not square or the row counts
+/// differ, and [`SolveError::Singular`] when a pivot underflows.
+pub fn solve(a: &CMatrix, b: &CMatrix) -> Result<CMatrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    let m = b.cols();
+
+    // Augmented Gaussian elimination with partial pivoting on |.|.
+    let mut lu = a.clone();
+    let mut rhs = b.clone();
+    for k in 0..n {
+        // Pivot selection.
+        let mut pivot_row = k;
+        let mut pivot_mag = lu[(k, k)].abs();
+        for r in (k + 1)..n {
+            let mag = lu[(r, k)].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        if pivot_mag < 1e-300 {
+            return Err(SolveError::Singular);
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = lu[(k, c)];
+                lu[(k, c)] = lu[(pivot_row, c)];
+                lu[(pivot_row, c)] = tmp;
+            }
+            for c in 0..m {
+                let tmp = rhs[(k, c)];
+                rhs[(k, c)] = rhs[(pivot_row, c)];
+                rhs[(pivot_row, c)] = tmp;
+            }
+        }
+        let pivot = lu[(k, k)];
+        for r in (k + 1)..n {
+            let factor = lu[(r, k)] / pivot;
+            if factor.norm_sqr() == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let sub = factor * lu[(k, c)];
+                lu[(r, c)] -= sub;
+            }
+            for c in 0..m {
+                let sub = factor * rhs[(k, c)];
+                rhs[(r, c)] -= sub;
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = CMatrix::zeros(n, m);
+    for c in 0..m {
+        for r in (0..n).rev() {
+            let mut acc = rhs[(r, c)];
+            for k in (r + 1)..n {
+                acc -= lu[(r, k)] * x[(k, c)];
+            }
+            x[(r, c)] = acc / lu[(r, r)];
+        }
+    }
+    Ok(x)
+}
+
+/// Inverse of a square complex matrix.
+///
+/// # Errors
+/// Returns [`SolveError::Singular`] for singular inputs and
+/// [`SolveError::ShapeMismatch`] for non-square inputs.
+pub fn inverse(a: &CMatrix) -> Result<CMatrix, SolveError> {
+    if a.rows() != a.cols() {
+        return Err(SolveError::ShapeMismatch);
+    }
+    solve(a, &CMatrix::identity(a.rows()))
+}
+
+/// Right Moore–Penrose style pseudo-inverse used by the zero-forcing precoder:
+/// `pinv(A) = A (A^H A)^{-1}` for a tall full-column-rank `A` — note this is the
+/// *paper's* ZF expression `W = H_eq (H_eq^H H_eq)^{-1}` applied verbatim.
+///
+/// # Errors
+/// Returns [`SolveError::Singular`] when `A^H A` is singular (rank-deficient `A`).
+pub fn zf_pseudo_inverse(a: &CMatrix) -> Result<CMatrix, SolveError> {
+    let gram = a.hermitian().matmul(a);
+    let gram_inv = inverse(&gram)?;
+    Ok(a.matmul(&gram_inv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_matrix(rng: &mut impl rand::Rng, m: usize, n: usize) -> CMatrix {
+        CMatrix::from_fn(m, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = random_matrix(&mut rng, 4, 4);
+        let x_true = random_matrix(&mut rng, 4, 2);
+        let b = a.matmul(&x_true);
+        let x = solve(&a, &b).expect("solvable");
+        assert!(x.sub(&x_true).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for n in 1..=5 {
+            let a = random_matrix(&mut rng, n, n);
+            let inv = inverse(&a).expect("invertible with overwhelming probability");
+            let prod = a.matmul(&inv);
+            assert!(prod.sub(&CMatrix::identity(n)).max_abs() < 1e-8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = CMatrix::from_fn(2, 2, |_, _| Complex64::ONE);
+        assert_eq!(inverse(&a).unwrap_err(), SolveError::Singular);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = CMatrix::zeros(2, 3);
+        assert_eq!(inverse(&a).unwrap_err(), SolveError::ShapeMismatch);
+        let b = CMatrix::zeros(3, 1);
+        let sq = CMatrix::identity(2);
+        assert_eq!(solve(&sq, &b).unwrap_err(), SolveError::ShapeMismatch);
+    }
+
+    #[test]
+    fn zf_pinv_inverts_square_matrices() {
+        // For an invertible square A, A (A^H A)^{-1} = A^{-H}; check A^H * pinv = I.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_matrix(&mut rng, 3, 3);
+        let w = zf_pseudo_inverse(&a).expect("full rank");
+        let prod = a.hermitian().matmul(&w);
+        assert!(prod.sub(&CMatrix::identity(3)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn zf_pinv_zero_forces_tall_matrix() {
+        // For tall full-rank A (m x n, m > n), A^H * (A (A^H A)^{-1}) = I_n.
+        let mut rng = StdRng::seed_from_u64(29);
+        let a = random_matrix(&mut rng, 5, 3);
+        let w = zf_pseudo_inverse(&a).expect("full column rank");
+        let prod = a.hermitian().matmul(&w);
+        assert!(prod.sub(&CMatrix::identity(3)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(format!("{}", SolveError::Singular).contains("singular"));
+        assert!(format!("{}", SolveError::ShapeMismatch).contains("shape"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_solve_consistency(n in 1usize..5, seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, n, n);
+            let b = random_matrix(&mut rng, n, 1);
+            if let Ok(x) = solve(&a, &b) {
+                let residual = a.matmul(&x).sub(&b).max_abs();
+                prop_assert!(residual < 1e-7);
+            }
+        }
+
+        #[test]
+        fn prop_inverse_involution(n in 1usize..5, seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, n, n);
+            if let Ok(inv) = inverse(&a) {
+                if let Ok(back) = inverse(&inv) {
+                    prop_assert!(back.sub(&a).max_abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Singular value decomposition of complex matrices.
+//!
+//! The decomposition is computed with the one-sided (Hestenes) Jacobi method:
+//! columns of `A` are repeatedly rotated in pairs by unitary plane rotations
+//! until they are mutually orthogonal. The accumulated rotations form the right
+//! singular vectors `V`, the column norms are the singular values and the
+//! normalized columns form `U`, so that `A = U * diag(S) * V^H`.
+//!
+//! One-sided Jacobi is a natural fit here: channel matrices in the SplitBeam
+//! workload are tiny (at most 8 x 8 per subcarrier), the method is simple,
+//! numerically robust and gives the right singular vectors — which is exactly
+//! what the IEEE 802.11 beamforming feedback needs — without forming `A^H A`.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Maximum number of Jacobi sweeps before giving up on further improvement.
+const MAX_SWEEPS: usize = 64;
+
+/// Relative off-diagonal tolerance at which a column pair is considered orthogonal.
+const ORTHO_TOL: f64 = 1e-13;
+
+/// Result of a singular value decomposition `A = U * diag(S) * V^H`.
+///
+/// Singular values are sorted in non-increasing order; `U` is `m x k` and `V`
+/// is `n x k` with `k = min(m, n)` (thin SVD).
+///
+/// ```
+/// use mimo_math::{CMatrix, Complex64, svd::Svd};
+/// let a = CMatrix::from_fn(3, 2, |r, c| Complex64::new(r as f64 + 1.0, c as f64));
+/// let svd = Svd::compute(&a);
+/// assert_eq!(svd.u.shape(), (3, 2));
+/// assert_eq!(svd.v.shape(), (2, 2));
+/// assert!(svd.singular_values[0] >= svd.singular_values[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m x k`, orthonormal columns.
+    pub u: CMatrix,
+    /// Singular values in non-increasing order, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n x k`, orthonormal columns.
+    pub v: CMatrix,
+}
+
+impl Svd {
+    /// Computes the thin SVD of `a` using one-sided Jacobi rotations.
+    ///
+    /// The routine always returns; for rank-deficient inputs the trailing
+    /// singular values are (numerically) zero and the corresponding columns of
+    /// `U` are completed to an arbitrary orthonormal set.
+    pub fn compute(a: &CMatrix) -> Svd {
+        let (m, n) = a.shape();
+        // Work on the tall orientation so every column lives in the larger space;
+        // if the input is wide we decompose A^H = U' S V'^H and swap the factors.
+        if m < n {
+            let swapped = Svd::compute(&a.hermitian());
+            return Svd {
+                u: swapped.v,
+                singular_values: swapped.singular_values,
+                v: swapped.u,
+            };
+        }
+
+        let mut work = a.clone();
+        let mut v = CMatrix::identity(n);
+
+        for _sweep in 0..MAX_SWEEPS {
+            let mut converged = true;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let col_p = work.column(p);
+                    let col_q = work.column(q);
+                    let alpha: f64 = col_p.iter().map(|z| z.norm_sqr()).sum();
+                    let beta: f64 = col_q.iter().map(|z| z.norm_sqr()).sum();
+                    let gamma: Complex64 = col_p
+                        .iter()
+                        .zip(col_q.iter())
+                        .map(|(a, b)| a.conj() * *b)
+                        .sum();
+                    let gamma_abs = gamma.abs();
+                    if gamma_abs <= ORTHO_TOL * (alpha * beta).sqrt() || gamma_abs == 0.0 {
+                        continue;
+                    }
+                    converged = false;
+
+                    // Remove the phase of gamma so the 2x2 problem becomes real,
+                    // then apply the classical Jacobi rotation.
+                    let phase = gamma / Complex64::from_real(gamma_abs);
+                    let zeta = (beta - alpha) / (2.0 * gamma_abs);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+
+                    // Column update:
+                    //   new_p = c * a_p - s * conj(phase) * a_q
+                    //   new_q = s * phase * a_p + c * a_q
+                    // which corresponds to right-multiplying by a unitary plane rotation.
+                    let phase_conj = phase.conj();
+                    let mut new_p = Vec::with_capacity(m);
+                    let mut new_q = Vec::with_capacity(m);
+                    for r in 0..m {
+                        let ap = col_p[r];
+                        let aq = col_q[r];
+                        new_p.push(ap.scale(c) - (phase_conj * aq).scale(s));
+                        new_q.push((phase * ap).scale(s) + aq.scale(c));
+                    }
+                    work.set_column(p, &new_p);
+                    work.set_column(q, &new_q);
+
+                    // Apply the same rotation to the accumulated V.
+                    let vp = v.column(p);
+                    let vq = v.column(q);
+                    let mut new_vp = Vec::with_capacity(n);
+                    let mut new_vq = Vec::with_capacity(n);
+                    for r in 0..n {
+                        let a_ = vp[r];
+                        let b_ = vq[r];
+                        new_vp.push(a_.scale(c) - (phase_conj * b_).scale(s));
+                        new_vq.push((phase * a_).scale(s) + b_.scale(c));
+                    }
+                    v.set_column(p, &new_vp);
+                    v.set_column(q, &new_vq);
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+
+        // Column norms are the singular values; sort in non-increasing order.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n)
+            .map(|c| work.column(c).iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt())
+            .collect();
+        order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+        let k = n; // thin SVD: k = min(m, n) = n because we forced m >= n above.
+        let mut u = CMatrix::zeros(m, k);
+        let mut v_sorted = CMatrix::zeros(n, k);
+        let mut singular_values = Vec::with_capacity(k);
+        for (new_idx, &old_idx) in order.iter().enumerate() {
+            let sigma = norms[old_idx];
+            singular_values.push(sigma);
+            let col = work.column(old_idx);
+            if sigma > 1e-300 {
+                let normalized: Vec<Complex64> = col.iter().map(|z| *z / sigma).collect();
+                u.set_column(new_idx, &normalized);
+            } else {
+                // Rank-deficient direction: leave a unit vector not colliding with
+                // previous columns; exactness is irrelevant because sigma == 0.
+                let mut e = vec![Complex64::ZERO; m];
+                e[new_idx.min(m - 1)] = Complex64::ONE;
+                u.set_column(new_idx, &e);
+            }
+            v_sorted.set_column(new_idx, &v.column(old_idx));
+        }
+
+        Svd {
+            u,
+            singular_values,
+            v: v_sorted,
+        }
+    }
+
+    /// Reconstructs `U * diag(S) * V^H`, useful for validating the factorization.
+    pub fn reconstruct(&self) -> CMatrix {
+        let k = self.singular_values.len();
+        let s = CMatrix::diag(
+            &self
+                .singular_values
+                .iter()
+                .map(|&x| Complex64::from_real(x))
+                .collect::<Vec<_>>(),
+        );
+        debug_assert_eq!(self.u.cols(), k);
+        self.u.matmul(&s).matmul(&self.v.hermitian())
+    }
+
+    /// Returns the beamforming matrix: the first `nss` right singular vectors.
+    ///
+    /// This mirrors the 802.11 definition where `V` is built from the first
+    /// `Nss` columns of the right-singular-vector matrix `Z` of the channel.
+    ///
+    /// # Panics
+    /// Panics if `nss` is zero or exceeds the number of singular vectors.
+    pub fn beamforming_matrix(&self, nss: usize) -> CMatrix {
+        self.v.first_columns(nss)
+    }
+
+    /// Effective numerical rank: the number of singular values above
+    /// `tol * max_singular_value`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        if max == 0.0 {
+            return 0;
+        }
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * max)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_matrix(rng: &mut impl rand::Rng, m: usize, n: usize) -> CMatrix {
+        CMatrix::from_fn(m, n, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    #[test]
+    fn reconstruction_square() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..=6 {
+            let a = random_matrix(&mut rng, n, n);
+            let svd = Svd::compute(&a);
+            let err = a.sub(&svd.reconstruct()).frobenius_norm();
+            assert!(err < 1e-9, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_tall_and_wide() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tall = random_matrix(&mut rng, 6, 3);
+        let svd = Svd::compute(&tall);
+        assert!(tall.sub(&svd.reconstruct()).frobenius_norm() < 1e-9);
+        assert_eq!(svd.u.shape(), (6, 3));
+        assert_eq!(svd.v.shape(), (3, 3));
+
+        let wide = random_matrix(&mut rng, 2, 5);
+        let svd = Svd::compute(&wide);
+        assert!(wide.sub(&svd.reconstruct()).frobenius_norm() < 1e-9);
+        assert_eq!(svd.u.shape(), (2, 2));
+        assert_eq!(svd.v.shape(), (5, 2));
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(&mut rng, 5, 5);
+        let svd = Svd::compute(&a);
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = random_matrix(&mut rng, 4, 4);
+        let svd = Svd::compute(&a);
+        assert!(svd.u.is_unitary_columns(1e-9));
+        assert!(svd.v.is_unitary_columns(1e-9));
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Two identical columns -> rank 1.
+        let col = vec![
+            Complex64::new(1.0, 0.5),
+            Complex64::new(-0.3, 0.2),
+            Complex64::new(0.9, -1.0),
+        ];
+        let a = CMatrix::from_fn(3, 2, |r, _| col[r]);
+        let svd = Svd::compute(&a);
+        assert_eq!(svd.rank(1e-9), 1);
+        assert!(a.sub(&svd.reconstruct()).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = CMatrix::diag(&[
+            Complex64::from_real(3.0),
+            Complex64::from_real(1.0),
+            Complex64::from_real(2.0),
+        ]);
+        let svd = Svd::compute(&a);
+        let sv = &svd.singular_values;
+        assert!((sv[0] - 3.0).abs() < 1e-10);
+        assert!((sv[1] - 2.0).abs() < 1e-10);
+        assert!((sv[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beamforming_matrix_takes_first_columns() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = random_matrix(&mut rng, 2, 3);
+        let svd = Svd::compute(&h);
+        let v1 = svd.beamforming_matrix(1);
+        assert_eq!(v1.shape(), (3, 1));
+        // The first right singular vector should have unit norm.
+        let norm: f64 = v1.column(0).iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_rank() {
+        let a = CMatrix::zeros(3, 3);
+        let svd = Svd::compute(&a);
+        assert_eq!(svd.rank(1e-9), 0);
+        assert!(svd.singular_values.iter().all(|&s| s.abs() < 1e-12));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_svd_reconstructs(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, m, n);
+            let svd = Svd::compute(&a);
+            prop_assert!(a.sub(&svd.reconstruct()).frobenius_norm() < 1e-8);
+        }
+
+        #[test]
+        fn prop_singular_values_match_frobenius(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+            // sum(sigma_i^2) == ||A||_F^2
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, m, n);
+            let svd = Svd::compute(&a);
+            let sum_sq: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+            let fro = a.frobenius_norm();
+            prop_assert!((sum_sq - fro * fro).abs() < 1e-8 * (1.0 + fro * fro));
+        }
+
+        #[test]
+        fn prop_right_vectors_orthonormal(n in 1usize..5, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, n + 1, n);
+            let svd = Svd::compute(&a);
+            prop_assert!(svd.v.is_unitary_columns(1e-8));
+        }
+    }
+}

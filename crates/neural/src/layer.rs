@@ -1,0 +1,241 @@
+//! Fully-connected layers and activations.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// No nonlinearity (used on output and bottleneck layers).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent — the default hidden activation of the SplitBeam models,
+    /// chosen because CSI/beamforming values are zero-centered.
+    Tanh,
+    /// Leaky ReLU with slope 0.01 for negative inputs.
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn apply(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::LeakyRelu => x.map(|v| if v >= 0.0 { v } else { 0.01 * v }),
+        }
+    }
+
+    /// Derivative of the activation evaluated from its *pre-activation* input.
+    pub fn derivative(self, pre_activation: &Matrix) -> Matrix {
+        match self {
+            Activation::Identity => pre_activation.map(|_| 1.0),
+            Activation::Relu => pre_activation.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Tanh => pre_activation.map(|v| {
+                let t = v.tanh();
+                1.0 - t * t
+            }),
+            Activation::LeakyRelu => pre_activation.map(|v| if v >= 0.0 { 1.0 } else { 0.01 }),
+        }
+    }
+}
+
+/// A dense (fully-connected) layer `y = activation(x W + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix of shape `input_dim x output_dim`.
+    pub weights: Matrix,
+    /// Bias row vector of shape `1 x output_dim`.
+    pub bias: Matrix,
+    /// Activation applied after the affine transform.
+    pub activation: Activation,
+}
+
+/// Cached values from a forward pass needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The layer input (batch x input_dim).
+    pub input: Matrix,
+    /// The pre-activation output (batch x output_dim).
+    pub pre_activation: Matrix,
+}
+
+/// Gradients of a dense layer's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGradients {
+    /// Gradient with respect to the weights.
+    pub weights: Matrix,
+    /// Gradient with respect to the bias.
+    pub bias: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "layer dimensions must be non-zero");
+        Self {
+            weights: Matrix::xavier_uniform(input_dim, output_dim, rng),
+            bias: Matrix::zeros(1, output_dim),
+            activation,
+        }
+    }
+
+    /// Input dimension of the layer.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension of the layer.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.cols()
+    }
+
+    /// Number of multiply-accumulate operations for a single input vector.
+    pub fn macs(&self) -> u64 {
+        (self.weights.rows() * self.weights.cols()) as u64
+    }
+
+    /// Forward pass, returning the activated output and the cache for backprop.
+    pub fn forward(&self, input: &Matrix) -> (Matrix, DenseCache) {
+        let pre_activation = input.matmul(&self.weights).add_row_broadcast(&self.bias);
+        let output = self.activation.apply(&pre_activation);
+        (
+            output,
+            DenseCache {
+                input: input.clone(),
+                pre_activation,
+            },
+        )
+    }
+
+    /// Inference-only forward pass (no cache).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        self.activation
+            .apply(&input.matmul(&self.weights).add_row_broadcast(&self.bias))
+    }
+
+    /// Backward pass: given the gradient of the loss with respect to this
+    /// layer's output, returns the parameter gradients and the gradient with
+    /// respect to the layer input.
+    pub fn backward(&self, cache: &DenseCache, grad_output: &Matrix) -> (DenseGradients, Matrix) {
+        let grad_pre = grad_output.hadamard(&self.activation.derivative(&cache.pre_activation));
+        let grad_weights = cache.input.transpose().matmul(&grad_pre);
+        let grad_bias = grad_pre.sum_rows();
+        let grad_input = grad_pre.matmul(&self.weights.transpose());
+        (
+            DenseGradients {
+                weights: grad_weights,
+                bias: grad_bias,
+            },
+            grad_input,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn activation_values() {
+        let x = Matrix::from_rows(1, 4, &[-2.0, -0.5, 0.0, 1.5]);
+        assert_eq!(Activation::Relu.apply(&x).as_slice(), &[0.0, 0.0, 0.0, 1.5]);
+        assert_eq!(Activation::Identity.apply(&x).as_slice(), x.as_slice());
+        let leaky = Activation::LeakyRelu.apply(&x);
+        assert!((leaky.get(0, 0) + 0.02).abs() < 1e-6);
+        let tanh = Activation::Tanh.apply(&x);
+        assert!(tanh.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::zeros(5, 4);
+        let (y, cache) = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+        assert_eq!((cache.pre_activation.rows(), cache.pre_activation.cols()), (5, 3));
+        assert_eq!(layer.num_parameters(), 4 * 3 + 3);
+        assert_eq!(layer.macs(), 12);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let layer = Dense::new(3, 2, Activation::Relu, &mut rng);
+        let x = Matrix::from_rows(2, 3, &[0.1, -0.2, 0.3, 0.5, 0.4, -0.1]);
+        let (y, _) = layer.forward(&x);
+        assert_eq!(layer.infer(&x), y);
+    }
+
+    /// Finite-difference check of the dense layer's backward pass.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(2, 3, &[0.2, -0.4, 0.6, -0.1, 0.3, 0.5]);
+        let target = Matrix::from_rows(2, 2, &[0.5, -0.5, 0.25, 0.75]);
+
+        // Loss = 0.5 * sum((y - target)^2); dL/dy = y - target.
+        let loss = |layer: &Dense| -> f32 {
+            let y = layer.infer(&x);
+            y.sub(&target)
+                .as_slice()
+                .iter()
+                .map(|v| 0.5 * v * v)
+                .sum::<f32>()
+        };
+
+        let (y, cache) = layer.forward(&x);
+        let grad_out = y.sub(&target);
+        let (grads, _) = layer.backward(&cache, &grad_out);
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 2, 5] {
+            let orig = layer.weights.as_slice()[idx];
+            layer.weights.as_mut_slice()[idx] = orig + eps;
+            let plus = loss(&layer);
+            layer.weights.as_mut_slice()[idx] = orig - eps;
+            let minus = loss(&layer);
+            layer.weights.as_mut_slice()[idx] = orig;
+            let numerical = (plus - minus) / (2.0 * eps);
+            let analytic = grads.weights.as_slice()[idx];
+            assert!(
+                (numerical - analytic).abs() < 1e-2,
+                "weight {idx}: numerical {numerical} vs analytic {analytic}"
+            );
+        }
+        // Bias gradient check.
+        let orig = layer.bias.as_slice()[1];
+        layer.bias.as_mut_slice()[1] = orig + eps;
+        let plus = loss(&layer);
+        layer.bias.as_mut_slice()[1] = orig - eps;
+        let minus = loss(&layer);
+        layer.bias.as_mut_slice()[1] = orig;
+        let numerical = (plus - minus) / (2.0 * eps);
+        assert!((numerical - grads.bias.as_slice()[1]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn grad_input_propagates_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let layer = Dense::new(6, 4, Activation::Relu, &mut rng);
+        let x = Matrix::xavier_uniform(3, 6, &mut rng);
+        let (y, cache) = layer.forward(&x);
+        let (_, grad_input) = layer.backward(&cache, &y);
+        assert_eq!((grad_input.rows(), grad_input.cols()), (3, 6));
+    }
+}

@@ -1,0 +1,330 @@
+//! Dense `f32` matrices for the neural-network engine.
+//!
+//! Activations and weights in the SplitBeam models are at most a few thousand
+//! elements per dimension, so a straightforward row-major matrix with naive
+//! kernels is sufficient and keeps the training code easy to follow.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` matrix.
+///
+/// ```
+/// use neural::Matrix;
+/// let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// let b = Matrix::from_rows(3, 1, &[1.0, 0.0, -1.0]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.as_slice(), &[-2.0, -2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a single-row matrix from a vector (used for network inputs).
+    pub fn row_vector(data: &[f32]) -> Self {
+        Self::from_rows(1, data.len(), data)
+    }
+
+    /// Xavier/Glorot-uniform initialization, the standard choice for tanh MLPs.
+    pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let mut m = Self::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.gen_range(-limit..limit);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read-only view of the row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Adds a row vector to every row of the matrix (bias broadcast).
+    ///
+    /// # Panics
+    /// Panics if `bias.cols() != self.cols()` or `bias.rows() != 1`.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += bias.data[c];
+            }
+        }
+        out
+    }
+
+    /// Sums the rows into a single row vector (used for bias gradients).
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Multiplies every entry by a scalar.
+    pub fn scale(&self, k: f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * k).collect(),
+        }
+    }
+
+    /// Applies a function to every entry.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mean of all entries.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(a.matmul(&b).as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_inverse_shapes() {
+        let x = Matrix::from_rows(3, 2, &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let bias = Matrix::from_rows(1, 2, &[10.0, -10.0]);
+        let shifted = x.add_row_broadcast(&bias);
+        assert_eq!(shifted.get(2, 0), 13.0);
+        assert_eq!(shifted.get(2, 1), -7.0);
+        let sums = x.sum_rows();
+        assert_eq!(sums.as_slice(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn xavier_initialization_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let w = Matrix::xavier_uniform(100, 50, &mut rng);
+        let limit = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= limit));
+        // Not all zero.
+        assert!(w.as_slice().iter().any(|&v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn map_scale_hadamard() {
+        let a = Matrix::from_rows(1, 3, &[1.0, -2.0, 3.0]);
+        assert_eq!(a.map(f32::abs).as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, -4.0, 6.0]);
+        assert_eq!(a.hadamard(&a).as_slice(), &[1.0, 4.0, 9.0]);
+        assert!((a.mean() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_matmul_distributes_over_add(n in 1usize..5, seed in 0u64..200) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Matrix::xavier_uniform(n, n, &mut rng);
+            let b = Matrix::xavier_uniform(n, n, &mut rng);
+            let c = Matrix::xavier_uniform(n, n, &mut rng);
+            let lhs = a.matmul(&b.add(&c));
+            let rhs = a.matmul(&b).add(&a.matmul(&c));
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_of_product(n in 1usize..5, seed in 0u64..200) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Matrix::xavier_uniform(n, n, &mut rng);
+            let b = Matrix::xavier_uniform(n, n, &mut rng);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Baselines for the SplitBeam evaluation.
+//!
+//! * [`lbscifi`] — a reproduction of the LB-SciFi autoencoder baseline: the
+//!   station still runs the full 802.11 pipeline (SVD + Givens decomposition)
+//!   and then compresses the resulting angles with an autoencoder *encoder*;
+//!   the AP decodes with the *decoder* and applies the inverse Givens
+//!   reconstruction. Its defining property — the station pays for SVD + Givens
+//!   **plus** the encoder — is what the paper's computational comparison
+//!   exercises (Figs. 10 and 12).
+//! * [`dot11`] — a thin adapter that exposes the plain 802.11 quantized
+//!   feedback as a baseline producing the same `BeamformingFeedback` type used
+//!   by the link simulator and benches.
+
+pub mod dot11;
+pub mod lbscifi;
+
+pub use lbscifi::{LbSciFiConfig, LbSciFiModel};
+
+/// Errors produced by the baseline implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// Input dimensions do not match the baseline's configuration.
+    DimensionMismatch(String),
+    /// An inner 802.11 pipeline step failed.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            BaselineError::Pipeline(msg) => write!(f, "802.11 pipeline failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", BaselineError::DimensionMismatch("x".into())).contains("x"));
+        assert!(format!("{}", BaselineError::Pipeline("svd".into())).contains("svd"));
+    }
+}

@@ -1,0 +1,55 @@
+//! CSI dataset generation equivalent to the paper's measurement campaign.
+//!
+//! The paper trains and evaluates SplitBeam on 15 datasets (Table I): twelve
+//! collected with Nexmon-patched routers in two physical environments (E1, E2)
+//! at 20/40/80 MHz for 2x2 and 3x3 MU-MIMO, plus three MATLAB-generated 160 MHz
+//! datasets (Model-B) for 2x2/3x3/4x4. Neither the hardware nor the recorded
+//! traces are available, so this crate generates statistically equivalent data
+//! from the `wifi-phy` channel simulator and reproduces the paper's capture
+//! pipeline:
+//!
+//! * packets arrive at 1000 packets/s, so consecutive CSI samples are
+//!   temporally correlated through the channel's Doppler process,
+//! * some stations drop packets; samples are re-aligned by sequence number so
+//!   every retained index represents the same time instant on every station,
+//! * CSI amplitudes are normalized by the mean amplitude over subcarriers and
+//!   smoothed with an `n = 10` moving-median window (Section 5.2.1),
+//! * datasets are split 8:1:1 into train/validation/test.
+
+pub mod capture;
+pub mod catalog;
+pub mod generator;
+
+pub use catalog::{DatasetId, DatasetSpec, dataset_catalog};
+pub use generator::{generate_dataset, GeneratedDataset, GeneratorOptions};
+
+/// Errors produced by dataset generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The requested dataset identifier does not exist in the catalog.
+    UnknownDataset(String),
+    /// Generation parameters are inconsistent.
+    InvalidParameters(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::UnknownDataset(name) => write!(f, "unknown dataset: {name}"),
+            DatasetError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", DatasetError::UnknownDataset("D99".into())).contains("D99"));
+        assert!(format!("{}", DatasetError::InvalidParameters("zero".into())).contains("zero"));
+    }
+}

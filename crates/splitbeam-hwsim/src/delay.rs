@@ -1,0 +1,149 @@
+//! End-to-end beamforming-report delay (the Eq. 7d budget).
+//!
+//! The delay experienced by the access point between sounding and having the
+//! reconstructed beamforming matrix is the sum of the station's head-model
+//! execution time, the over-the-air feedback time (compressed payload plus the
+//! sounding protocol frames), and the AP's tail-model execution time. MU-MIMO
+//! channel sounding should complete within 10 ms.
+
+use crate::accelerator::AcceleratorModel;
+use serde::{Deserialize, Serialize};
+use splitbeam::airtime::model_feedback_bits;
+use splitbeam::model::SplitBeamModel;
+use wifi_phy::sounding::{sounding_round_airtime, SoundingConfig};
+
+/// The delay budget of Eq. 7d (10 ms for MU-MIMO sounding).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayBudget {
+    /// Maximum tolerable end-to-end delay in seconds.
+    pub max_delay_s: f64,
+}
+
+impl Default for DelayBudget {
+    fn default() -> Self {
+        Self { max_delay_s: 0.01 }
+    }
+}
+
+/// Breakdown of the end-to-end beamforming report delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndToEndDelay {
+    /// Station-side head execution time, in seconds.
+    pub head_s: f64,
+    /// Over-the-air time (sounding protocol + compressed feedback), in seconds.
+    pub airtime_s: f64,
+    /// AP-side tail execution time, in seconds.
+    pub tail_s: f64,
+}
+
+impl EndToEndDelay {
+    /// Total end-to-end delay.
+    pub fn total_s(&self) -> f64 {
+        self.head_s + self.airtime_s + self.tail_s
+    }
+
+    /// Whether the delay fits a budget.
+    pub fn within(&self, budget: &DelayBudget) -> bool {
+        self.total_s() < budget.max_delay_s
+    }
+}
+
+/// Computes the end-to-end delay of one SplitBeam feedback round for a model,
+/// an accelerator and a sounding configuration.
+pub fn end_to_end_delay_s(
+    model: &SplitBeamModel,
+    accelerator: &AcceleratorModel,
+    sounding: &SoundingConfig,
+    bits_per_value: u8,
+) -> EndToEndDelay {
+    let compute = accelerator.split_latency(model.head(), model.tail());
+    let feedback_bits = model_feedback_bits(model.config(), bits_per_value);
+    let airtime = sounding_round_airtime(sounding, feedback_bits).total_s();
+    EndToEndDelay {
+        head_s: compute.head_s,
+        airtime_s: airtime,
+        tail_s: compute.tail_s,
+    }
+}
+
+/// Like [`end_to_end_delay_s`] but computed purely from a configuration, without
+/// instantiating model weights (the latency and airtime depend only on the
+/// architecture). This is what the BOP heuristic uses as its delay estimator.
+pub fn end_to_end_delay_from_config_s(
+    config: &splitbeam::config::SplitBeamConfig,
+    accelerator: &AcceleratorModel,
+    sounding: &SoundingConfig,
+    bits_per_value: u8,
+) -> EndToEndDelay {
+    let compute = accelerator.split_latency_from_config(config);
+    let feedback_bits = model_feedback_bits(config, bits_per_value);
+    let airtime = sounding_round_airtime(sounding, feedback_bits).total_s();
+    EndToEndDelay {
+        head_s: compute.head_s,
+        airtime_s: airtime,
+        tail_s: compute.tail_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+    use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+    fn delay_for(n: usize, bw: Bandwidth, k: CompressionLevel) -> EndToEndDelay {
+        let config = SplitBeamConfig::new(MimoConfig::symmetric(n, bw), k);
+        let accel = AcceleratorModel::zynq_200mhz(n, n);
+        let sounding = SoundingConfig::new(bw, n);
+        end_to_end_delay_from_config_s(&config, &accel, &sounding, 16)
+    }
+
+    #[test]
+    fn config_and_model_paths_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = SplitBeamConfig::new(
+            MimoConfig::symmetric(2, Bandwidth::Mhz20),
+            CompressionLevel::OneEighth,
+        );
+        let model = SplitBeamModel::new(config.clone(), &mut rng);
+        let accel = AcceleratorModel::zynq_200mhz(2, 2);
+        let sounding = SoundingConfig::new(Bandwidth::Mhz20, 2);
+        let via_model = end_to_end_delay_s(&model, &accel, &sounding, 16);
+        let via_config = end_to_end_delay_from_config_s(&config, &accel, &sounding, 16);
+        assert!((via_model.total_s() - via_config.total_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_stays_under_10ms() {
+        // The paper's headline claim: even 4x4 at 160 MHz stays below 10 ms.
+        let worst = delay_for(4, Bandwidth::Mhz160, CompressionLevel::OneQuarter);
+        assert!(
+            worst.within(&DelayBudget::default()),
+            "worst-case delay {} s exceeds 10 ms",
+            worst.total_s()
+        );
+    }
+
+    #[test]
+    fn delay_components_all_positive_and_sum() {
+        let d = delay_for(3, Bandwidth::Mhz80, CompressionLevel::OneEighth);
+        assert!(d.head_s > 0.0 && d.airtime_s > 0.0 && d.tail_s > 0.0);
+        assert!((d.total_s() - (d.head_s + d.airtime_s + d.tail_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wider_bandwidth_increases_delay() {
+        let narrow = delay_for(2, Bandwidth::Mhz20, CompressionLevel::OneQuarter);
+        let wide = delay_for(2, Bandwidth::Mhz160, CompressionLevel::OneQuarter);
+        assert!(wide.total_s() > narrow.total_s());
+    }
+
+    #[test]
+    fn tighter_budget_can_fail() {
+        let d = delay_for(4, Bandwidth::Mhz160, CompressionLevel::OneQuarter);
+        let tight = DelayBudget { max_delay_s: 1e-4 };
+        assert!(!d.within(&tight));
+    }
+}

@@ -1,0 +1,158 @@
+//! Feedback-size models and the 802.11 comparison ratios (Fig. 7).
+//!
+//! SplitBeam's feedback is the quantized bottleneck: `|B| * bits_per_value`
+//! bits, where `|B| = K * Nt * Nr * S` (complex convention). Its compression
+//! rate is therefore the constant `K`, independent of how the 802.11 feedback
+//! grows with antennas and bandwidth — the paper's key airtime argument.
+
+use crate::config::SplitBeamConfig;
+use crate::quantization::DEFAULT_BITS_PER_VALUE;
+use dot11_bfi::feedback::paper_report_bits;
+use serde::{Deserialize, Serialize};
+use wifi_phy::sounding::{sounding_round_airtime, SoundingConfig};
+
+/// SplitBeam feedback size in bits for an `nt x nr` configuration with `s`
+/// subcarriers at compression `k`, counting `bits_per_value` bits per
+/// (complex) bottleneck value.
+pub fn splitbeam_feedback_bits(nt: usize, nr: usize, s: usize, k: f64, bits_per_value: u8) -> usize {
+    let bottleneck = ((nt * nr * s) as f64 * k).round().max(1.0) as usize;
+    bottleneck * bits_per_value as usize
+}
+
+/// Feedback size of a configured model (uses the model's actual bottleneck width).
+pub fn model_feedback_bits(config: &SplitBeamConfig, bits_per_value: u8) -> usize {
+    // bottleneck_dim is in real-interleaved convention; halve for complex values.
+    (config.bottleneck_dim() / 2).max(1) * bits_per_value as usize
+}
+
+/// The Fig. 7 quantity: SplitBeam feedback size as a percentage of the 802.11
+/// compressed beamforming report size (paper accounting convention).
+pub fn bf_size_ratio_percent(nt: usize, nr: usize, s: usize, k: f64) -> f64 {
+    100.0 * splitbeam_feedback_bits(nt, nr, s, k, DEFAULT_BITS_PER_VALUE) as f64
+        / paper_report_bits(nt, s) as f64
+}
+
+/// One row of the Fig. 7 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BfSizePoint {
+    /// MIMO order (`Nt = Nr = n`).
+    pub mimo_order: usize,
+    /// Number of subcarriers.
+    pub subcarriers: usize,
+    /// Compression level `K`.
+    pub k: f64,
+    /// SplitBeam feedback bits.
+    pub splitbeam_bits: usize,
+    /// 802.11 report bits (paper convention).
+    pub dot11_bits: usize,
+    /// Ratio in percent.
+    pub ratio_percent: f64,
+}
+
+/// Computes the full Fig. 7 grid.
+pub fn bf_size_grid(
+    mimo_orders: &[usize],
+    subcarrier_counts: &[usize],
+    compression_levels: &[f64],
+) -> Vec<BfSizePoint> {
+    let mut out = Vec::new();
+    for &n in mimo_orders {
+        for &s in subcarrier_counts {
+            for &k in compression_levels {
+                let sb = splitbeam_feedback_bits(n, n, s, k, DEFAULT_BITS_PER_VALUE);
+                let dot11 = paper_report_bits(n, s);
+                out.push(BfSizePoint {
+                    mimo_order: n,
+                    subcarriers: s,
+                    k,
+                    splitbeam_bits: sb,
+                    dot11_bits: dot11,
+                    ratio_percent: 100.0 * sb as f64 / dot11 as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Average airtime saving in percent over a grid (the "reduces the airtime
+/// overhead by 75% on average" number of Section IV-E2).
+pub fn average_airtime_saving_percent(grid: &[BfSizePoint]) -> f64 {
+    if grid.is_empty() {
+        return 0.0;
+    }
+    let mean_ratio: f64 =
+        grid.iter().map(|p| p.ratio_percent.min(100.0)).sum::<f64>() / grid.len() as f64;
+    100.0 - mean_ratio
+}
+
+/// Airtime of one full sounding round when the stations reply with SplitBeam
+/// feedback instead of 802.11 compressed reports, in seconds.
+pub fn splitbeam_sounding_airtime_s(
+    config: &SplitBeamConfig,
+    sounding: &SoundingConfig,
+    bits_per_value: u8,
+) -> f64 {
+    let bits = model_feedback_bits(config, bits_per_value);
+    sounding_round_airtime(sounding, bits).total_s()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CompressionLevel;
+    use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+    #[test]
+    fn feedback_bits_scale_with_k() {
+        let small = splitbeam_feedback_bits(3, 3, 242, 1.0 / 32.0, 16);
+        let large = splitbeam_feedback_bits(3, 3, 242, 1.0 / 4.0, 16);
+        assert!(large > small);
+        let ratio = large as f64 / small as f64;
+        assert!((ratio - 8.0).abs() < 0.1, "ratio {ratio} should be ~8 (up to rounding)");
+    }
+
+    #[test]
+    fn model_feedback_matches_formula() {
+        let config = SplitBeamConfig::new(
+            MimoConfig::symmetric(2, Bandwidth::Mhz20),
+            CompressionLevel::OneEighth,
+        );
+        // bottleneck 56 reals = 28 complex values -> 28 * 16 bits.
+        assert_eq!(model_feedback_bits(&config, 16), 28 * 16);
+        assert_eq!(
+            splitbeam_feedback_bits(2, 2, 56, 0.125, 16),
+            28 * 16
+        );
+    }
+
+    #[test]
+    fn ratio_well_below_100_for_high_order_mimo() {
+        // Fig. 7: "SplitBeam reduces the size of the feedback overhead by 91%
+        // and 93% in 4x4 and 8x8 configurations with 80 MHz channel" (K = 1/8).
+        let r4 = bf_size_ratio_percent(4, 4, 242, 0.125);
+        let r8 = bf_size_ratio_percent(8, 8, 242, 0.125);
+        assert!(r4 < 20.0, "4x4 ratio {r4}% should be far below 100%");
+        assert!(r8 < r4, "8x8 ratio {r8}% should be below 4x4 {r4}%");
+    }
+
+    #[test]
+    fn grid_and_average_saving() {
+        let grid = bf_size_grid(&[4, 8], &[56, 114, 242], &[1.0 / 32.0, 1.0 / 16.0, 0.125, 0.25]);
+        assert_eq!(grid.len(), 24);
+        let saving = average_airtime_saving_percent(&grid);
+        assert!(saving > 60.0, "average airtime saving {saving}% should be large");
+        assert_eq!(average_airtime_saving_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn sounding_airtime_reasonable() {
+        let config = SplitBeamConfig::new(
+            MimoConfig::symmetric(3, Bandwidth::Mhz80),
+            CompressionLevel::OneEighth,
+        );
+        let sounding = SoundingConfig::new(Bandwidth::Mhz80, 3);
+        let t = splitbeam_sounding_airtime_s(&config, &sounding, 16);
+        assert!(t > 0.0 && t < 0.01, "sounding airtime {t}s should be below 10 ms");
+    }
+}

@@ -1,0 +1,189 @@
+//! Quantization of the bottleneck activations for over-the-air transport.
+//!
+//! The head's output `V'` must be carried in a Wi-Fi management frame, so it is
+//! quantized to a fixed number of bits per value. A per-payload uniform
+//! quantizer with an explicit `[min, max]` range is used: the two range floats
+//! are part of the payload, which is how the AP dequantizes without any shared
+//! state. The paper's feedback-size analysis (Section IV-E2) counts 16 bits per
+//! bottleneck value; the default here matches that, and the ablation benches
+//! sweep the width.
+
+use serde::{Deserialize, Serialize};
+
+/// Default number of bits per bottleneck value (matches the paper's accounting
+/// of 16 bits per feedback value).
+pub const DEFAULT_BITS_PER_VALUE: u8 = 16;
+
+/// A quantized bottleneck payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedFeedback {
+    /// Number of bits used for each value (1..=16).
+    pub bits_per_value: u8,
+    /// Minimum of the quantization range.
+    pub min: f32,
+    /// Maximum of the quantization range.
+    pub max: f32,
+    /// The quantized codes (one per bottleneck value).
+    pub codes: Vec<u16>,
+}
+
+impl QuantizedFeedback {
+    /// Size of the payload in bits: the codes plus the 32-bit range fields.
+    pub fn size_bits(&self) -> usize {
+        self.codes.len() * self.bits_per_value as usize + 64
+    }
+}
+
+/// Quantizes a bottleneck activation vector with `bits_per_value` bits per value.
+///
+/// # Panics
+/// Panics if `bits_per_value` is zero or greater than 16.
+pub fn quantize_bottleneck(values: &[f32], bits_per_value: u8) -> QuantizedFeedback {
+    assert!(
+        (1..=16).contains(&bits_per_value),
+        "bits per value must be in 1..=16"
+    );
+    let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if values.is_empty() {
+        min = 0.0;
+        max = 0.0;
+    }
+    if !(max > min) {
+        // Constant (or empty) payload: widen the range artificially so the
+        // dequantizer reproduces the constant exactly.
+        max = min + 1.0;
+    }
+    let levels = ((1u32 << bits_per_value) - 1) as f32;
+    let scale = levels / (max - min);
+    let codes = values
+        .iter()
+        .map(|&v| (((v - min) * scale).round().clamp(0.0, levels)) as u16)
+        .collect();
+    QuantizedFeedback {
+        bits_per_value,
+        min,
+        max,
+        codes,
+    }
+}
+
+/// Dequantizes a payload back into bottleneck activations.
+pub fn dequantize_bottleneck(payload: &QuantizedFeedback) -> Vec<f32> {
+    let levels = ((1u32 << payload.bits_per_value) - 1) as f32;
+    let step = (payload.max - payload.min) / levels;
+    payload
+        .codes
+        .iter()
+        .map(|&c| payload.min + c as f32 * step)
+        .collect()
+}
+
+/// Worst-case quantization error for a payload spanning `[min, max]` with the
+/// given bit width (half a step).
+pub fn max_quantization_error(min: f32, max: f32, bits_per_value: u8) -> f32 {
+    let levels = ((1u32 << bits_per_value) - 1) as f32;
+    (max - min) / levels / 2.0
+}
+
+/// Feedback size in bits for a bottleneck of `bottleneck_dim` values at
+/// `bits_per_value` bits each (excluding the small range header).
+pub fn feedback_bits(bottleneck_dim: usize, bits_per_value: u8) -> usize {
+    bottleneck_dim * bits_per_value as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let values: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.173).sin()).collect();
+        for bits in [4u8, 8, 12, 16] {
+            let payload = quantize_bottleneck(&values, bits);
+            let rebuilt = dequantize_bottleneck(&payload);
+            let bound = max_quantization_error(payload.min, payload.max, bits);
+            for (a, b) in values.iter().zip(rebuilt.iter()) {
+                assert!(
+                    (a - b).abs() <= bound + 1e-6,
+                    "bits={bits}: error {} exceeds bound {bound}",
+                    (a - b).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 * 0.31).cos()).collect();
+        let err = |bits: u8| -> f32 {
+            let rebuilt = dequantize_bottleneck(&quantize_bottleneck(&values, bits));
+            values
+                .iter()
+                .zip(rebuilt.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max)
+        };
+        assert!(err(12) < err(6));
+        assert!(err(6) < err(3));
+    }
+
+    #[test]
+    fn constant_payload_is_exact() {
+        let values = vec![0.25f32; 10];
+        let rebuilt = dequantize_bottleneck(&quantize_bottleneck(&values, 8));
+        for v in rebuilt {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let payload = quantize_bottleneck(&[], 8);
+        assert!(dequantize_bottleneck(&payload).is_empty());
+        assert_eq!(payload.size_bits(), 64);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let values = vec![0.0f32; 56];
+        let payload = quantize_bottleneck(&values, 16);
+        assert_eq!(payload.size_bits(), 56 * 16 + 64);
+        assert_eq!(feedback_bits(56, 16), 896);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_panics() {
+        let _ = quantize_bottleneck(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_bits_panics() {
+        let _ = quantize_bottleneck(&[1.0], 17);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_bounded(values in proptest::collection::vec(-10.0f32..10.0, 1..64), bits in 2u8..16) {
+            let payload = quantize_bottleneck(&values, bits);
+            let rebuilt = dequantize_bottleneck(&payload);
+            let bound = max_quantization_error(payload.min, payload.max, bits) + 1e-4;
+            for (a, b) in values.iter().zip(rebuilt.iter()) {
+                prop_assert!((a - b).abs() <= bound);
+            }
+        }
+
+        #[test]
+        fn prop_codes_fit_bit_width(values in proptest::collection::vec(-5.0f32..5.0, 1..32), bits in 1u8..16) {
+            let payload = quantize_bottleneck(&values, bits);
+            let max_code = (1u32 << bits) - 1;
+            prop_assert!(payload.codes.iter().all(|&c| (c as u32) <= max_code));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Wi-Fi PHY substrate for the SplitBeam reproduction.
+//!
+//! The paper evaluates SplitBeam on CSI measured with commodity 802.11ac
+//! hardware (Nexmon) plus MATLAB WLAN-toolbox synthetic channels, and measures
+//! beamforming quality as the bit error rate of a zero-forcing MU-MIMO downlink
+//! with 16-QAM payloads. None of that tooling is available here, so this crate
+//! implements the full substrate from scratch:
+//!
+//! * [`ofdm`] — bandwidth / subcarrier configurations of 802.11ac/ax,
+//! * [`channel`] — a clustered tap-delay-line (TGn/TGac style) MU-MIMO channel
+//!   simulator with distinct environment profiles (the stand-in for the paper's
+//!   E1 / E2 measurement campaigns and the Model-B synthetic data),
+//! * [`modulation`] — Gray-coded BPSK/QPSK/16-QAM/64-QAM mapping and hard
+//!   demapping,
+//! * [`coding`] — the 802.11 rate-1/2 K=7 binary convolutional code with
+//!   puncturing and a hard-decision Viterbi decoder,
+//! * [`precoding`] — the zero-forcing precoder of Section 5.2.1,
+//! * [`link`] — the end-to-end BER measurement procedure (steps 1–6 of
+//!   Section 5.2.1),
+//! * [`sounding`] — the multi-user channel sounding airtime model (Figure 3).
+//!
+//! # Example: one shot of the MU-MIMO link
+//!
+//! ```
+//! use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
+//! use wifi_phy::ofdm::Bandwidth;
+//! use wifi_phy::link::{LinkConfig, simulate_mu_mimo_ber};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let model = ChannelModel::new(EnvironmentProfile::e1(), Bandwidth::Mhz20, 2, 2, 1);
+//! let snapshot = model.sample(&mut rng);
+//! // Use the ideal per-user beamforming vectors as feedback (zero reconstruction error).
+//! let feedback = snapshot.ideal_beamforming();
+//! let cfg = LinkConfig::default();
+//! let report = simulate_mu_mimo_ber(&snapshot, &feedback, &cfg, &mut rng).unwrap();
+//! assert!(report.ber() <= 0.5);
+//! ```
+
+pub mod channel;
+pub mod coding;
+pub mod link;
+pub mod modulation;
+pub mod ofdm;
+pub mod precoding;
+pub mod sounding;
+
+pub use channel::{ChannelModel, ChannelSnapshot, EnvironmentProfile};
+pub use link::{LinkConfig, LinkReport};
+pub use ofdm::Bandwidth;
+
+/// Errors produced by the PHY layer simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhyError {
+    /// A matrix operation failed because the effective channel was singular
+    /// (e.g. two stations with identical beamforming vectors).
+    SingularChannel,
+    /// Operand dimensions are inconsistent (wrong number of users, antennas or
+    /// subcarriers).
+    DimensionMismatch(String),
+    /// The requested configuration is not supported (e.g. unknown MCS).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for PhyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhyError::SingularChannel => write!(f, "effective channel matrix is singular"),
+            PhyError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            PhyError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_meaningful() {
+        assert!(format!("{}", PhyError::SingularChannel).contains("singular"));
+        assert!(format!("{}", PhyError::DimensionMismatch("2 vs 3".into())).contains("2 vs 3"));
+        assert!(format!("{}", PhyError::Unsupported("256-QAM".into())).contains("256-QAM"));
+    }
+}

@@ -1,0 +1,86 @@
+//! The Bottleneck Optimization Problem in action: run the Section IV-C
+//! heuristic on a 2x2 / 20 MHz network, letting it pick the most aggressive
+//! compression level that still meets a BER ceiling and the 10 ms delay budget.
+//!
+//! Run with: `cargo run --release --example bottleneck_search`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::bop::{solve_bop, BopConstraints};
+use splitbeam_repro::prelude::*;
+use wifi_phy::sounding::SoundingConfig;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mimo = MimoConfig::symmetric(2, Bandwidth::Mhz20);
+    let base = SplitBeamConfig::new(mimo, CompressionLevel::OneThirtySecond);
+
+    // Data for training / validating each candidate.
+    let spec = dataset_for(2, Bandwidth::Mhz20, "E1").unwrap();
+    let generated = generate_dataset(&spec, &GeneratorOptions::quick(100, 3)).unwrap();
+    let (train_snaps, val_snaps, test_snaps) = generated.split_train_val_test();
+    let options = TrainingOptions { epochs: 8, ..TrainingOptions::default() };
+
+    let constraints = BopConstraints { max_ber: 0.03, max_delay_s: 0.01, mu: 0.5 };
+    let accel = AcceleratorModel::zynq_200mhz(2, 2);
+    let sounding = SoundingConfig::new(Bandwidth::Mhz20, 2);
+
+    let solution = solve_bop(
+        &base,
+        &constraints,
+        1,
+        |config| {
+            let mut train = TrainingData::new(config.clone());
+            for s in train_snaps {
+                train.push_snapshot(s);
+            }
+            let mut val = TrainingData::new(config.clone());
+            for s in val_snaps {
+                val.push_snapshot(s);
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            train_model(config, train.examples(), val.examples(), &options, &mut rng).0
+        },
+        |model| {
+            // Evaluate the BER of the candidate over a few held-out snapshots.
+            let link = LinkConfig { snr_db: 20.0, symbols_per_subcarrier: 1, ..LinkConfig::default() };
+            let mut report = wifi_phy::link::LinkReport::empty();
+            for snap in test_snaps.iter().take(4) {
+                let feedback: Vec<_> = (0..snap.num_users())
+                    .map(|u| model.feedback_for_user_quantized(snap, u, 16).unwrap())
+                    .collect();
+                if let Ok(r) = simulate_mu_mimo_ber(snap, &feedback, &link, &mut rng) {
+                    report.merge(&r);
+                }
+            }
+            report.ber()
+        },
+        |config| {
+            splitbeam_hwsim::delay::end_to_end_delay_from_config_s(config, &accel, &sounding, 16)
+                .total_s()
+        },
+    );
+
+    match solution {
+        Ok(solution) => {
+            println!("Explored {} candidates:", solution.explored.len());
+            for c in &solution.explored {
+                println!(
+                    "  {} ({} tail layers): BER {:.4}, delay {:.3} ms, feasible: {}",
+                    c.config.compression,
+                    c.config.extra_tail_layers.len() + 1,
+                    c.ber,
+                    c.delay_s * 1e3,
+                    c.feasible
+                );
+            }
+            println!(
+                "\nSelected {} with architecture {} (BER {:.4})",
+                solution.selected.config.compression,
+                solution.selected.config.architecture_label(),
+                solution.selected.ber
+            );
+        }
+        Err(e) => println!("no feasible bottleneck found: {e}"),
+    }
+}

@@ -1,0 +1,45 @@
+//! Multi-user channel sounding walkthrough: how much airtime and station
+//! computation one sounding round costs under 802.11 versus SplitBeam, for a
+//! 3x3 network at 80 MHz (the configuration the paper's generalization study
+//! focuses on).
+//!
+//! Run with: `cargo run --release --example multi_user_sounding`
+
+use splitbeam_repro::prelude::*;
+use wifi_phy::sounding::{sounding_round_airtime, SoundingConfig};
+
+fn main() {
+    let mimo = MimoConfig::symmetric(3, Bandwidth::Mhz80);
+    let sounding = SoundingConfig::new(Bandwidth::Mhz80, 3);
+
+    // 802.11: the station computes SVD + Givens and sends the quantized angles.
+    let dot11_bits = dot11_bfi::feedback::paper_report_bits(3, 242);
+    let dot11_flops = dot11_bfi::complexity::dot11_sta_flops(3, 3, 242);
+    let dot11_airtime = sounding_round_airtime(&sounding, dot11_bits);
+
+    println!("== IEEE 802.11 compressed beamforming feedback ==");
+    println!("per-station report: {} bits", dot11_bits);
+    println!("per-station compute: {} FLOPs (SVD + Givens)", dot11_flops);
+    println!(
+        "sounding round airtime: {:.3} ms ({:.1}% of a 10 ms sounding interval)",
+        dot11_airtime.total_s() * 1e3,
+        dot11_airtime.total_s() / 0.01 * 100.0
+    );
+
+    for level in CompressionLevel::STANDARD {
+        let config = SplitBeamConfig::new(mimo, level);
+        let bits = splitbeam::airtime::model_feedback_bits(&config, 16);
+        let macs = splitbeam::complexity::splitbeam_head_macs(&config);
+        let airtime = sounding_round_airtime(&sounding, bits);
+        let accel = AcceleratorModel::zynq_200mhz(3, 3);
+        let latency = accel.split_latency_from_config(&config);
+        println!("\n== SplitBeam, {} ==", level);
+        println!("per-station feedback: {} bits ({:.0}% of 802.11)", bits, 100.0 * bits as f64 / dot11_bits as f64);
+        println!("per-station compute: {} MACs ({:.0}% of 802.11)", macs, 100.0 * macs as f64 / dot11_flops as f64);
+        println!(
+            "sounding round airtime: {:.3} ms, head+tail compute latency: {:.3} ms",
+            airtime.total_s() * 1e3,
+            latency.total_s() * 1e3
+        );
+    }
+}
