@@ -19,9 +19,11 @@ fn bench_svd(c: &mut Criterion) {
     for n in [2usize, 3, 4, 8] {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         let h = random_matrix(&mut rng, n);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{n}")), &h, |b, h| {
-            b.iter(|| Svd::compute(std::hint::black_box(h)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}")),
+            &h,
+            |b, h| b.iter(|| Svd::compute(std::hint::black_box(h))),
+        );
     }
     group.finish();
 }

@@ -19,15 +19,31 @@ fn main() {
     let val = training_data(&config, val_snaps);
 
     let mut rows = Vec::new();
-    for (name, loss) in [("normalized L1 (Eq. 8)", Loss::NormalizedL1), ("MSE", Loss::Mse), ("MAE", Loss::Mae)] {
+    for (name, loss) in [
+        ("normalized L1 (Eq. 8)", Loss::NormalizedL1),
+        ("MSE", Loss::Mse),
+        ("MAE", Loss::Mae),
+    ] {
         let options = TrainingOptions {
             epochs: workload.epochs,
             loss,
             ..TrainingOptions::default()
         };
         let mut rng = ChaCha8Rng::seed_from_u64(71);
-        let (model, history) = train_model(&config, train.examples(), val.examples(), &options, &mut rng);
-        let ber = measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 72);
+        let (model, history) = train_model(
+            &config,
+            train.examples(),
+            val.examples(),
+            &options,
+            &mut rng,
+        );
+        let ber = measure_ber(
+            &FeedbackScheme::SplitBeam(&model),
+            test,
+            &workload,
+            None,
+            72,
+        );
         rows.push(vec![
             name.to_string(),
             format!("{:.5}", history.final_train_loss()),

@@ -1,11 +1,11 @@
 //! Ablation: effect of the bottleneck quantization width on BER (a design
 //! choice the paper fixes at 16 bits/value; DESIGN.md calls it out for study).
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use splitbeam::config::{CompressionLevel, SplitBeamConfig};
 use splitbeam_bench::{dataset, print_table, train_splitbeam, Workload};
 use splitbeam_datasets::catalog::dataset_for;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig, LinkReport};
 use wifi_phy::ofdm::Bandwidth;
 

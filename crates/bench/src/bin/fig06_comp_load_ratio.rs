@@ -22,7 +22,14 @@ fn main() {
         .collect();
     print_table(
         "Figure 6: computational load ratio SplitBeam / 802.11 (%)",
-        &["MIMO", "subcarriers", "K", "SplitBeam MACs", "802.11 FLOPs", "ratio %"],
+        &[
+            "MIMO",
+            "subcarriers",
+            "K",
+            "SplitBeam MACs",
+            "802.11 FLOPs",
+            "ratio %",
+        ],
         &rows,
     );
     println!(

@@ -22,7 +22,14 @@ fn main() {
         .collect();
     print_table(
         "Figure 7: beamforming feedback size ratio SplitBeam / 802.11 (%)",
-        &["MIMO", "subcarriers", "K", "SplitBeam bits", "802.11 bits", "ratio %"],
+        &[
+            "MIMO",
+            "subcarriers",
+            "K",
+            "SplitBeam bits",
+            "802.11 bits",
+            "ratio %",
+        ],
         &rows,
     );
     println!(

@@ -20,9 +20,15 @@ fn main() {
                 let (_, _, test) = generated.split_train_val_test();
                 for level in standard_levels() {
                     let config = SplitBeamConfig::new(spec.mimo, level);
-                    let model = train_splitbeam(&config, &generated, &workload, 7 + spec.id.0 as u64);
-                    let ber =
-                        measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 13);
+                    let model =
+                        train_splitbeam(&config, &generated, &workload, 7 + spec.id.0 as u64);
+                    let ber = measure_ber(
+                        &FeedbackScheme::SplitBeam(&model),
+                        test,
+                        &workload,
+                        None,
+                        13,
+                    );
                     rows.push(vec![
                         format!("{order}x{order}"),
                         env.to_string(),

@@ -18,7 +18,10 @@ fn main() {
     workload.samples = workload.samples.min(60);
     workload.test_snapshots = workload.test_snapshots.min(4);
     let mut rows = Vec::new();
-    for spec in dataset_catalog().iter().filter(|d| d.kind == DatasetKind::Synthetic) {
+    for spec in dataset_catalog()
+        .iter()
+        .filter(|d| d.kind == DatasetKind::Synthetic)
+    {
         let generated = dataset(spec, &workload, 200 + spec.id.0 as u64);
         let (_, _, test) = generated.split_train_val_test();
         let config = SplitBeamConfig::new(spec.mimo, CompressionLevel::OneEighth);
@@ -29,7 +32,13 @@ fn main() {
         let schemes: Vec<(&str, f64, u64)> = vec![
             (
                 "SplitBeam",
-                measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, coding, 19),
+                measure_ber(
+                    &FeedbackScheme::SplitBeam(&model),
+                    test,
+                    &workload,
+                    coding,
+                    19,
+                ),
                 model.head_macs(),
             ),
             (

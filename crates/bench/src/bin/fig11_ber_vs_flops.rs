@@ -22,7 +22,13 @@ fn main() {
             for level in standard_levels() {
                 let config = SplitBeamConfig::new(spec.mimo, level);
                 let model = train_splitbeam(&config, &generated, &workload, 23);
-                let ber = measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 29);
+                let ber = measure_ber(
+                    &FeedbackScheme::SplitBeam(&model),
+                    test,
+                    &workload,
+                    None,
+                    29,
+                );
                 rows.push(vec![
                     format!("{order}x{order}"),
                     format!("{bw}"),

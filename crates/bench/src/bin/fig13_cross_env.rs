@@ -3,7 +3,9 @@
 
 use dot11_bfi::quantize::AngleResolution;
 use splitbeam::config::{CompressionLevel, SplitBeamConfig};
-use splitbeam_bench::{dataset, measure_ber, print_table, train_splitbeam, FeedbackScheme, Workload};
+use splitbeam_bench::{
+    dataset, measure_ber, print_table, train_splitbeam, FeedbackScheme, Workload,
+};
 use splitbeam_datasets::catalog::dataset_for;
 use wifi_phy::ofdm::Bandwidth;
 
@@ -22,8 +24,20 @@ fn main() {
 
                 let (_, _, same_env_test) = train_data.split_train_val_test();
                 let (_, _, cross_env_test) = test_data.split_train_val_test();
-                let single = measure_ber(&FeedbackScheme::SplitBeam(&model), same_env_test, &workload, None, 53);
-                let cross = measure_ber(&FeedbackScheme::SplitBeam(&model), cross_env_test, &workload, None, 53);
+                let single = measure_ber(
+                    &FeedbackScheme::SplitBeam(&model),
+                    same_env_test,
+                    &workload,
+                    None,
+                    53,
+                );
+                let cross = measure_ber(
+                    &FeedbackScheme::SplitBeam(&model),
+                    cross_env_test,
+                    &workload,
+                    None,
+                    53,
+                );
                 let dot11 = measure_ber(
                     &FeedbackScheme::Dot11(AngleResolution::High),
                     cross_env_test,
@@ -44,7 +58,14 @@ fn main() {
     }
     print_table(
         "Figure 13: cross-environment BER (K = 1/8)",
-        &["config", "train/test env", "bandwidth", "802.11", "single-env", "cross-env"],
+        &[
+            "config",
+            "train/test env",
+            "bandwidth",
+            "802.11",
+            "single-env",
+            "cross-env",
+        ],
         &rows,
     );
 }

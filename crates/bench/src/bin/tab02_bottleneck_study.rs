@@ -30,9 +30,20 @@ fn main() {
                 ..TrainingOptions::default()
             };
             let mut rng = ChaCha8Rng::seed_from_u64(21);
-            let (model, _): (SplitBeamModel, _) =
-                train_model(&config, train_data.examples(), val_data.examples(), &options, &mut rng);
-            let ber = measure_ber(&FeedbackScheme::SplitBeam(&model), test, &workload, None, 31);
+            let (model, _): (SplitBeamModel, _) = train_model(
+                &config,
+                train_data.examples(),
+                val_data.examples(),
+                &options,
+                &mut rng,
+            );
+            let ber = measure_ber(
+                &FeedbackScheme::SplitBeam(&model),
+                test,
+                &workload,
+                None,
+                31,
+            );
             rows.push(vec![
                 format!("{}", bw),
                 config.architecture_label(),
@@ -44,7 +55,13 @@ fn main() {
     }
     print_table(
         "Table II: bottleneck architecture vs |B| vs BER (2x2)",
-        &["bandwidth", "architecture (real dims)", "|B| (complex)", "head MACs", "BER"],
+        &[
+            "bandwidth",
+            "architecture (real dims)",
+            "|B| (complex)",
+            "head MACs",
+            "BER",
+        ],
         &rows,
     );
 }

@@ -11,6 +11,7 @@
 //! (training epochs) and `SPLITBEAM_TEST_SNAPSHOTS` to approach the paper's
 //! full-scale runs.
 
+use dot11_bfi::quantize::AngleResolution;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use splitbeam::config::{CompressionLevel, SplitBeamConfig};
@@ -20,7 +21,6 @@ use splitbeam_baselines::dot11::dot11_feedback_for_snapshot;
 use splitbeam_baselines::lbscifi::{angle_vector_for_user, LbSciFiConfig, LbSciFiModel};
 use splitbeam_datasets::catalog::DatasetSpec;
 use splitbeam_datasets::generator::{generate_dataset, GeneratedDataset, GeneratorOptions};
-use dot11_bfi::quantize::AngleResolution;
 use wifi_phy::channel::ChannelSnapshot;
 use wifi_phy::coding::CodeRate;
 use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig, LinkReport};
@@ -107,7 +107,8 @@ pub fn train_splitbeam(
         ..TrainingOptions::default()
     };
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let (model, _history) = train_model(config, train.examples(), val.examples(), &options, &mut rng);
+    let (model, _history) =
+        train_model(config, train.examples(), val.examples(), &options, &mut rng);
     model
 }
 
@@ -152,7 +153,9 @@ pub fn feedback_for(
 ) -> Option<BeamformingFeedback> {
     match scheme {
         FeedbackScheme::Ideal => Some(snapshot.ideal_beamforming()),
-        FeedbackScheme::Dot11(resolution) => dot11_feedback_for_snapshot(snapshot, *resolution).ok(),
+        FeedbackScheme::Dot11(resolution) => {
+            dot11_feedback_for_snapshot(snapshot, *resolution).ok()
+        }
         FeedbackScheme::SplitBeam(model) => {
             let mut out = Vec::with_capacity(snapshot.num_users());
             for user in 0..snapshot.num_users() {

@@ -12,7 +12,6 @@ use crate::quantize::{
     dequantize_phi, dequantize_psi, quantize_phi, quantize_psi, AngleResolution,
 };
 use crate::BfiError;
-use bytes::{BufMut, BytesMut};
 use serde::{Deserialize, Serialize};
 
 /// Bits used to represent one raw complex channel entry (8 bits per real and
@@ -31,8 +30,7 @@ pub fn compressed_report_bits(
     resolution: AngleResolution,
 ) -> usize {
     let na = total_angles(nt, nss);
-    SNR_FIELD_BITS_PER_ANTENNA * nt
-        + (na * subcarriers) as usize * resolution.bits_per_angle_avg() as usize
+    SNR_FIELD_BITS_PER_ANTENNA * nt + (na * subcarriers) * resolution.bits_per_angle_avg() as usize
 }
 
 /// Size in bits of the uncompressed CSI (`S * Nt * Nr * 16`), the denominator of Eq. 9.
@@ -89,15 +87,15 @@ impl CompressedBeamformingReport {
     /// # Errors
     /// Returns [`BfiError::InvalidShape`] if `angles` is empty or the entries
     /// disagree in shape.
-    pub fn pack(
-        angles: &[GivensAngles],
-        resolution: AngleResolution,
-    ) -> Result<Self, BfiError> {
+    pub fn pack(angles: &[GivensAngles], resolution: AngleResolution) -> Result<Self, BfiError> {
         let first = angles
             .first()
             .ok_or_else(|| BfiError::InvalidShape("no subcarriers".into()))?;
         let (nt, nss) = (first.nt, first.nss);
-        let mut writer = BitWriter::new();
+        let pairs = crate::givens::angle_pairs(nt, nss);
+        let mut writer = BitWriter::with_capacity_bits(
+            angles.len() * pairs * (resolution.phi_bits() + resolution.psi_bits()) as usize,
+        );
         for (s, a) in angles.iter().enumerate() {
             if a.nt != nt || a.nss != nss {
                 return Err(BfiError::InvalidShape(format!(
@@ -119,6 +117,48 @@ impl CompressedBeamformingReport {
             resolution,
             payload: writer.finish(),
         })
+    }
+
+    /// Builds a report from already-quantized angle codes: `2 * pairs` codes
+    /// per subcarrier, all φ codes first, then all ψ codes (the same order
+    /// [`CompressedBeamformingReport::pack`] writes).
+    ///
+    /// This is the feedback engine's fast path — quantization happens inside
+    /// the (possibly parallel) per-subcarrier workers and only the bit packing
+    /// stays serial. The payload is byte-identical to packing the
+    /// corresponding [`GivensAngles`].
+    pub(crate) fn from_codes(
+        nt: usize,
+        nss: usize,
+        subcarriers: usize,
+        resolution: AngleResolution,
+        codes: &[u16],
+    ) -> Self {
+        let pairs = crate::givens::angle_pairs(nt, nss);
+        let payload = if pairs == 0 {
+            Vec::new()
+        } else {
+            debug_assert_eq!(codes.len(), subcarriers * 2 * pairs);
+            let mut writer = BitWriter::with_capacity_bits(
+                subcarriers * pairs * (resolution.phi_bits() + resolution.psi_bits()) as usize,
+            );
+            for per_sc in codes.chunks_exact(2 * pairs) {
+                for &code in &per_sc[..pairs] {
+                    writer.push(u32::from(code), resolution.phi_bits());
+                }
+                for &code in &per_sc[pairs..] {
+                    writer.push(u32::from(code), resolution.psi_bits());
+                }
+            }
+            writer.finish()
+        };
+        Self {
+            nt,
+            nss,
+            subcarriers,
+            resolution,
+            payload,
+        }
     }
 
     /// Unpacks the report back into (dequantized) per-subcarrier Givens angles.
@@ -163,40 +203,53 @@ impl CompressedBeamformingReport {
 }
 
 /// Minimal MSB-first bit writer.
-struct BitWriter {
-    buf: BytesMut,
+///
+/// Values are appended in byte-sized chunks rather than bit by bit; the
+/// resulting stream is identical to the historical bit-at-a-time writer.
+pub(crate) struct BitWriter {
+    buf: Vec<u8>,
     current: u8,
     filled: u32,
 }
 
 impl BitWriter {
-    fn new() -> Self {
+    pub(crate) fn with_capacity_bits(bits: usize) -> Self {
         Self {
-            buf: BytesMut::new(),
+            buf: Vec::with_capacity(bits.div_ceil(8)),
             current: 0,
             filled: 0,
         }
     }
 
-    fn push(&mut self, value: u32, bits: u32) {
-        for i in (0..bits).rev() {
-            let bit = (value >> i) & 1;
-            self.current = (self.current << 1) | bit as u8;
-            self.filled += 1;
+    pub(crate) fn push(&mut self, value: u32, bits: u32) {
+        debug_assert!(bits <= 32);
+        let mut remaining = bits;
+        while remaining > 0 {
+            let take = (8 - self.filled).min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u32 << take) - 1)) as u8;
+            // take == 8 only happens on an empty byte (filled == 0).
+            self.current = if take == 8 {
+                chunk
+            } else {
+                (self.current << take) | chunk
+            };
+            self.filled += take;
+            remaining -= take;
             if self.filled == 8 {
-                self.buf.put_u8(self.current);
+                self.buf.push(self.current);
                 self.current = 0;
                 self.filled = 0;
             }
         }
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    pub(crate) fn finish(mut self) -> Vec<u8> {
         if self.filled > 0 {
             self.current <<= 8 - self.filled;
-            self.buf.put_u8(self.current);
+            self.buf.push(self.current);
         }
-        self.buf.to_vec()
+        self.buf
     }
 }
 
@@ -270,7 +323,7 @@ mod tests {
 
     #[test]
     fn bitwriter_reader_roundtrip() {
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity_bits(12);
         w.push(0b101, 3);
         w.push(0b11110000, 8);
         w.push(0b1, 1);
@@ -313,7 +366,9 @@ mod tests {
                 assert!(wrapped <= crate::quantize::phi_max_error(AngleResolution::High) + 1e-9);
             }
             for (&a, &b) in orig.psi.iter().zip(rec.psi.iter()) {
-                assert!((a - b).abs() <= crate::quantize::psi_max_error(AngleResolution::High) + 1e-9);
+                assert!(
+                    (a - b).abs() <= crate::quantize::psi_max_error(AngleResolution::High) + 1e-9
+                );
             }
         }
     }

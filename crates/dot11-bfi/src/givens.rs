@@ -46,10 +46,41 @@ impl GivensAngles {
     /// Decomposes an orthonormal `nt x nss` beamforming matrix into Givens
     /// angles (Algorithm 1 of the paper).
     ///
+    /// Allocates the working copy and the output internally; the per-subcarrier
+    /// hot loop should reuse buffers through [`GivensAngles::decompose_into`].
+    ///
     /// # Errors
     /// Returns [`BfiError::InvalidShape`] if `v` has more columns than rows or
     /// is degenerate (a single antenna cannot be decomposed).
     pub fn decompose(v: &CMatrix) -> Result<Self, BfiError> {
+        let mut out = GivensAngles {
+            nt: 0,
+            nss: 0,
+            phi: Vec::new(),
+            psi: Vec::new(),
+        };
+        let mut omega = CMatrix::zeros(1, 1);
+        Self::decompose_into(v, &mut omega, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decomposes `v` into `out`, reusing `omega` as the working copy and the
+    /// angle vectors already held by `out`.
+    ///
+    /// After warm-up the call performs no heap allocation; the produced angles
+    /// are bit-identical to [`GivensAngles::decompose`]. The phase angles of a
+    /// column are applied row by row as they are extracted — each row rotation
+    /// only touches its own row, so the interleaving leaves every extracted
+    /// angle exactly as in the two-pass formulation.
+    ///
+    /// # Errors
+    /// Returns [`BfiError::InvalidShape`] if `v` has more columns than rows or
+    /// is degenerate (a single antenna cannot be decomposed).
+    pub fn decompose_into(
+        v: &CMatrix,
+        omega: &mut CMatrix,
+        out: &mut GivensAngles,
+    ) -> Result<(), BfiError> {
         let (nt, nss) = v.shape();
         if nss > nt {
             return Err(BfiError::InvalidShape(format!(
@@ -61,32 +92,31 @@ impl GivensAngles {
         }
 
         // Step 1: remove the per-column phase of the last row so that row Nt is
-        // non-negative real. D̃ = diag(exp(j * angle(V[Nt-1, k]))).
-        let dtilde: Vec<Complex64> = (0..nss)
-            .map(|k| Complex64::cis(v[(nt - 1, k)].arg()))
-            .collect();
-        // Omega = V * D̃^H  (right-multiplying by the conjugate removes the phases).
-        let mut omega = CMatrix::from_fn(nt, nss, |r, c| v[(r, c)] * dtilde[c].conj());
+        // non-negative real: Omega = V * D̃^H with
+        // D̃ = diag(exp(j * angle(V[Nt-1, k]))).
+        omega.reshape_zeroed(nt, nss);
+        for c in 0..nss {
+            let phase_conj = Complex64::cis(v[(nt - 1, c)].arg()).conj();
+            for r in 0..nt {
+                omega[(r, c)] = v[(r, c)] * phase_conj;
+            }
+        }
 
         let t_max = nss.min(nt - 1);
-        let mut phi = Vec::with_capacity(angle_pairs(nt, nss));
-        let mut psi = Vec::with_capacity(angle_pairs(nt, nss));
+        out.nt = nt;
+        out.nss = nss;
+        out.phi.clear();
+        out.psi.clear();
 
         for t in 0..t_max {
-            // Phase angles of column t, rows t..nt-2 (the last row is already real).
-            let mut column_phis = Vec::with_capacity(nt - 1 - t);
+            // Phase angles of column t, rows t..nt-2 (the last row is already
+            // real); apply D_t^H to each row as its angle is extracted.
             for l in t..(nt - 1) {
                 let angle = omega[(l, t)].arg().rem_euclid(2.0 * std::f64::consts::PI);
-                column_phis.push(angle);
-            }
-            phi.extend(column_phis.iter().copied());
-
-            // Apply D_t^H: multiply rows t..nt-2 by exp(-j phi).
-            for (offset, &angle) in column_phis.iter().enumerate() {
-                let row = t + offset;
+                out.phi.push(angle);
                 let rotator = Complex64::cis(-angle);
                 for c in 0..nss {
-                    omega[(row, c)] = omega[(row, c)] * rotator;
+                    omega[(l, c)] *= rotator;
                 }
             }
 
@@ -100,7 +130,7 @@ impl GivensAngles {
                 } else {
                     (a / denom).clamp(-1.0, 1.0).acos()
                 };
-                psi.push(angle);
+                out.psi.push(angle);
                 let (cos_psi, sin_psi) = (angle.cos(), angle.sin());
                 // Apply G_{l,t} (a real rotation acting on rows t and l).
                 for c in 0..nss {
@@ -112,7 +142,7 @@ impl GivensAngles {
             }
         }
 
-        Ok(Self { nt, nss, phi, psi })
+        Ok(())
     }
 
     /// Rebuilds the beamforming matrix `Ṽ` from the angles (the inverse of
@@ -157,7 +187,7 @@ impl GivensAngles {
                 let row = t + offset;
                 let rotator = Complex64::cis(angle);
                 for c in 0..nss {
-                    result[(row, c)] = result[(row, c)] * rotator;
+                    result[(row, c)] *= rotator;
                 }
             }
         }
@@ -229,7 +259,15 @@ mod tests {
     #[test]
     fn decompose_reconstruct_roundtrip_tall() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        for (nt, nss) in [(2usize, 1usize), (3, 1), (3, 2), (4, 1), (4, 2), (4, 3), (8, 4)] {
+        for (nt, nss) in [
+            (2usize, 1usize),
+            (3, 1),
+            (3, 2),
+            (4, 1),
+            (4, 2),
+            (4, 3),
+            (8, 4),
+        ] {
             let v = random_bf_matrix(&mut rng, nt, nss);
             let angles = GivensAngles::decompose(&v).unwrap();
             assert_eq!(angles.phi.len(), angle_pairs(nt, nss));

@@ -12,6 +12,9 @@
 //! * [`pipeline`] — the complete beamformee (STA) and beamformer (AP) sides:
 //!   SVD → Givens → quantize → pack at the station, unpack → dequantize →
 //!   reconstruct at the access point,
+//! * [`engine`] — the workspace-reusing [`FeedbackEngine`] backing the
+//!   beamformee: per-thread scratch buffers and (with the default `parallel`
+//!   feature) a bit-exact fan-out of the subcarrier axis across cores,
 //! * [`complexity`] — the FLOP models quoted by the paper for SVD
 //!   (`O((4 Nt Nr² + 22 Nt³) S)`) and Givens decomposition (`O(Nt³ Nr³ S)`).
 //!
@@ -38,11 +41,15 @@
 //! ```
 
 pub mod complexity;
+pub mod engine;
 pub mod feedback;
 pub mod givens;
 pub mod pipeline;
 pub mod quantize;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 
+pub use engine::FeedbackEngine;
 pub use feedback::CompressedBeamformingReport;
 pub use givens::GivensAngles;
 pub use pipeline::{Dot11Beamformee, Dot11Beamformer};

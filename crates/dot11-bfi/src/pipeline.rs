@@ -9,11 +9,11 @@
 //!   and reconstructs the per-subcarrier beamforming matrices `Ṽ`, which feed
 //!   the zero-forcing precoder.
 
+use crate::engine::FeedbackEngine;
 use crate::feedback::CompressedBeamformingReport;
 use crate::givens::GivensAngles;
 use crate::quantize::AngleResolution;
 use crate::BfiError;
-use mimo_math::svd::Svd;
 use mimo_math::CMatrix;
 use serde::{Deserialize, Serialize};
 
@@ -36,31 +36,31 @@ impl Dot11Beamformee {
         Self { nss, resolution }
     }
 
+    /// The [`FeedbackEngine`] carrying this beamformee's configuration.
+    pub fn engine(&self) -> FeedbackEngine {
+        FeedbackEngine::new(self.nss, self.resolution)
+    }
+
     /// Computes the ideal (unquantized) beamforming matrices from per-subcarrier CSI.
+    ///
+    /// Delegates to the workspace-reusing [`FeedbackEngine`], which fans the
+    /// subcarrier axis out across cores when the `parallel` feature (default)
+    /// is enabled; results are bit-exact with the serial path.
     pub fn beamforming_matrices(&self, csi: &[CMatrix]) -> Vec<CMatrix> {
-        csi.iter()
-            .map(|h| Svd::compute(h).beamforming_matrix(self.nss))
-            .collect()
+        self.engine().beamforming_matrices(csi)
     }
 
     /// Runs the full station-side pipeline: SVD, Givens decomposition,
-    /// quantization and packing.
+    /// quantization and packing, via the workspace-reusing [`FeedbackEngine`].
     ///
     /// # Errors
     /// Returns [`BfiError::InvalidShape`] when the CSI is empty or the derived
     /// beamforming matrices cannot be decomposed.
-    pub fn compute_feedback(&self, csi: &[CMatrix]) -> Result<CompressedBeamformingReport, BfiError> {
-        if csi.is_empty() {
-            return Err(BfiError::InvalidShape("no subcarriers in CSI".into()));
-        }
-        let angles: Result<Vec<GivensAngles>, BfiError> = csi
-            .iter()
-            .map(|h| {
-                let v = Svd::compute(h).beamforming_matrix(self.nss);
-                GivensAngles::decompose(&v)
-            })
-            .collect();
-        CompressedBeamformingReport::pack(&angles?, self.resolution)
+    pub fn compute_feedback(
+        &self,
+        csi: &[CMatrix],
+    ) -> Result<CompressedBeamformingReport, BfiError> {
+        self.engine().compute_feedback(csi)
     }
 }
 
@@ -78,7 +78,10 @@ impl Dot11Beamformer {
     ///
     /// # Errors
     /// Returns [`BfiError::MalformedReport`] when the report payload is inconsistent.
-    pub fn reconstruct(&self, report: &CompressedBeamformingReport) -> Result<Vec<CMatrix>, BfiError> {
+    pub fn reconstruct(
+        &self,
+        report: &CompressedBeamformingReport,
+    ) -> Result<Vec<CMatrix>, BfiError> {
         Ok(report
             .unpack()?
             .iter()
@@ -137,7 +140,10 @@ mod tests {
         for (v, v_hat) in ideal.iter().zip(rebuilt.iter()) {
             let canonical = canonicalize_column_phases(v);
             let err = canonical.sub(v_hat).max_abs();
-            assert!(err < 0.05, "high-resolution roundtrip error {err} too large");
+            assert!(
+                err < 0.05,
+                "high-resolution roundtrip error {err} too large"
+            );
         }
     }
 

@@ -189,6 +189,8 @@ impl Mul<f64> for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division really is multiplication by the reciprocal here.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()

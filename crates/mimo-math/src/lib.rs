@@ -28,11 +28,15 @@
 pub mod complex;
 pub mod matrix;
 pub mod qr;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 pub mod solve;
 pub mod svd;
+pub mod workspace;
 
 pub use complex::Complex64;
 pub use matrix::CMatrix;
+pub use workspace::Workspace;
 
 /// Numerical tolerance used across the crate for "is approximately zero" checks.
 pub const EPS: f64 = 1e-12;

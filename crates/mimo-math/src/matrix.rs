@@ -1,9 +1,14 @@
 //! Dense complex matrices.
 //!
-//! [`CMatrix`] stores a row-major `Vec<Complex64>`. All shapes used by the
-//! SplitBeam reproduction are small (antennas × antennas per subcarrier), so a
-//! straightforward dense representation with O(n^3) products is more than
-//! sufficient and keeps the numerical code easy to audit.
+//! [`CMatrix`] stores a row-major `Vec<Complex64>`. Products come in two
+//! flavors: the allocating convenience methods ([`CMatrix::matmul`],
+//! [`CMatrix::hermitian`] + multiply) and the write-into kernels
+//! ([`CMatrix::matmul_into`], [`CMatrix::hermitian_matmul_into`],
+//! [`CMatrix::matvec_into`]) that reuse a caller-owned output buffer and run a
+//! cache-blocked inner loop over the row-major storage — the building blocks of
+//! the allocation-free per-subcarrier pipeline. The blocked kernels accumulate
+//! in exactly the same floating-point order as the naive reference
+//! (`crate::reference::matmul_naive`), so results are bit-identical.
 
 use crate::complex::Complex64;
 use serde::{Deserialize, Serialize};
@@ -59,7 +64,11 @@ impl CMatrix {
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every entry.
-    pub fn from_fn<F: FnMut(usize, usize) -> Complex64>(rows: usize, cols: usize, mut f: F) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> Complex64>(
+        rows: usize,
+        cols: usize,
+        mut f: F,
+    ) -> Self {
         let mut m = Self::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -186,28 +195,118 @@ impl CMatrix {
         }
     }
 
+    /// Reshapes this matrix to `rows x cols` with all entries zero, reusing the
+    /// existing storage when it is large enough.
+    ///
+    /// This is the buffer-recycling primitive behind the `_into` kernels: a
+    /// long-lived output matrix reaches its high-water capacity once and is
+    /// never reallocated afterwards.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex64::ZERO);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into `out` (reshaped as needed, its
+    /// storage reused).
+    ///
+    /// The inner loop is blocked over the output columns so wide right-hand
+    /// sides stream through cache line by line; for each output entry the
+    /// `k`-accumulation order matches the naive triple loop exactly, keeping
+    /// results bit-identical to `reference::matmul_naive`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        const COL_BLOCK: usize = 128;
+        let p = rhs.cols;
+        out.reshape_zeroed(self.rows, p);
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a.norm_sqr() == 0.0 {
-                    continue;
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let out_row = &mut out.data[r * p..(r + 1) * p];
+            let mut cb = 0;
+            while cb < p {
+                let ce = (cb + COL_BLOCK).min(p);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a.norm_sqr() == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * p + cb..k * p + ce];
+                    for (o, &b) in out_row[cb..ce].iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
                 }
-                for c in 0..rhs.cols {
-                    out[(r, c)] += a * rhs[(k, c)];
-                }
+                cb = ce;
             }
         }
+    }
+
+    /// Hermitian product `self^H * rhs` written into `out`, without
+    /// materializing the conjugate transpose.
+    ///
+    /// Equivalent to `self.hermitian().matmul(rhs)` — bit-identical, since the
+    /// accumulation order is preserved — but allocation-free and with a single
+    /// pass over `self`'s storage.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn hermitian_matmul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "hermitian matmul dimension mismatch: ({}x{})^H * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        const COL_BLOCK: usize = 128;
+        let p = rhs.cols;
+        out.reshape_zeroed(self.cols, p);
+        for r in 0..self.cols {
+            let out_row = &mut out.data[r * p..(r + 1) * p];
+            let mut cb = 0;
+            while cb < p {
+                let ce = (cb + COL_BLOCK).min(p);
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + r].conj();
+                    if a.norm_sqr() == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * p + cb..k * p + ce];
+                    for (o, &b) in out_row[cb..ce].iter_mut().zip(rhs_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+                cb = ce;
+            }
+        }
+    }
+
+    /// Hermitian product `self^H * rhs` (allocating convenience form of
+    /// [`CMatrix::hermitian_matmul_into`]).
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn hermitian_matmul(&self, rhs: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, rhs.cols);
+        self.hermitian_matmul_into(rhs, &mut out);
         out
     }
 
@@ -216,14 +315,24 @@ impl CMatrix {
     /// # Panics
     /// Panics if `v.len() != cols`.
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `self * v` written into `out` (cleared and
+    /// refilled, its storage reused).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != cols`.
+    pub fn matvec_into(&self, v: &[Complex64], out: &mut Vec<Complex64>) {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self[(r, c)] * v[c])
-                    .sum::<Complex64>()
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.rows).map(|r| {
+            (0..self.cols)
+                .map(|c| self[(r, c)] * v[c])
+                .sum::<Complex64>()
+        }));
     }
 
     /// Element-wise sum `self + rhs`.
@@ -278,11 +387,7 @@ impl CMatrix {
 
     /// Frobenius norm `sqrt(sum |a_ij|^2)`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .iter()
-            .map(|z| z.norm_sqr())
-            .sum::<f64>()
-            .sqrt()
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
     }
 
     /// Largest entry modulus, useful as an infinity-like norm in tests.
@@ -293,7 +398,7 @@ impl CMatrix {
     /// Returns `true` when `self^H * self` is the identity within `tol`
     /// (i.e. the columns are orthonormal).
     pub fn is_unitary_columns(&self, tol: f64) -> bool {
-        let gram = self.hermitian().matmul(self);
+        let gram = self.hermitian_matmul(self);
         let eye = CMatrix::identity(self.cols);
         gram.sub(&eye).max_abs() <= tol
     }
@@ -319,7 +424,11 @@ impl CMatrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols * 2`.
     pub fn from_real_vec(rows: usize, cols: usize, data: &[f64]) -> CMatrix {
-        assert_eq!(data.len(), rows * cols * 2, "interleaved data length mismatch");
+        assert_eq!(
+            data.len(),
+            rows * cols * 2,
+            "interleaved data length mismatch"
+        );
         let mut m = CMatrix::zeros(rows, cols);
         for i in 0..rows * cols {
             m.data[i] = Complex64::new(data[2 * i], data[2 * i + 1]);
@@ -524,7 +633,82 @@ mod tests {
         assert!(!not_unitary.is_unitary_columns(1e-6));
     }
 
+    #[test]
+    fn into_kernels_match_naive_on_edge_shapes() {
+        use crate::reference::{hermitian_matmul_naive, matmul_naive};
+        // Includes non-square and 1xN / Nx1 shapes.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (1, 4, 1),
+            (4, 1, 4),
+            (1, 3, 5),
+            (5, 3, 1),
+            (3, 8, 2),
+        ] {
+            let a = small_matrix(m, k, 1.7);
+            let b = small_matrix(k, n, 0.6);
+            let mut out = CMatrix::zeros(1, 1);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, matmul_naive(&a, &b), "matmul {m}x{k}*{k}x{n}");
+
+            let ah = small_matrix(k, m, 0.9);
+            let mut hout = CMatrix::zeros(1, 1);
+            ah.hermitian_matmul_into(&b, &mut hout);
+            assert_eq!(
+                hout,
+                hermitian_matmul_naive(&ah, &b),
+                "hermitian {k}x{m}^H*{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn reshape_zeroed_reuses_storage() {
+        let mut m = CMatrix::zeros(8, 8);
+        let ptr = m.as_slice().as_ptr();
+        m.reshape_zeroed(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        assert_eq!(
+            m.as_slice().as_ptr(),
+            ptr,
+            "shrinking reshape must reuse the allocation"
+        );
+        assert!(m.as_slice().iter().all(|z| *z == Complex64::ZERO));
+    }
+
+    #[test]
+    fn matvec_into_reuses_buffer() {
+        let a = small_matrix(3, 2, 1.1);
+        let v = vec![Complex64::new(0.3, -0.2), Complex64::new(1.5, 0.4)];
+        let mut out = Vec::new();
+        a.matvec_into(&v, &mut out);
+        assert_eq!(out, a.matvec(&v));
+        let cap = out.capacity();
+        a.matvec_into(&v, &mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+
     proptest! {
+        #[test]
+        fn prop_matmul_into_matches_naive(m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                                          seed in 0.1f64..10.0) {
+            let a = small_matrix(m, k, seed);
+            let b = small_matrix(k, n, seed + 0.41);
+            let mut out = CMatrix::zeros(1, 1);
+            a.matmul_into(&b, &mut out);
+            prop_assert_eq!(out, crate::reference::matmul_naive(&a, &b));
+        }
+
+        #[test]
+        fn prop_hermitian_matmul_into_matches_naive(m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                                                    seed in 0.1f64..10.0) {
+            let a = small_matrix(m, k, seed);
+            let b = small_matrix(m, n, seed + 0.17);
+            let mut out = CMatrix::zeros(1, 1);
+            a.hermitian_matmul_into(&b, &mut out);
+            prop_assert_eq!(out, crate::reference::hermitian_matmul_naive(&a, &b));
+        }
+
         #[test]
         fn prop_transpose_involution(rows in 1usize..5, cols in 1usize..5, seed in 0.1f64..10.0) {
             let a = small_matrix(rows, cols, seed);

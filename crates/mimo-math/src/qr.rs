@@ -6,6 +6,7 @@
 
 use crate::complex::Complex64;
 use crate::matrix::CMatrix;
+use crate::workspace::Workspace;
 
 /// Thin QR decomposition `A = Q * R` with `Q` having orthonormal columns and
 /// `R` upper triangular.
@@ -29,51 +30,77 @@ impl Qr {
     /// Computes the thin QR factorization using modified Gram–Schmidt with a
     /// single re-orthogonalization pass (sufficient for the small, well-scaled
     /// matrices used in this workspace).
+    ///
+    /// Allocates a fresh [`Workspace`] internally; hot loops should hold one
+    /// workspace and call [`Qr::compute_with`] instead.
     pub fn compute(a: &CMatrix) -> Qr {
+        Qr::compute_with(a, &mut Workspace::new())
+    }
+
+    /// Computes the thin QR factorization reusing the scratch buffers in `ws`.
+    ///
+    /// The working columns and the growing orthonormal basis live in the
+    /// workspace as contiguous rows of a transposed copy, so the
+    /// orthogonalization sweeps allocate nothing; only the returned `Q`/`R`
+    /// factors are fresh allocations.
+    pub fn compute_with(a: &CMatrix, ws: &mut Workspace) -> Qr {
         let (m, n) = a.shape();
         let k = m.min(n);
         let mut q = CMatrix::zeros(m, k);
         let mut r = CMatrix::zeros(k, n);
 
-        let mut columns: Vec<Vec<Complex64>> = (0..n).map(|c| a.column(c)).collect();
+        // Transposed working copy: row j of `at` is column j of `a`; row i of
+        // `qt` becomes column i of Q.
+        let at = Workspace::grab(&mut ws.at, n * m);
+        for (j, row) in at.chunks_exact_mut(m).enumerate() {
+            for (t, slot) in row.iter_mut().enumerate() {
+                *slot = a[(t, j)];
+            }
+        }
+        let qt = Workspace::grab(&mut ws.vt, k * m);
+
         for j in 0..n {
             if j < k {
                 // Orthogonalize column j against all previous q columns (twice for stability).
                 for _pass in 0..2 {
                     for i in 0..j.min(k) {
-                        let qi = q.column(i);
+                        let qi = &qt[i * m..(i + 1) * m];
+                        let col_j = &at[j * m..(j + 1) * m];
                         let proj: Complex64 = qi
                             .iter()
-                            .zip(columns[j].iter())
+                            .zip(col_j.iter())
                             .map(|(qv, av)| qv.conj() * *av)
                             .sum();
                         r[(i, j)] += proj;
-                        for t in 0..m {
-                            let sub = qi[t] * proj;
-                            columns[j][t] -= sub;
+                        let col_j = &mut at[j * m..(j + 1) * m];
+                        for (slot, &qv) in col_j.iter_mut().zip(qi.iter()) {
+                            let sub = qv * proj;
+                            *slot -= sub;
                         }
                     }
                 }
-                let norm: f64 = columns[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+                let col_j = &at[j * m..(j + 1) * m];
+                let norm: f64 = col_j.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
                 r[(j, j)] = Complex64::from_real(norm);
+                let q_row = &mut qt[j * m..(j + 1) * m];
                 if norm > 1e-300 {
-                    let normalized: Vec<Complex64> =
-                        columns[j].iter().map(|z| *z / norm).collect();
-                    q.set_column(j, &normalized);
+                    for (slot, &z) in q_row.iter_mut().zip(col_j.iter()) {
+                        *slot = z / norm;
+                    }
                 } else {
                     // Deficient column: use a canonical basis vector orthogonal "enough";
                     // the corresponding R entry is zero so the product is unaffected.
-                    let mut e = vec![Complex64::ZERO; m];
-                    e[j.min(m - 1)] = Complex64::ONE;
-                    q.set_column(j, &e);
+                    q_row.fill(Complex64::ZERO);
+                    q_row[j.min(m - 1)] = Complex64::ONE;
                 }
             } else {
                 // Extra columns of a wide matrix only contribute to R.
                 for i in 0..k {
-                    let qi = q.column(i);
+                    let qi = &qt[i * m..(i + 1) * m];
+                    let col_j = &at[j * m..(j + 1) * m];
                     let proj: Complex64 = qi
                         .iter()
-                        .zip(columns[j].iter())
+                        .zip(col_j.iter())
                         .map(|(qv, av)| qv.conj() * *av)
                         .sum();
                     r[(i, j)] = proj;
@@ -81,6 +108,11 @@ impl Qr {
             }
         }
 
+        for i in 0..k {
+            for t in 0..m {
+                q[(t, i)] = qt[i * m + t];
+            }
+        }
         Qr { q, r }
     }
 
@@ -107,7 +139,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_matrix(rng: &mut impl rand::Rng, m: usize, n: usize) -> CMatrix {
         CMatrix::from_fn(m, n, |_, _| {

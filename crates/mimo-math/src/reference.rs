@@ -1,0 +1,169 @@
+//! Naive reference kernels, kept for equivalence tests and benchmarks.
+//!
+//! These are the original straight-line implementations that the optimized
+//! kernels replaced: they allocate fresh buffers for every column they touch
+//! and perform no blocking or workspace reuse. They remain the ground truth —
+//! the optimized paths are required (and tested) to be **bit-exact** against
+//! them — and the `perf_report` binary benchmarks against them to track the
+//! speedup of every PR.
+//!
+//! Compiled only under `cfg(test)` or the `reference` feature so release
+//! builds of the pipeline carry no dead code.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+use crate::svd::{Svd, MAX_SWEEPS, ORTHO_TOL};
+
+/// The original triple-loop matrix product (fresh output allocation, no blocking).
+pub fn matmul_naive(a: &CMatrix, rhs: &CMatrix) -> CMatrix {
+    assert_eq!(
+        a.cols(),
+        rhs.rows(),
+        "matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        rhs.rows(),
+        rhs.cols()
+    );
+    let mut out = CMatrix::zeros(a.rows(), rhs.cols());
+    for r in 0..a.rows() {
+        for k in 0..a.cols() {
+            let v = a[(r, k)];
+            if v.norm_sqr() == 0.0 {
+                continue;
+            }
+            for c in 0..rhs.cols() {
+                out[(r, c)] += v * rhs[(k, c)];
+            }
+        }
+    }
+    out
+}
+
+/// The original Hermitian-product composition: materializes `A^H`, then multiplies.
+pub fn hermitian_matmul_naive(a: &CMatrix, rhs: &CMatrix) -> CMatrix {
+    matmul_naive(&a.hermitian(), rhs)
+}
+
+/// The original one-sided Jacobi SVD: extracts a fresh `Vec` for every column
+/// it reads and writes back through `set_column`, allocating throughout the
+/// sweep loop.
+pub fn svd_naive(a: &CMatrix) -> Svd {
+    let (m, n) = a.shape();
+    // Work on the tall orientation so every column lives in the larger space;
+    // if the input is wide we decompose A^H = U' S V'^H and swap the factors.
+    if m < n {
+        let swapped = svd_naive(&a.hermitian());
+        return Svd {
+            u: swapped.v,
+            singular_values: swapped.singular_values,
+            v: swapped.u,
+        };
+    }
+
+    let mut work = a.clone();
+    let mut v = CMatrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut converged = true;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let col_p = work.column(p);
+                let col_q = work.column(q);
+                let alpha: f64 = col_p.iter().map(|z| z.norm_sqr()).sum();
+                let beta: f64 = col_q.iter().map(|z| z.norm_sqr()).sum();
+                let gamma: Complex64 = col_p
+                    .iter()
+                    .zip(col_q.iter())
+                    .map(|(a, b)| a.conj() * *b)
+                    .sum();
+                let gamma_abs = gamma.abs();
+                if gamma_abs <= ORTHO_TOL * (alpha * beta).sqrt() || gamma_abs == 0.0 {
+                    continue;
+                }
+                converged = false;
+
+                // Remove the phase of gamma so the 2x2 problem becomes real,
+                // then apply the classical Jacobi rotation.
+                let phase = gamma / Complex64::from_real(gamma_abs);
+                let zeta = (beta - alpha) / (2.0 * gamma_abs);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                // Column update:
+                //   new_p = c * a_p - s * conj(phase) * a_q
+                //   new_q = s * phase * a_p + c * a_q
+                // which corresponds to right-multiplying by a unitary plane rotation.
+                let phase_conj = phase.conj();
+                let mut new_p = Vec::with_capacity(m);
+                let mut new_q = Vec::with_capacity(m);
+                for r in 0..m {
+                    let ap = col_p[r];
+                    let aq = col_q[r];
+                    new_p.push(ap.scale(c) - (phase_conj * aq).scale(s));
+                    new_q.push((phase * ap).scale(s) + aq.scale(c));
+                }
+                work.set_column(p, &new_p);
+                work.set_column(q, &new_q);
+
+                // Apply the same rotation to the accumulated V.
+                let vp = v.column(p);
+                let vq = v.column(q);
+                let mut new_vp = Vec::with_capacity(n);
+                let mut new_vq = Vec::with_capacity(n);
+                for r in 0..n {
+                    let a_ = vp[r];
+                    let b_ = vq[r];
+                    new_vp.push(a_.scale(c) - (phase_conj * b_).scale(s));
+                    new_vq.push((phase * a_).scale(s) + b_.scale(c));
+                }
+                v.set_column(p, &new_vp);
+                v.set_column(q, &new_vq);
+            }
+        }
+        if converged {
+            break;
+        }
+    }
+
+    // Column norms are the singular values; sort in non-increasing order.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|c| {
+            work.column(c)
+                .iter()
+                .map(|z| z.norm_sqr())
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let k = n; // thin SVD: k = min(m, n) = n because we forced m >= n above.
+    let mut u = CMatrix::zeros(m, k);
+    let mut v_sorted = CMatrix::zeros(n, k);
+    let mut singular_values = Vec::with_capacity(k);
+    for (new_idx, &old_idx) in order.iter().enumerate() {
+        let sigma = norms[old_idx];
+        singular_values.push(sigma);
+        let col = work.column(old_idx);
+        if sigma > 1e-300 {
+            let normalized: Vec<Complex64> = col.iter().map(|z| *z / sigma).collect();
+            u.set_column(new_idx, &normalized);
+        } else {
+            // Rank-deficient direction: leave a unit vector not colliding with
+            // previous columns; exactness is irrelevant because sigma == 0.
+            let mut e = vec![Complex64::ZERO; m];
+            e[new_idx.min(m - 1)] = Complex64::ONE;
+            u.set_column(new_idx, &e);
+        }
+        v_sorted.set_column(new_idx, &v.column(old_idx));
+    }
+
+    Svd {
+        u,
+        singular_values,
+        v: v_sorted,
+    }
+}

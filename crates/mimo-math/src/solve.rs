@@ -5,7 +5,9 @@
 //! there is at most `Ns x Ns` with `Ns <= 8`, so partial-pivoting LU is exact
 //! enough and trivially fast.
 
+use crate::complex::Complex64;
 use crate::matrix::CMatrix;
+use crate::workspace::Workspace;
 
 /// Error produced by linear solvers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,27 +29,27 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-/// Solves `A X = B` for a square `A` using LU decomposition with partial pivoting.
+/// The LU elimination and back-substitution core shared by the allocating and
+/// workspace entry points.
 ///
-/// # Errors
-/// Returns [`SolveError::ShapeMismatch`] if `A` is not square or the row counts
-/// differ, and [`SolveError::Singular`] when a pivot underflows.
-pub fn solve(a: &CMatrix, b: &CMatrix) -> Result<CMatrix, SolveError> {
-    let n = a.rows();
-    if a.cols() != n || b.rows() != n {
-        return Err(SolveError::ShapeMismatch);
-    }
-    let m = b.cols();
-
-    // Augmented Gaussian elimination with partial pivoting on |.|.
-    let mut lu = a.clone();
-    let mut rhs = b.clone();
+/// `lu` must hold a row-major copy of the `n x n` system matrix and `rhs` a
+/// row-major copy of the `n x m` right-hand side; both are destroyed. The
+/// solution is written into `out` (reshaped, storage reused). The elimination
+/// is the original partial-pivoting sweep, so results are bit-identical to the
+/// historical allocating implementation.
+fn lu_solve_core(
+    lu: &mut [Complex64],
+    rhs: &mut [Complex64],
+    n: usize,
+    m: usize,
+    out: &mut CMatrix,
+) -> Result<(), SolveError> {
     for k in 0..n {
         // Pivot selection.
         let mut pivot_row = k;
-        let mut pivot_mag = lu[(k, k)].abs();
+        let mut pivot_mag = lu[k * n + k].abs();
         for r in (k + 1)..n {
-            let mag = lu[(r, k)].abs();
+            let mag = lu[r * n + k].abs();
             if mag > pivot_mag {
                 pivot_mag = mag;
                 pivot_row = r;
@@ -58,45 +60,101 @@ pub fn solve(a: &CMatrix, b: &CMatrix) -> Result<CMatrix, SolveError> {
         }
         if pivot_row != k {
             for c in 0..n {
-                let tmp = lu[(k, c)];
-                lu[(k, c)] = lu[(pivot_row, c)];
-                lu[(pivot_row, c)] = tmp;
+                lu.swap(k * n + c, pivot_row * n + c);
             }
             for c in 0..m {
-                let tmp = rhs[(k, c)];
-                rhs[(k, c)] = rhs[(pivot_row, c)];
-                rhs[(pivot_row, c)] = tmp;
+                rhs.swap(k * m + c, pivot_row * m + c);
             }
         }
-        let pivot = lu[(k, k)];
+        let pivot = lu[k * n + k];
         for r in (k + 1)..n {
-            let factor = lu[(r, k)] / pivot;
+            let factor = lu[r * n + k] / pivot;
             if factor.norm_sqr() == 0.0 {
                 continue;
             }
             for c in k..n {
-                let sub = factor * lu[(k, c)];
-                lu[(r, c)] -= sub;
+                let sub = factor * lu[k * n + c];
+                lu[r * n + c] -= sub;
             }
             for c in 0..m {
-                let sub = factor * rhs[(k, c)];
-                rhs[(r, c)] -= sub;
+                let sub = factor * rhs[k * m + c];
+                rhs[r * m + c] -= sub;
             }
         }
     }
 
     // Back substitution.
-    let mut x = CMatrix::zeros(n, m);
+    out.reshape_zeroed(n, m);
     for c in 0..m {
         for r in (0..n).rev() {
-            let mut acc = rhs[(r, c)];
+            let mut acc = rhs[r * m + c];
             for k in (r + 1)..n {
-                acc -= lu[(r, k)] * x[(k, c)];
+                acc -= lu[r * n + k] * out[(k, c)];
             }
-            x[(r, c)] = acc / lu[(r, r)];
+            out[(r, c)] = acc / lu[r * n + r];
         }
     }
-    Ok(x)
+    Ok(())
+}
+
+/// Solves `A X = B` for a square `A` using LU decomposition with partial pivoting.
+///
+/// Allocates scratch and result internally; hot loops should hold a
+/// [`Workspace`] and call [`solve_into`] instead.
+///
+/// # Errors
+/// Returns [`SolveError::ShapeMismatch`] if `A` is not square or the row counts
+/// differ, and [`SolveError::Singular`] when a pivot underflows.
+pub fn solve(a: &CMatrix, b: &CMatrix) -> Result<CMatrix, SolveError> {
+    let mut ws = Workspace::new();
+    let mut out = CMatrix::zeros(1, 1);
+    solve_into(a, b, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Solves `A X = B` into `out`, drawing all scratch from `ws`.
+///
+/// After warm-up the call performs no heap allocation. Results are
+/// bit-identical to [`solve`].
+///
+/// # Errors
+/// Same contract as [`solve`].
+pub fn solve_into(
+    a: &CMatrix,
+    b: &CMatrix,
+    ws: &mut Workspace,
+    out: &mut CMatrix,
+) -> Result<(), SolveError> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n {
+        return Err(SolveError::ShapeMismatch);
+    }
+    let m = b.cols();
+    let lu = Workspace::grab(&mut ws.lu, n * n);
+    lu.copy_from_slice(a.as_slice());
+    let rhs = Workspace::grab(&mut ws.rhs, n * m);
+    rhs.copy_from_slice(b.as_slice());
+    lu_solve_core(lu, rhs, n, m, out)
+}
+
+/// Inverts the square matrix `src` into `out` using the given LU scratch
+/// buffers: copy into `lu`, identity right-hand side in `rhs`, one
+/// [`lu_solve_core`] pass. Shared by every `_into` entry point that needs an
+/// inverse so the scratch-setup sequence exists exactly once.
+fn invert_core(
+    src: &CMatrix,
+    lu: &mut Vec<Complex64>,
+    rhs: &mut Vec<Complex64>,
+    out: &mut CMatrix,
+) -> Result<(), SolveError> {
+    let n = src.rows();
+    let lu_buf = Workspace::grab(lu, n * n);
+    lu_buf.copy_from_slice(src.as_slice());
+    let rhs_buf = Workspace::grab(rhs, n * n);
+    for i in 0..n {
+        rhs_buf[i * n + i] = Complex64::ONE;
+    }
+    lu_solve_core(lu_buf, rhs_buf, n, n, out)
 }
 
 /// Inverse of a square complex matrix.
@@ -105,10 +163,24 @@ pub fn solve(a: &CMatrix, b: &CMatrix) -> Result<CMatrix, SolveError> {
 /// Returns [`SolveError::Singular`] for singular inputs and
 /// [`SolveError::ShapeMismatch`] for non-square inputs.
 pub fn inverse(a: &CMatrix) -> Result<CMatrix, SolveError> {
-    if a.rows() != a.cols() {
+    let mut ws = Workspace::new();
+    let mut out = CMatrix::zeros(1, 1);
+    inverse_into(a, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Inverse of a square complex matrix into `out`, drawing scratch from `ws`.
+///
+/// The identity right-hand side is materialized directly in the workspace, so
+/// the call performs no heap allocation after warm-up.
+///
+/// # Errors
+/// Same contract as [`inverse`].
+pub fn inverse_into(a: &CMatrix, ws: &mut Workspace, out: &mut CMatrix) -> Result<(), SolveError> {
+    if a.cols() != a.rows() {
         return Err(SolveError::ShapeMismatch);
     }
-    solve(a, &CMatrix::identity(a.rows()))
+    invert_core(a, &mut ws.lu, &mut ws.rhs, out)
 }
 
 /// Right Moore–Penrose style pseudo-inverse used by the zero-forcing precoder:
@@ -118,9 +190,72 @@ pub fn inverse(a: &CMatrix) -> Result<CMatrix, SolveError> {
 /// # Errors
 /// Returns [`SolveError::Singular`] when `A^H A` is singular (rank-deficient `A`).
 pub fn zf_pseudo_inverse(a: &CMatrix) -> Result<CMatrix, SolveError> {
-    let gram = a.hermitian().matmul(a);
-    let gram_inv = inverse(&gram)?;
-    Ok(a.matmul(&gram_inv))
+    let mut ws = Workspace::new();
+    let mut out = CMatrix::zeros(1, 1);
+    zf_pseudo_inverse_into(a, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Zero-forcing pseudo-inverse into `out`, drawing every intermediate (Gram
+/// matrix, its inverse, LU scratch) from `ws`.
+///
+/// This is the per-subcarrier precoder hot path: with a long-lived workspace
+/// the whole `W = A (A^H A)^{-1}` computation allocates nothing after warm-up.
+///
+/// # Errors
+/// Same contract as [`zf_pseudo_inverse`].
+pub fn zf_pseudo_inverse_into(
+    a: &CMatrix,
+    ws: &mut Workspace,
+    out: &mut CMatrix,
+) -> Result<(), SolveError> {
+    let Workspace {
+        ma, mb, lu, rhs, ..
+    } = ws;
+    a.hermitian_matmul_into(a, ma);
+    invert_core(ma, lu, rhs, mb)?;
+    a.matmul_into(mb, out);
+    Ok(())
+}
+
+/// Linear MMSE receive filter `(G^H G + sigma^2 I)^{-1} G^H` into `out`,
+/// drawing every intermediate from `ws`.
+///
+/// `g` is the effective channel (`rx x streams`); the regularizer is
+/// `max(noise_variance, 1e-9)` to keep the Gram matrix invertible at very high
+/// SNR. This is the per-subcarrier equalizer hot path of the link simulator.
+///
+/// # Errors
+/// Returns [`SolveError::Singular`] when the regularized Gram matrix is
+/// numerically singular.
+pub fn mmse_filter_into(
+    g: &CMatrix,
+    noise_variance: f64,
+    ws: &mut Workspace,
+    out: &mut CMatrix,
+) -> Result<(), SolveError> {
+    let Workspace {
+        ma, mb, lu, rhs, ..
+    } = ws;
+    g.hermitian_matmul_into(g, ma);
+    let n = ma.rows();
+    for i in 0..n {
+        ma[(i, i)] += Complex64::from_real(noise_variance.max(1e-9));
+    }
+    invert_core(ma, lu, rhs, mb)?;
+    // out = inv * G^H, computed without materializing G^H:
+    // out[r, c] = sum_k inv[r, k] * conj(g[c, k]).
+    out.reshape_zeroed(n, g.rows());
+    for r in 0..n {
+        for c in 0..g.rows() {
+            let mut acc = Complex64::ZERO;
+            for k in 0..n {
+                acc += mb[(r, k)] * g[(c, k)].conj();
+            }
+            out[(r, c)] = acc;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -190,6 +325,38 @@ mod tests {
         let w = zf_pseudo_inverse(&a).expect("full column rank");
         let prod = a.hermitian().matmul(&w);
         assert!(prod.sub(&CMatrix::identity(3)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn workspace_variants_match_allocating_versions() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ws = Workspace::new();
+        let mut out = CMatrix::zeros(1, 1);
+        for n in 1..=5 {
+            let a = random_matrix(&mut rng, n, n);
+            let b = random_matrix(&mut rng, n, 2);
+            solve_into(&a, &b, &mut ws, &mut out).unwrap();
+            assert_eq!(out, solve(&a, &b).unwrap(), "solve n={n}");
+            inverse_into(&a, &mut ws, &mut out).unwrap();
+            assert_eq!(out, inverse(&a).unwrap(), "inverse n={n}");
+            let tall = random_matrix(&mut rng, n + 2, n);
+            zf_pseudo_inverse_into(&tall, &mut ws, &mut out).unwrap();
+            assert_eq!(out, zf_pseudo_inverse(&tall).unwrap(), "zf n={n}");
+        }
+    }
+
+    #[test]
+    fn mmse_filter_matches_composed_expression() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let g = random_matrix(&mut rng, 4, 2);
+        let mut ws = Workspace::new();
+        let mut out = CMatrix::zeros(1, 1);
+        mmse_filter_into(&g, 0.01, &mut ws, &mut out).unwrap();
+        let gram = g.hermitian().matmul(&g);
+        let regularized = gram.add(&CMatrix::identity(2).scale_real(0.01));
+        let expect = inverse(&regularized).unwrap().matmul(&g.hermitian());
+        assert!(out.sub(&expect).max_abs() < 1e-10);
+        assert_eq!(out.shape(), (2, 4));
     }
 
     #[test]

@@ -19,27 +19,60 @@ pub enum Activation {
 }
 
 impl Activation {
+    /// Evaluates the activation for one scalar (the fused-epilogue kernel form).
+    #[inline]
+    pub fn eval(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+            Activation::LeakyRelu => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    0.01 * v
+                }
+            }
+        }
+    }
+
+    /// Evaluates the activation derivative for one *pre-activation* scalar.
+    #[inline]
+    pub fn derivative_eval(self, v: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = v.tanh();
+                1.0 - t * t
+            }
+            Activation::LeakyRelu => {
+                if v >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+
     /// Applies the activation element-wise.
     pub fn apply(self, x: &Matrix) -> Matrix {
         match self {
             Activation::Identity => x.clone(),
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Tanh => x.map(f32::tanh),
-            Activation::LeakyRelu => x.map(|v| if v >= 0.0 { v } else { 0.01 * v }),
+            _ => x.map(|v| self.eval(v)),
         }
     }
 
     /// Derivative of the activation evaluated from its *pre-activation* input.
     pub fn derivative(self, pre_activation: &Matrix) -> Matrix {
-        match self {
-            Activation::Identity => pre_activation.map(|_| 1.0),
-            Activation::Relu => pre_activation.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
-            Activation::Tanh => pre_activation.map(|v| {
-                let t = v.tanh();
-                1.0 - t * t
-            }),
-            Activation::LeakyRelu => pre_activation.map(|v| if v >= 0.0 { 1.0 } else { 0.01 }),
-        }
+        pre_activation.map(|v| self.derivative_eval(v))
     }
 }
 
@@ -77,8 +110,16 @@ impl Dense {
     ///
     /// # Panics
     /// Panics if either dimension is zero.
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, rng: &mut impl Rng) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "layer dimensions must be non-zero");
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "layer dimensions must be non-zero"
+        );
         Self {
             weights: Matrix::xavier_uniform(input_dim, output_dim, rng),
             bias: Matrix::zeros(1, output_dim),
@@ -119,8 +160,41 @@ impl Dense {
         )
     }
 
-    /// Inference-only forward pass (no cache).
+    /// Forward pass writing the pre-activation and the activated output into
+    /// caller-owned buffers (the training hot path; no cloning of the input —
+    /// the caller already holds the activation chain).
+    pub fn forward_into(&self, input: &Matrix, pre_activation: &mut Matrix, output: &mut Matrix) {
+        input.matmul_into(&self.weights, pre_activation);
+        let width = self.bias.cols();
+        for row in pre_activation.as_mut_slice().chunks_exact_mut(width) {
+            for (o, &b) in row.iter_mut().zip(self.bias.as_slice().iter()) {
+                *o += b;
+            }
+        }
+        output.copy_from(pre_activation);
+        for v in output.as_mut_slice() {
+            *v = self.activation.eval(*v);
+        }
+    }
+
+    /// Inference-only forward pass (no cache), using the fused
+    /// matmul + bias + activation epilogue.
     pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(input.rows(), self.weights.cols());
+        input.matmul_bias_act_into(&self.weights, &self.bias, self.activation, &mut out);
+        out
+    }
+
+    /// Inference-only forward pass into a caller-owned buffer.
+    pub fn infer_into(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_bias_act_into(&self.weights, &self.bias, self.activation, out);
+    }
+
+    /// The original unfused forward chain (matmul, then bias broadcast, then
+    /// activation — two intermediate allocations), kept as the behavioral
+    /// reference for the fused epilogue.
+    #[cfg(any(test, feature = "reference"))]
+    pub fn infer_reference(&self, input: &Matrix) -> Matrix {
         self.activation
             .apply(&input.matmul(&self.weights).add_row_broadcast(&self.bias))
     }
@@ -129,17 +203,55 @@ impl Dense {
     /// layer's output, returns the parameter gradients and the gradient with
     /// respect to the layer input.
     pub fn backward(&self, cache: &DenseCache, grad_output: &Matrix) -> (DenseGradients, Matrix) {
-        let grad_pre = grad_output.hadamard(&self.activation.derivative(&cache.pre_activation));
-        let grad_weights = cache.input.transpose().matmul(&grad_pre);
-        let grad_bias = grad_pre.sum_rows();
-        let grad_input = grad_pre.matmul(&self.weights.transpose());
-        (
-            DenseGradients {
-                weights: grad_weights,
-                bias: grad_bias,
-            },
-            grad_input,
-        )
+        let mut grads = DenseGradients {
+            weights: Matrix::zeros(1, 1),
+            bias: Matrix::zeros(1, 1),
+        };
+        let mut grad_pre = Matrix::zeros(1, 1);
+        let mut grad_input = Matrix::zeros(1, 1);
+        self.backward_into(
+            &cache.input,
+            &cache.pre_activation,
+            grad_output,
+            &mut grad_pre,
+            &mut grads,
+            Some(&mut grad_input),
+        );
+        (grads, grad_input)
+    }
+
+    /// Backward pass into caller-owned buffers; the engine of the training
+    /// loop.
+    ///
+    /// Computes `grad_pre = grad_output ⊙ act'(pre_activation)` and from it the
+    /// parameter gradients and (unless this is the first layer,
+    /// `grad_input == None`) the gradient with respect to the layer input.
+    /// The weight and input gradients use the transpose-free kernels
+    /// ([`Matrix::matmul_at_b_into`], [`Matrix::matmul_a_bt_into`]) instead of
+    /// materializing `input^T` / `W^T` per step; results are bit-identical to
+    /// the allocating formulation.
+    pub fn backward_into(
+        &self,
+        input: &Matrix,
+        pre_activation: &Matrix,
+        grad_output: &Matrix,
+        grad_pre: &mut Matrix,
+        grads: &mut DenseGradients,
+        grad_input: Option<&mut Matrix>,
+    ) {
+        grad_pre.copy_from(grad_output);
+        for (g, &p) in grad_pre
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pre_activation.as_slice().iter())
+        {
+            *g *= self.activation.derivative_eval(p);
+        }
+        input.matmul_at_b_into(grad_pre, &mut grads.weights);
+        grads.bias.sum_rows_into(grad_pre);
+        if let Some(grad_input) = grad_input {
+            grad_pre.matmul_a_bt_into(&self.weights, grad_input);
+        }
     }
 }
 
@@ -167,7 +279,10 @@ mod tests {
         let x = Matrix::zeros(5, 4);
         let (y, cache) = layer.forward(&x);
         assert_eq!((y.rows(), y.cols()), (5, 3));
-        assert_eq!((cache.pre_activation.rows(), cache.pre_activation.cols()), (5, 3));
+        assert_eq!(
+            (cache.pre_activation.rows(), cache.pre_activation.cols()),
+            (5, 3)
+        );
         assert_eq!(layer.num_parameters(), 4 * 3 + 3);
         assert_eq!(layer.macs(), 12);
     }
@@ -179,6 +294,51 @@ mod tests {
         let x = Matrix::from_rows(2, 3, &[0.1, -0.2, 0.3, 0.5, 0.4, -0.1]);
         let (y, _) = layer.forward(&x);
         assert_eq!(layer.infer(&x), y);
+    }
+
+    #[test]
+    fn fused_infer_matches_reference_bit_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for activation in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::LeakyRelu,
+        ] {
+            let mut layer = Dense::new(5, 4, activation, &mut rng);
+            // Non-zero bias to exercise the epilogue's add.
+            for (i, b) in layer.bias.as_mut_slice().iter_mut().enumerate() {
+                *b = (i as f32 - 1.5) * 0.3;
+            }
+            let x = Matrix::xavier_uniform(3, 5, &mut rng);
+            assert_eq!(layer.infer(&x), layer.infer_reference(&x), "{activation:?}");
+        }
+    }
+
+    #[test]
+    fn backward_into_matches_backward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::xavier_uniform(5, 4, &mut rng);
+        let (y, cache) = layer.forward(&x);
+        let (grads, grad_input) = layer.backward(&cache, &y);
+
+        let mut grad_pre = Matrix::zeros(1, 1);
+        let mut grads2 = DenseGradients {
+            weights: Matrix::zeros(1, 1),
+            bias: Matrix::zeros(1, 1),
+        };
+        let mut grad_input2 = Matrix::zeros(1, 1);
+        layer.backward_into(
+            &x,
+            &cache.pre_activation,
+            &y,
+            &mut grad_pre,
+            &mut grads2,
+            Some(&mut grad_input2),
+        );
+        assert_eq!(grads, grads2);
+        assert_eq!(grad_input, grad_input2);
     }
 
     /// Finite-difference check of the dense layer's backward pass.

@@ -56,6 +56,63 @@ impl Loss {
         }
     }
 
+    /// Gradient of the loss written into `out` (reshaped, storage reused).
+    ///
+    /// Values are bit-identical to [`Loss::gradient`].
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn gradient_into(self, prediction: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            (prediction.rows(), prediction.cols()),
+            (target.rows(), target.cols()),
+            "loss shape mismatch"
+        );
+        let batch = prediction.rows() as f32;
+        out.reshape_zeroed(prediction.rows(), prediction.cols());
+        match self {
+            Loss::NormalizedL1 => {
+                for ((g, &p), &t) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(prediction.as_slice())
+                    .zip(target.as_slice())
+                {
+                    *g = 2.0 * (p - t) / ((t.abs() + NORMALIZATION_EPS) * batch);
+                }
+            }
+            Loss::Mse => {
+                let k = 2.0 / prediction.as_slice().len() as f32;
+                for ((g, &p), &t) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(prediction.as_slice())
+                    .zip(target.as_slice())
+                {
+                    *g = (p - t) * k;
+                }
+            }
+            Loss::Mae => {
+                let n = prediction.as_slice().len() as f32;
+                for ((g, &p), &t) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(prediction.as_slice())
+                    .zip(target.as_slice())
+                {
+                    let v = p - t;
+                    *g = if v > 0.0 {
+                        1.0 / n
+                    } else if v < 0.0 {
+                        -1.0 / n
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+
     /// Gradient of the loss with respect to the predictions.
     ///
     /// # Panics
@@ -148,7 +205,8 @@ mod tests {
                 plus.as_mut_slice()[idx] += eps;
                 let mut minus = p.clone();
                 minus.as_mut_slice()[idx] -= eps;
-                let numerical = (loss.evaluate(&plus, &t) - loss.evaluate(&minus, &t)) / (2.0 * eps);
+                let numerical =
+                    (loss.evaluate(&plus, &t) - loss.evaluate(&minus, &t)) / (2.0 * eps);
                 assert!(
                     (numerical - grad.as_slice()[idx]).abs() < 1e-2,
                     "{loss:?} idx {idx}: numerical {numerical} vs analytic {}",

@@ -1,6 +1,8 @@
 //! Sequential dense networks.
 
-use crate::layer::{Activation, Dense, DenseCache, DenseGradients};
+#[cfg(any(test, feature = "reference"))]
+use crate::layer::DenseCache;
+use crate::layer::{Activation, Dense, DenseGradients};
 use crate::tensor::Matrix;
 use crate::NeuralError;
 use rand::Rng;
@@ -65,7 +67,11 @@ impl Network {
     pub fn from_layers(layers: Vec<Dense>) -> Self {
         assert!(!layers.is_empty(), "a network needs at least one layer");
         for pair in layers.windows(2) {
-            assert_eq!(pair[0].output_dim(), pair[1].input_dim(), "layer dimensions must chain");
+            assert_eq!(
+                pair[0].output_dim(),
+                pair[1].input_dim(),
+                "layer dimensions must chain"
+            );
         }
         Self { layers }
     }
@@ -103,10 +109,18 @@ impl Network {
     /// Total floating point operations for one input vector (2 FLOPs per MAC
     /// plus one per activation output).
     pub fn flops(&self) -> u64 {
-        2 * self.macs() + self.layers.iter().map(|l| l.output_dim() as u64).sum::<u64>()
+        2 * self.macs()
+            + self
+                .layers
+                .iter()
+                .map(|l| l.output_dim() as u64)
+                .sum::<u64>()
     }
 
     /// Runs inference on a batch (`batch x input_dim`).
+    ///
+    /// The whole batch flows through each layer as one matmul; no copy of the
+    /// input is taken (the first layer reads it directly).
     ///
     /// # Errors
     /// Returns [`NeuralError::DimensionMismatch`] if the input width is wrong.
@@ -118,8 +132,12 @@ impl Network {
                 self.input_dim()
             )));
         }
-        let mut x = input.clone();
-        for layer in &self.layers {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("networks always have at least one layer");
+        let mut x = first.infer(input);
+        for layer in rest {
             x = layer.infer(&x);
         }
         Ok(x)
@@ -134,7 +152,38 @@ impl Network {
         Ok(out.as_slice().to_vec())
     }
 
+    /// Batched inference over independent input vectors: stacks them into one
+    /// `batch x input_dim` matrix and runs a single forward pass, so each layer
+    /// costs one matmul for the whole batch instead of one per vector.
+    ///
+    /// # Errors
+    /// Returns [`NeuralError::DimensionMismatch`] if the batch is empty or any
+    /// vector has the wrong width.
+    pub fn predict_batch(&self, inputs: &[&[f32]]) -> Result<Matrix, NeuralError> {
+        let in_dim = self.input_dim();
+        if inputs.is_empty() {
+            return Err(NeuralError::DimensionMismatch(
+                "empty inference batch".into(),
+            ));
+        }
+        if let Some(bad) = inputs.iter().find(|v| v.len() != in_dim) {
+            return Err(NeuralError::DimensionMismatch(format!(
+                "input width {} does not match network input {in_dim}",
+                bad.len()
+            )));
+        }
+        let mut x = Matrix::zeros(inputs.len(), in_dim);
+        for (row, input) in inputs.iter().enumerate() {
+            x.as_mut_slice()[row * in_dim..(row + 1) * in_dim].copy_from_slice(input);
+        }
+        self.forward(&x)
+    }
+
     /// Forward pass keeping the per-layer caches needed by backpropagation.
+    ///
+    /// Allocating convenience used by tests and the reference training loop;
+    /// the trainer itself uses [`Network::forward_training_into`].
+    #[cfg(any(test, feature = "reference"))]
     pub(crate) fn forward_training(&self, input: &Matrix) -> (Matrix, Vec<DenseCache>) {
         let mut caches = Vec::with_capacity(self.layers.len());
         let mut x = input.clone();
@@ -147,7 +196,15 @@ impl Network {
     }
 
     /// Backward pass: returns per-layer parameter gradients.
-    pub(crate) fn backward(&self, caches: &[DenseCache], grad_output: &Matrix) -> Vec<DenseGradients> {
+    ///
+    /// Allocating convenience used by tests and the reference training loop;
+    /// the trainer itself uses [`Network::backward_into`].
+    #[cfg(any(test, feature = "reference"))]
+    pub(crate) fn backward(
+        &self,
+        caches: &[DenseCache],
+        grad_output: &Matrix,
+    ) -> Vec<DenseGradients> {
         let mut grads = Vec::with_capacity(self.layers.len());
         let mut grad = grad_output.clone();
         for (layer, cache) in self.layers.iter().zip(caches.iter()).rev() {
@@ -159,6 +216,67 @@ impl Network {
         grads
     }
 
+    /// Forward pass for training into the reusable buffers of `scratch`.
+    ///
+    /// After the call `scratch.activations[i]` holds the output of layer `i`
+    /// and `scratch.pre_activations[i]` its pre-activation; the final
+    /// prediction is `scratch.prediction()`. No per-layer clone of the input
+    /// is taken — layer `i` reads `scratch.activations[i - 1]` directly.
+    pub(crate) fn forward_training_into(&self, input: &Matrix, scratch: &mut TrainScratch) {
+        scratch.ensure_layers(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            // Split the buffers so layer i can read activation i-1 while
+            // writing activation i.
+            let (done, rest) = scratch.activations.split_at_mut(i);
+            let x = if i == 0 { input } else { &done[i - 1] };
+            layer.forward_into(x, &mut scratch.pre_activations[i], &mut rest[0]);
+        }
+    }
+
+    /// Backward pass from the buffers filled by
+    /// [`Network::forward_training_into`], writing per-layer gradients into
+    /// `scratch.grads`. Gradient propagation ping-pongs between two reusable
+    /// buffers; the input-gradient product is skipped for the first layer.
+    pub(crate) fn backward_into(
+        &self,
+        input: &Matrix,
+        grad_output: &Matrix,
+        scratch: &mut TrainScratch,
+    ) {
+        let TrainScratch {
+            pre_activations,
+            activations,
+            grad_ping,
+            grad_pong,
+            grad_pre,
+            grads,
+        } = scratch;
+        debug_assert_eq!(
+            activations.len(),
+            self.layers.len(),
+            "forward_training_into must run first"
+        );
+        // `incoming` holds the gradient flowing into the current layer,
+        // `outgoing` receives the gradient for the next (earlier) layer; the
+        // two buffers swap roles every step.
+        let mut incoming: &mut Matrix = grad_ping;
+        let mut outgoing: &mut Matrix = grad_pong;
+        for (rev_idx, (i, layer)) in self.layers.iter().enumerate().rev().enumerate() {
+            let layer_input = if i == 0 { input } else { &activations[i - 1] };
+            let grad_out: &Matrix = if rev_idx == 0 { grad_output } else { incoming };
+            let grad_in = if i == 0 { None } else { Some(&mut *outgoing) };
+            layer.backward_into(
+                layer_input,
+                &pre_activations[i],
+                grad_out,
+                grad_pre,
+                &mut grads[i],
+                grad_in,
+            );
+            std::mem::swap(&mut incoming, &mut outgoing);
+        }
+    }
+
     /// Splits the network into a head (layers `0..at`) and a tail (layers `at..`).
     ///
     /// This is the "split computing" operation of the paper: the head runs on
@@ -168,7 +286,10 @@ impl Network {
     /// # Panics
     /// Panics if `at` is zero or not strictly inside the layer stack.
     pub fn split_at(&self, at: usize) -> (Network, Network) {
-        assert!(at > 0 && at < self.layers.len(), "split point must be strictly inside the network");
+        assert!(
+            at > 0 && at < self.layers.len(),
+            "split point must be strictly inside the network"
+        );
         (
             Network {
                 layers: self.layers[..at].to_vec(),
@@ -185,6 +306,58 @@ impl Network {
         let mut dims = vec![self.input_dim()];
         dims.extend(self.layers.iter().map(Dense::output_dim));
         dims
+    }
+}
+
+/// Reusable buffers for one training loop: per-layer activations and
+/// pre-activations, gradient ping-pong buffers and per-layer parameter
+/// gradients.
+///
+/// Holding one `TrainScratch` across batches and epochs eliminates the
+/// per-batch clone/allocation churn of the original loop — after the first
+/// batch of the largest batch size, a training step performs no heap
+/// allocation.
+#[derive(Debug)]
+pub(crate) struct TrainScratch {
+    pub(crate) pre_activations: Vec<Matrix>,
+    pub(crate) activations: Vec<Matrix>,
+    pub(crate) grad_ping: Matrix,
+    pub(crate) grad_pong: Matrix,
+    pub(crate) grad_pre: Matrix,
+    pub(crate) grads: Vec<DenseGradients>,
+}
+
+impl TrainScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            pre_activations: Vec::new(),
+            activations: Vec::new(),
+            grad_ping: Matrix::zeros(1, 1),
+            grad_pong: Matrix::zeros(1, 1),
+            grad_pre: Matrix::zeros(1, 1),
+            grads: Vec::new(),
+        }
+    }
+
+    fn ensure_layers(&mut self, n: usize) {
+        while self.pre_activations.len() < n {
+            self.pre_activations.push(Matrix::zeros(1, 1));
+            self.activations.push(Matrix::zeros(1, 1));
+            self.grads.push(DenseGradients {
+                weights: Matrix::zeros(1, 1),
+                bias: Matrix::zeros(1, 1),
+            });
+        }
+        self.pre_activations.truncate(n);
+        self.activations.truncate(n);
+        self.grads.truncate(n);
+    }
+
+    /// The network output of the last [`Network::forward_training_into`] call.
+    pub(crate) fn prediction(&self) -> &Matrix {
+        self.activations
+            .last()
+            .expect("forward_training_into must run before reading the prediction")
     }
 }
 
@@ -211,7 +384,10 @@ mod tests {
         let net = sample_network(1);
         assert_eq!(net.input_dim(), 8);
         assert_eq!(net.output_dim(), 3);
-        assert_eq!(net.num_parameters(), (8 * 4 + 4) + (4 * 6 + 6) + (6 * 3 + 3));
+        assert_eq!(
+            net.num_parameters(),
+            (8 * 4 + 4) + (4 * 6 + 6) + (6 * 3 + 3)
+        );
         assert_eq!(net.macs(), 8 * 4 + 4 * 6 + 6 * 3);
         assert_eq!(net.flops(), 2 * net.macs() + (4 + 6 + 3));
         assert_eq!(net.architecture(), vec![8, 4, 6, 3]);
@@ -274,7 +450,10 @@ mod tests {
         let encoded = serde_json_like(&net);
         let decoded: Network = from_json_like(&encoded);
         let input: Vec<f32> = (0..8).map(|i| i as f32 * 0.05).collect();
-        assert_eq!(net.predict(&input).unwrap(), decoded.predict(&input).unwrap());
+        assert_eq!(
+            net.predict(&input).unwrap(),
+            decoded.predict(&input).unwrap()
+        );
     }
 
     // The workspace intentionally has no serde_json dependency; round-trip the

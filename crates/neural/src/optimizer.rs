@@ -108,6 +108,12 @@ impl Optimizer {
     /// Applies one gradient step to `network`, scaling the base learning rate by
     /// `lr_factor` (from the schedule).
     ///
+    /// All optimizer state is updated in place and parameters are adjusted with
+    /// fused `p -= update * lr` sweeps, so a step performs no heap allocation
+    /// after the state matrices exist. The element-wise arithmetic matches the
+    /// original allocating formulation, keeping training trajectories
+    /// bit-identical.
+    ///
     /// # Panics
     /// Panics if `grads.len()` differs from the number of network layers.
     pub fn step(&mut self, network: &mut Network, grads: &[DenseGradients], lr_factor: f32) {
@@ -126,30 +132,27 @@ impl Optimizer {
                     .zip(grads.iter())
                     .zip(self.state.iter_mut())
                 {
-                    let update_w = if momentum > 0.0 {
-                        let prev = state
-                            .momentum_w
-                            .take()
-                            .unwrap_or_else(|| Matrix::zeros(grad.weights.rows(), grad.weights.cols()));
-                        let vel = prev.scale(momentum).add(&grad.weights);
-                        state.momentum_w = Some(vel.clone());
-                        vel
-                    } else {
-                        grad.weights.clone()
-                    };
-                    let update_b = if momentum > 0.0 {
-                        let prev = state
+                    if momentum > 0.0 {
+                        // v <- v * momentum + g, in place; p <- p - v * lr.
+                        let vel_w = state.momentum_w.get_or_insert_with(|| {
+                            Matrix::zeros(grad.weights.rows(), grad.weights.cols())
+                        });
+                        for (v, &g) in vel_w.as_mut_slice().iter_mut().zip(grad.weights.as_slice())
+                        {
+                            *v = *v * momentum + g;
+                        }
+                        layer.weights.sub_scaled_assign(vel_w, lr);
+                        let vel_b = state
                             .momentum_b
-                            .take()
-                            .unwrap_or_else(|| Matrix::zeros(1, grad.bias.cols()));
-                        let vel = prev.scale(momentum).add(&grad.bias);
-                        state.momentum_b = Some(vel.clone());
-                        vel
+                            .get_or_insert_with(|| Matrix::zeros(1, grad.bias.cols()));
+                        for (v, &g) in vel_b.as_mut_slice().iter_mut().zip(grad.bias.as_slice()) {
+                            *v = *v * momentum + g;
+                        }
+                        layer.bias.sub_scaled_assign(vel_b, lr);
                     } else {
-                        grad.bias.clone()
-                    };
-                    layer.weights = layer.weights.sub(&update_w.scale(lr));
-                    layer.bias = layer.bias.sub(&update_b.scale(lr));
+                        layer.weights.sub_scaled_assign(&grad.weights, lr);
+                        layer.bias.sub_scaled_assign(&grad.bias, lr);
+                    }
                 }
             }
             OptimizerKind::Adam { .. } => {
@@ -165,34 +168,41 @@ impl Optimizer {
                     .zip(grads.iter())
                     .zip(self.state.iter_mut())
                 {
+                    // m <- m*B1 + g*(1-B1); v <- v*B2 + g^2*(1-B2);
+                    // p <- p - (m/bc1) / (sqrt(v/bc2) + eps) * lr, all in place.
                     let update = |m_state: &mut Option<Matrix>,
                                   v_state: &mut Option<Matrix>,
-                                  grad: &Matrix|
-                     -> Matrix {
-                        let m_prev = m_state
-                            .take()
-                            .unwrap_or_else(|| Matrix::zeros(grad.rows(), grad.cols()));
-                        let v_prev = v_state
-                            .take()
-                            .unwrap_or_else(|| Matrix::zeros(grad.rows(), grad.cols()));
-                        let m = m_prev.scale(BETA1).add(&grad.scale(1.0 - BETA1));
-                        let v = v_prev
-                            .scale(BETA2)
-                            .add(&grad.hadamard(grad).scale(1.0 - BETA2));
-                        *m_state = Some(m.clone());
-                        *v_state = Some(v.clone());
-                        let mut out = m;
-                        for (o, vv) in out.as_mut_slice().iter_mut().zip(v.as_slice()) {
-                            let m_hat = *o / bias_correction1;
-                            let v_hat = vv / bias_correction2;
-                            *o = m_hat / (v_hat.sqrt() + EPS);
+                                  grad: &Matrix,
+                                  param: &mut Matrix| {
+                        let m =
+                            m_state.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                        let v =
+                            v_state.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                        for ((m, v), (&g, p)) in m
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(v.as_mut_slice().iter_mut())
+                            .zip(grad.as_slice().iter().zip(param.as_mut_slice().iter_mut()))
+                        {
+                            *m = *m * BETA1 + g * (1.0 - BETA1);
+                            *v = *v * BETA2 + (g * g) * (1.0 - BETA2);
+                            let m_hat = *m / bias_correction1;
+                            let v_hat = *v / bias_correction2;
+                            *p -= m_hat / (v_hat.sqrt() + EPS) * lr;
                         }
-                        out
                     };
-                    let dw = update(&mut state.adam_m_w, &mut state.adam_v_w, &grad.weights);
-                    let db = update(&mut state.adam_m_b, &mut state.adam_v_b, &grad.bias);
-                    layer.weights = layer.weights.sub(&dw.scale(lr));
-                    layer.bias = layer.bias.sub(&db.scale(lr));
+                    update(
+                        &mut state.adam_m_w,
+                        &mut state.adam_v_w,
+                        &grad.weights,
+                        &mut layer.weights,
+                    );
+                    update(
+                        &mut state.adam_m_b,
+                        &mut state.adam_v_b,
+                        &grad.bias,
+                        &mut layer.bias,
+                    );
                 }
             }
         }
@@ -259,13 +269,24 @@ mod tests {
             },
             200,
         );
-        assert!(final_loss < initial * 0.1, "SGD+m: {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.1,
+            "SGD+m: {initial} -> {final_loss}"
+        );
     }
 
     #[test]
     fn adam_reduces_loss() {
-        let (initial, final_loss) = train_loss(OptimizerKind::Adam { learning_rate: 0.01 }, 200);
-        assert!(final_loss < initial * 0.1, "Adam: {initial} -> {final_loss}");
+        let (initial, final_loss) = train_loss(
+            OptimizerKind::Adam {
+                learning_rate: 0.01,
+            },
+            200,
+        );
+        assert!(
+            final_loss < initial * 0.1,
+            "Adam: {initial} -> {final_loss}"
+        );
     }
 
     #[test]
@@ -280,7 +301,15 @@ mod tests {
 
     #[test]
     fn learning_rate_accessor() {
-        assert!((OptimizerKind::Adam { learning_rate: 0.001 }.learning_rate() - 0.001).abs() < 1e-9);
+        assert!(
+            (OptimizerKind::Adam {
+                learning_rate: 0.001
+            }
+            .learning_rate()
+                - 0.001)
+                .abs()
+                < 1e-9
+        );
         assert!(
             (OptimizerKind::Sgd {
                 learning_rate: 0.5,
@@ -298,7 +327,12 @@ mod tests {
     fn mismatched_gradient_count_panics() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut net = Network::new(&[LayerSpec::new(2, 2, Activation::Identity)], &mut rng);
-        let mut opt = Optimizer::new(OptimizerKind::Adam { learning_rate: 0.01 }, 1);
+        let mut opt = Optimizer::new(
+            OptimizerKind::Adam {
+                learning_rate: 0.01,
+            },
+            1,
+        );
         opt.step(&mut net, &[], 1.0);
     }
 }

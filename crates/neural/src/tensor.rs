@@ -1,9 +1,15 @@
 //! Dense `f32` matrices for the neural-network engine.
 //!
-//! Activations and weights in the SplitBeam models are at most a few thousand
-//! elements per dimension, so a straightforward row-major matrix with naive
-//! kernels is sufficient and keeps the training code easy to follow.
+//! [`Matrix`] is row-major. Alongside the allocating convenience methods it
+//! provides the write-into kernels the training/inference hot paths are built
+//! on: [`Matrix::matmul_into`], the fused affine-plus-activation epilogue
+//! [`Matrix::matmul_bias_act_into`], and the transpose-free products
+//! [`Matrix::matmul_at_b_into`] / [`Matrix::matmul_a_bt_into`] that replace
+//! the full-matrix `transpose()` allocations of the backward pass. All of them
+//! accumulate in the same element order as the naive kernels, so results are
+//! bit-identical.
 
+use crate::layer::Activation;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -85,17 +91,50 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes this matrix to `rows x cols` with all entries zero, reusing the
+    /// existing storage when it is large enough.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into this matrix, reshaping as needed and reusing storage.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` written into `out` (reshaped, storage reused).
+    ///
+    /// Bit-identical to [`Matrix::matmul`]: same row-major accumulation order.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.reshape_zeroed(self.rows, rhs.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[r * self.cols + k];
@@ -109,7 +148,122 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// Fused dense-layer forward kernel: `out = act(self * w + bias)`.
+    ///
+    /// The bias add and activation run as an epilogue over the accumulated
+    /// product, eliminating the two intermediate matrices (and two full memory
+    /// passes) of the naive `matmul` → `add_row_broadcast` → `apply` chain.
+    /// The arithmetic per element is unchanged, so the result is bit-identical
+    /// to that chain.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree or `bias` is not a `1 x w.cols()`
+    /// row vector.
+    pub fn matmul_bias_act_into(
+        &self,
+        w: &Matrix,
+        bias: &Matrix,
+        activation: Activation,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, w.cols, "bias width mismatch");
+        self.matmul_into(w, out);
+        for row in out.data.chunks_exact_mut(w.cols) {
+            for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *o = activation.eval(*o + b);
+            }
+        }
+    }
+
+    /// Transpose-free product `self^T * rhs` written into `out`.
+    ///
+    /// Replaces `self.transpose().matmul(rhs)` (the weight-gradient step of
+    /// backpropagation) without materializing the transpose; accumulation
+    /// order matches, so results are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at_b dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reshape_zeroed(self.cols, rhs.cols);
+        for r in 0..self.cols {
+            for k in 0..self.rows {
+                let a = self.data[k * self.cols + r];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
+    /// Transpose-free product `self * rhs^T` written into `out`.
+    ///
+    /// Replaces `self.matmul(&rhs.transpose())` (the input-gradient step of
+    /// backpropagation). Both operands are traversed along contiguous rows —
+    /// a dot product per output entry — with the same `k` accumulation order
+    /// as the naive chain, so results are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_a_bt dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reshape_zeroed(self.rows, rhs.rows);
+        for r in 0..self.rows {
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let out_row = &mut out.data[r * rhs.rows..(r + 1) * rhs.rows];
+            for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(self.cols)) {
+                // No zero-skip here: inside a dot product it saves one FMA but
+                // defeats vectorization, and adding `0.0 * b` is bit-neutral
+                // for finite operands.
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// Sums the rows of `src` into `self` as a `1 x cols` row vector (reshaped).
+    pub fn sum_rows_into(&mut self, src: &Matrix) {
+        self.reshape_zeroed(1, src.cols);
+        for r in 0..src.rows {
+            for c in 0..src.cols {
+                self.data[c] += src.data[r * src.cols + c];
+            }
+        }
+    }
+
+    /// In-place update `self -= rhs * k`, the allocation-free form of
+    /// `self.sub(&rhs.scale(k))` used by the optimizers.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn sub_scaled_assign(&mut self, rhs: &Matrix, k: f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
+        for (o, &g) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *o -= g * k;
+        }
     }
 
     /// Transpose.
@@ -128,7 +282,11 @@ impl Matrix {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -147,7 +305,11 @@ impl Matrix {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -211,7 +373,11 @@ impl Matrix {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "hadamard shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -299,8 +465,75 @@ mod tests {
         let _ = a.matmul(&b);
     }
 
+    #[test]
+    fn into_kernels_match_naive_on_edge_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        // Non-square and 1xN / Nx1 shapes.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (1, 5, 1),
+            (5, 1, 5),
+            (1, 3, 4),
+            (4, 3, 1),
+            (2, 7, 3),
+        ] {
+            let a = Matrix::xavier_uniform(m, k, &mut rng);
+            let b = Matrix::xavier_uniform(k, n, &mut rng);
+            let mut out = Matrix::zeros(1, 1);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, a.matmul(&b), "matmul {m}x{k}*{k}x{n}");
+
+            let at = Matrix::xavier_uniform(k, m, &mut rng);
+            at.matmul_at_b_into(&b, &mut out);
+            assert_eq!(out, at.transpose().matmul(&b), "at_b {k}x{m}^T*{k}x{n}");
+
+            let bt = Matrix::xavier_uniform(n, k, &mut rng);
+            a.matmul_a_bt_into(&bt, &mut out);
+            assert_eq!(out, a.matmul(&bt.transpose()), "a_bt {m}x{k}*({n}x{k})^T");
+        }
+    }
+
+    #[test]
+    fn sum_rows_into_matches_sum_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let a = Matrix::xavier_uniform(4, 3, &mut rng);
+        let mut out = Matrix::zeros(1, 1);
+        out.sum_rows_into(&a);
+        assert_eq!(out, a.sum_rows());
+    }
+
+    #[test]
+    fn sub_scaled_assign_matches_sub_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let base = Matrix::xavier_uniform(3, 3, &mut rng);
+        let grad = Matrix::xavier_uniform(3, 3, &mut rng);
+        let expected = base.sub(&grad.scale(0.01));
+        let mut updated = base.clone();
+        updated.sub_scaled_assign(&grad, 0.01);
+        assert_eq!(updated, expected);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_into_kernels_match_naive(m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                                         seed in 0u64..300) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Matrix::xavier_uniform(m, k, &mut rng);
+            let b = Matrix::xavier_uniform(k, n, &mut rng);
+            let mut out = Matrix::zeros(1, 1);
+            a.matmul_into(&b, &mut out);
+            prop_assert_eq!(&out, &a.matmul(&b));
+
+            let at = Matrix::xavier_uniform(k, m, &mut rng);
+            at.matmul_at_b_into(&b, &mut out);
+            prop_assert_eq!(&out, &at.transpose().matmul(&b));
+
+            let bt = Matrix::xavier_uniform(n, k, &mut rng);
+            a.matmul_a_bt_into(&bt, &mut out);
+            prop_assert_eq!(&out, &a.matmul(&bt.transpose()));
+        }
 
         #[test]
         fn prop_matmul_distributes_over_add(n in 1usize..5, seed in 0u64..200) {

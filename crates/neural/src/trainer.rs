@@ -7,7 +7,7 @@
 //! the validation loss).
 
 use crate::loss::Loss;
-use crate::network::Network;
+use crate::network::{Network, TrainScratch};
 use crate::optimizer::{Optimizer, OptimizerKind, StepSchedule};
 use crate::tensor::Matrix;
 use rand::seq::SliceRandom;
@@ -121,7 +121,79 @@ impl Trainer {
     /// Trains `network`, using `metric` (lower is better) evaluated on the
     /// validation split after every epoch to select the parameters to keep —
     /// the paper evaluates the achieved BER here.
+    ///
+    /// The loop holds one [`TrainScratch`] for the whole run: batch matrices,
+    /// per-layer activations, gradient buffers and optimizer state are all
+    /// reused across batches and epochs, so after the first batch a training
+    /// step performs no heap allocation. The arithmetic is element-for-element
+    /// identical to the original allocating loop (kept as
+    /// `fit_with_metric_reference` for the equivalence test), so loss curves
+    /// do not drift.
     pub fn fit_with_metric<M>(
+        &self,
+        network: &mut Network,
+        train: &[Example],
+        validation: &[Example],
+        rng: &mut impl Rng,
+        mut metric: M,
+    ) -> TrainHistory
+    where
+        M: FnMut(&Network, &[Example]) -> f32,
+    {
+        assert!(!train.is_empty(), "training split must not be empty");
+        let mut optimizer = Optimizer::new(self.optimizer_kind, network.layers().len());
+        let mut indices: Vec<usize> = (0..train.len()).collect();
+
+        let mut history = TrainHistory {
+            train_loss: Vec::with_capacity(self.config.epochs),
+            validation_metric: Vec::with_capacity(self.config.epochs),
+            best_epoch: 0,
+        };
+        let mut best_metric = f32::INFINITY;
+        let mut best_params: Option<Network> = None;
+
+        let mut scratch = TrainScratch::new();
+        let mut x = Matrix::zeros(1, 1);
+        let mut t = Matrix::zeros(1, 1);
+        let mut grad = Matrix::zeros(1, 1);
+
+        for epoch in 0..self.config.epochs {
+            if self.config.shuffle {
+                indices.shuffle(rng);
+            }
+            let lr_factor = self.config.schedule.factor_at(epoch);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in indices.chunks(self.config.batch_size.max(1)) {
+                fill_batch(train, chunk, &mut x, &mut t);
+                network.forward_training_into(&x, &mut scratch);
+                epoch_loss += self.loss.evaluate(scratch.prediction(), &t);
+                batches += 1;
+                self.loss.gradient_into(scratch.prediction(), &t, &mut grad);
+                network.backward_into(&x, &grad, &mut scratch);
+                optimizer.step(network, &scratch.grads, lr_factor);
+            }
+            history.train_loss.push(epoch_loss / batches.max(1) as f32);
+
+            let val_metric = metric(network, validation);
+            history.validation_metric.push(val_metric);
+            if val_metric < best_metric {
+                best_metric = val_metric;
+                history.best_epoch = epoch;
+                best_params = Some(network.clone());
+            }
+        }
+
+        if let Some(best) = best_params {
+            *network = best;
+        }
+        history
+    }
+
+    /// The original allocating training loop, kept verbatim as the behavioral
+    /// reference for the buffer-reusing [`Trainer::fit_with_metric`].
+    #[cfg(any(test, feature = "reference"))]
+    pub fn fit_with_metric_reference<M>(
         &self,
         network: &mut Network,
         train: &[Example],
@@ -176,6 +248,20 @@ impl Trainer {
             *network = best;
         }
         history
+    }
+}
+
+/// Fills the reusable batch matrices from the selected training examples.
+fn fill_batch(train: &[Example], chunk: &[usize], x: &mut Matrix, t: &mut Matrix) {
+    let batch = chunk.len();
+    let in_dim = train[chunk[0]].0.len();
+    let out_dim = train[chunk[0]].1.len();
+    x.reshape_zeroed(batch, in_dim);
+    t.reshape_zeroed(batch, out_dim);
+    for (row, &idx) in chunk.iter().enumerate() {
+        let (input, target) = &train[idx];
+        x.as_mut_slice()[row * in_dim..(row + 1) * in_dim].copy_from_slice(input);
+        t.as_mut_slice()[row * out_dim..(row + 1) * out_dim].copy_from_slice(target);
     }
 }
 
@@ -242,7 +328,9 @@ mod tests {
                 ..TrainConfig::default()
             },
             Loss::Mse,
-            OptimizerKind::Adam { learning_rate: 0.01 },
+            OptimizerKind::Adam {
+                learning_rate: 0.01,
+            },
         );
         let history = trainer.fit(&mut net, train, val, &mut rng);
         assert_eq!(history.train_loss.len(), 30);
@@ -263,7 +351,9 @@ mod tests {
                 ..TrainConfig::default()
             },
             Loss::Mse,
-            OptimizerKind::Adam { learning_rate: 0.01 },
+            OptimizerKind::Adam {
+                learning_rate: 0.01,
+            },
         );
         let history = trainer.fit(&mut net, train, val, &mut rng);
         // Validation loss of the returned network equals the recorded best metric.
@@ -307,9 +397,67 @@ mod tests {
         let trainer = Trainer::new(
             TrainConfig::default(),
             Loss::Mse,
-            OptimizerKind::Adam { learning_rate: 0.01 },
+            OptimizerKind::Adam {
+                learning_rate: 0.01,
+            },
         );
         let _ = trainer.fit(&mut net, &[], &[], &mut rng);
+    }
+
+    #[test]
+    fn buffer_reusing_loop_matches_reference_loss_curve() {
+        // The before/after drift check: the buffer-reusing trainer must produce
+        // the *same* loss trajectory and final parameters as the original
+        // allocating loop, for both optimizers.
+        let data = linear_dataset(96);
+        let (train, val) = data.split_at(72);
+        for kind in [
+            OptimizerKind::Adam {
+                learning_rate: 0.01,
+            },
+            OptimizerKind::Sgd {
+                learning_rate: 0.05,
+                momentum: 0.9,
+            },
+        ] {
+            let trainer = Trainer::new(
+                TrainConfig {
+                    epochs: 12,
+                    batch_size: 16,
+                    ..TrainConfig::default()
+                },
+                Loss::NormalizedL1,
+                kind,
+            );
+            let mut net_fast = default_network(40);
+            let mut net_ref = net_fast.clone();
+            let mut rng_fast = ChaCha8Rng::seed_from_u64(41);
+            let mut rng_ref = ChaCha8Rng::seed_from_u64(41);
+            let hist_fast = trainer.fit(&mut net_fast, train, val, &mut rng_fast);
+            let hist_ref = trainer.fit_with_metric_reference(
+                &mut net_ref,
+                train,
+                val,
+                &mut rng_ref,
+                |net, val| {
+                    let (x, t) = batch_matrices(val);
+                    match net.forward(&x) {
+                        Ok(pred) => Loss::NormalizedL1.evaluate(&pred, &t),
+                        Err(_) => f32::INFINITY,
+                    }
+                },
+            );
+            assert_eq!(
+                hist_fast.train_loss, hist_ref.train_loss,
+                "{kind:?} loss curve drifted"
+            );
+            assert_eq!(
+                hist_fast.validation_metric, hist_ref.validation_metric,
+                "{kind:?} validation curve drifted"
+            );
+            assert_eq!(hist_fast.best_epoch, hist_ref.best_epoch);
+            assert_eq!(net_fast, net_ref, "{kind:?} final parameters drifted");
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's `benches/` files
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) on top of a simple wall-clock
+//! harness: a short warm-up, then timed batches until a sampling budget is
+//! reached, reporting the per-iteration mean and best batch. There are no
+//! statistical comparisons or HTML reports — the numbers print to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, collecting batched samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm up and size batches so one batch is ~1 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(20) {
+            std::hint::black_box(body());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as u64 / warmup_iters.max(1);
+        self.iters_per_batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let budget = Duration::from_millis(200);
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget && self.samples.len() < 64 {
+            let batch_start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(body());
+            }
+            self.samples.push(batch_start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_nanos() as f64 / self.iters_per_batch as f64;
+        let mean = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        let best = self
+            .samples
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        println!("{label:<48} mean {mean:>12.1} ns/iter   best {best:>12.1} ns/iter");
+    }
+}
+
+/// Identifies one parameterized benchmark, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Benchmarks `body` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters_per_batch: 1,
+            samples: Vec::new(),
+        };
+        body(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut body: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters_per_batch: 1,
+            samples: Vec::new(),
+        };
+        body(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("-- group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters_per_batch: 1,
+            samples: Vec::new(),
+        };
+        body(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor of `std::hint`).
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the small parallel-iterator surface the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` plus `join` — implemented
+//! with `std::thread::scope` over contiguous chunks. Results are concatenated
+//! in input order, so a parallel map is *order-identical* (and therefore
+//! bit-identical) to its serial counterpart; with one available core the work
+//! degenerates to a plain serial loop with no thread spawns.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, in parallel when more than one core is available.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        (handle.join().expect("rayon-shim join worker panicked"), rb)
+    })
+}
+
+/// Borrowing conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`, preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], awaiting a `collect`.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: FromParallelVec<U>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    fn run(self) -> Vec<U> {
+        let n = self.slice.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut pieces: Vec<Vec<U>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            for handle in handles {
+                pieces.push(handle.join().expect("rayon-shim map worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for piece in pieces {
+            out.extend(piece);
+        }
+        out
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelVec<U> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelVec<U> for Vec<U> {
+    fn from_ordered_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 21 * 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_slice_maps_to_empty_vec() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Derive macros for the offline serde shim.
+//!
+//! These derives emit marker-trait impls (`impl serde::Serialize for T {}` and
+//! the `Deserialize` twin). They are deliberately tiny: the workspace's types
+//! are all concrete (no generic parameters), so the parser only needs to find
+//! the item name. Deriving on a generic item is a compile error rather than a
+//! silently wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct/enum a derive is attached to.
+///
+/// Returns `Err` with a human-readable message when the item shape is not
+/// supported (generic items, unions, exotic token layouts).
+fn item_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip an optional visibility scope like `pub(crate)`.
+                        if let Some(TokenTree::Group(_)) = tokens.peek() {
+                            let _ = tokens.next();
+                        }
+                    }
+                    "struct" | "enum" => {
+                        let name = match tokens.next() {
+                            Some(TokenTree::Ident(name)) => name.to_string(),
+                            other => {
+                                return Err(format!("expected item name, found {other:?}"));
+                            }
+                        };
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "the offline serde shim cannot derive for generic item `{name}`"
+                                ));
+                            }
+                        }
+                        return Ok(name);
+                    }
+                    "union" => return Err("the offline serde shim cannot derive for unions".into()),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("no struct or enum found in derive input".into())
+}
+
+fn emit(input: TokenStream, make_impl: fn(&str) -> String) -> TokenStream {
+    match item_name(&input) {
+        Ok(name) => make_impl(&name).parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Implements the shim's `serde::Serialize` marker for a concrete struct/enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Implements the shim's `serde::Deserialize<'de>` marker for a concrete struct/enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

@@ -13,8 +13,8 @@
 use crate::BaselineError;
 use dot11_bfi::complexity::dot11_sta_flops;
 use dot11_bfi::givens::{total_angles, GivensAngles};
-use mimo_math::CMatrix;
 use mimo_math::svd::Svd;
+use mimo_math::CMatrix;
 use neural::layer::Activation;
 use neural::loss::Loss;
 use neural::network::{LayerSpec, Network};
@@ -40,7 +40,10 @@ impl LbSciFiConfig {
     /// # Panics
     /// Panics if `compression` is not in `(0, 1]`.
     pub fn new(mimo: MimoConfig, compression: f64) -> Self {
-        assert!(compression > 0.0 && compression <= 1.0, "compression must be in (0, 1]");
+        assert!(
+            compression > 0.0 && compression <= 1.0,
+            "compression must be in (0, 1]"
+        );
         Self { mimo, compression }
     }
 
@@ -79,7 +82,12 @@ fn normalize_angles(angles: &[GivensAngles]) -> Vec<f32> {
 }
 
 /// Inverse of [`normalize_angles`] for one configuration.
-fn denormalize_angles(flat: &[f32], nt: usize, nss: usize, subcarriers: usize) -> Vec<GivensAngles> {
+fn denormalize_angles(
+    flat: &[f32],
+    nt: usize,
+    nss: usize,
+    subcarriers: usize,
+) -> Vec<GivensAngles> {
     let pairs = dot11_bfi::givens::angle_pairs(nt, nss);
     let per_sc = 2 * pairs;
     let mut out = Vec::with_capacity(subcarriers);
@@ -87,11 +95,16 @@ fn denormalize_angles(flat: &[f32], nt: usize, nss: usize, subcarriers: usize) -
         let chunk = &flat[s * per_sc..(s + 1) * per_sc];
         let phi = chunk[..pairs]
             .iter()
-            .map(|&v| ((v as f64 + 1.0) * std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI))
+            .map(|&v| {
+                ((v as f64 + 1.0) * std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+            })
             .collect();
         let psi = chunk[pairs..]
             .iter()
-            .map(|&v| (((v as f64 + 1.0) / 2.0) * std::f64::consts::FRAC_PI_2).clamp(0.0, std::f64::consts::FRAC_PI_2))
+            .map(|&v| {
+                (((v as f64 + 1.0) / 2.0) * std::f64::consts::FRAC_PI_2)
+                    .clamp(0.0, std::f64::consts::FRAC_PI_2)
+            })
             .collect();
         out.push(GivensAngles { nt, nss, phi, psi });
     }
@@ -110,9 +123,8 @@ pub fn angle_vector_for_user(
     let mut angles = Vec::with_capacity(snapshot.subcarriers());
     for h in snapshot.csi(user) {
         let v = Svd::compute(h).beamforming_matrix(snapshot.nss());
-        angles.push(
-            GivensAngles::decompose(&v).map_err(|e| BaselineError::Pipeline(e.to_string()))?,
-        );
+        angles
+            .push(GivensAngles::decompose(&v).map_err(|e| BaselineError::Pipeline(e.to_string()))?);
     }
     Ok(normalize_angles(&angles))
 }
@@ -121,11 +133,19 @@ impl LbSciFiModel {
     /// Creates an untrained autoencoder.
     pub fn new(config: LbSciFiConfig, rng: &mut impl Rng) -> Self {
         let encoder = Network::new(
-            &[LayerSpec::new(config.angle_dim(), config.latent_dim(), Activation::Tanh)],
+            &[LayerSpec::new(
+                config.angle_dim(),
+                config.latent_dim(),
+                Activation::Tanh,
+            )],
             rng,
         );
         let decoder = Network::new(
-            &[LayerSpec::new(config.latent_dim(), config.angle_dim(), Activation::Identity)],
+            &[LayerSpec::new(
+                config.latent_dim(),
+                config.angle_dim(),
+                Activation::Identity,
+            )],
             rng,
         );
         Self {
@@ -161,7 +181,9 @@ impl LbSciFiModel {
                 ..TrainConfig::default()
             },
             Loss::Mse,
-            OptimizerKind::Adam { learning_rate: 1e-3 },
+            OptimizerKind::Adam {
+                learning_rate: 1e-3,
+            },
         );
         let split = examples.len() * 9 / 10;
         let (train, val) = examples.split_at(split.max(1).min(examples.len()));
@@ -298,7 +320,10 @@ mod tests {
         let before = mse(&model);
         model.train(&vectors, 6, &mut rng);
         let after = mse(&model);
-        assert!(after < before, "training should reduce AE error ({after} vs {before})");
+        assert!(
+            after < before,
+            "training should reduce AE error ({after} vs {before})"
+        );
     }
 
     #[test]

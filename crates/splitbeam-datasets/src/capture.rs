@@ -122,7 +122,11 @@ mod tests {
         let receptions = simulate_receptions(3, 1000, 0.1, &mut rng);
         assert_eq!(receptions.len(), 3);
         for r in &receptions {
-            assert!(r.len() > 800 && r.len() < 1000, "drop rate ~10% expected, kept {}", r.len());
+            assert!(
+                r.len() > 800 && r.len() < 1000,
+                "drop rate ~10% expected, kept {}",
+                r.len()
+            );
         }
         let no_drops = simulate_receptions(2, 100, 0.0, &mut rng);
         assert!(no_drops.iter().all(|r| r.len() == 100));

@@ -125,8 +125,20 @@ mod tests {
     fn catalog_has_fifteen_entries() {
         let catalog = dataset_catalog();
         assert_eq!(catalog.len(), 15);
-        assert_eq!(catalog.iter().filter(|d| d.kind == DatasetKind::Measured).count(), 12);
-        assert_eq!(catalog.iter().filter(|d| d.kind == DatasetKind::Synthetic).count(), 3);
+        assert_eq!(
+            catalog
+                .iter()
+                .filter(|d| d.kind == DatasetKind::Measured)
+                .count(),
+            12
+        );
+        assert_eq!(
+            catalog
+                .iter()
+                .filter(|d| d.kind == DatasetKind::Synthetic)
+                .count(),
+            3
+        );
         // Total sample budget matches the paper's 120,000 measured + 30,000 synthetic.
         let measured: usize = catalog
             .iter()
@@ -157,7 +169,10 @@ mod tests {
 
     #[test]
     fn synthetic_datasets_are_160mhz() {
-        for d in dataset_catalog().iter().filter(|d| d.kind == DatasetKind::Synthetic) {
+        for d in dataset_catalog()
+            .iter()
+            .filter(|d| d.kind == DatasetKind::Synthetic)
+        {
             assert_eq!(d.mimo.bandwidth, Bandwidth::Mhz160);
             assert_eq!(d.environment, "Model-B");
             assert_eq!(d.profile().name, "Model-B");

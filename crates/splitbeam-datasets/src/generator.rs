@@ -68,7 +68,9 @@ impl GeneratedDataset {
     }
 
     /// Splits the snapshots 8:1:1 into train/validation/test, as in the paper.
-    pub fn split_train_val_test(&self) -> (&[ChannelSnapshot], &[ChannelSnapshot], &[ChannelSnapshot]) {
+    pub fn split_train_val_test(
+        &self,
+    ) -> (&[ChannelSnapshot], &[ChannelSnapshot], &[ChannelSnapshot]) {
         let n = self.snapshots.len();
         let train_end = n * 8 / 10;
         let val_end = n * 9 / 10;
@@ -133,9 +135,12 @@ pub fn generate_dataset(
         let subcarriers = aligned[0].subcarriers();
         for user in 0..num_users {
             for s in 0..subcarriers {
-                let series: Vec<_> = aligned.iter().map(|snap| snap.csi(user)[s].clone()).collect();
+                let series: Vec<_> = aligned
+                    .iter()
+                    .map(|snap| snap.csi(user)[s].clone())
+                    .collect();
                 let smoothed = smooth_csi_series(&series, options.capture.median_window);
-                for (snap, h) in aligned.iter_mut().zip(smoothed.into_iter()) {
+                for (snap, h) in aligned.iter_mut().zip(smoothed) {
                     snap.csi_mut(user)[s] = h;
                 }
             }
@@ -171,7 +176,10 @@ mod tests {
         let mut opts = GeneratorOptions::quick(100, 2);
         opts.capture.drop_probability = 0.2;
         let data = generate_dataset(&spec, &opts).unwrap();
-        assert!(data.len() < 100, "with 3 stations at 20% drop, alignment must discard packets");
+        assert!(
+            data.len() < 100,
+            "with 3 stations at 20% drop, alignment must discard packets"
+        );
         assert!(data.len() > 20);
     }
 
@@ -181,7 +189,10 @@ mod tests {
         let data = generate_dataset(&spec, &GeneratorOptions::quick(30, 3)).unwrap();
         for snap in &data.snapshots {
             let power = snap.average_power();
-            assert!(power > 0.1 && power < 10.0, "normalized power {power} out of range");
+            assert!(
+                power > 0.1 && power < 10.0,
+                "normalized power {power} out of range"
+            );
         }
     }
 

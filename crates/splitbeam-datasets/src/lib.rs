@@ -20,7 +20,7 @@ pub mod capture;
 pub mod catalog;
 pub mod generator;
 
-pub use catalog::{DatasetId, DatasetSpec, dataset_catalog};
+pub use catalog::{dataset_catalog, DatasetId, DatasetSpec};
 pub use generator::{generate_dataset, GeneratedDataset, GeneratorOptions};
 
 /// Errors produced by dataset generation.

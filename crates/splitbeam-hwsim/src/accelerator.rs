@@ -55,7 +55,10 @@ impl AcceleratorModel {
     /// # Panics
     /// Panics if fewer than two dimensions are given.
     pub fn dense_stack_latency_s(&self, dims: &[usize]) -> f64 {
-        assert!(dims.len() >= 2, "a layer stack needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "a layer stack needs at least input and output dims"
+        );
         let macs: u64 = dims.windows(2).map(|w| (w[0] * w[1]) as u64).sum();
         let io = (dims[0] + dims[dims.len() - 1]) as u64;
         self.latency_s(macs, dims.len() - 1, io)
@@ -118,10 +121,8 @@ mod tests {
     use wifi_phy::ofdm::{Bandwidth, MimoConfig};
 
     fn full_latency(n: usize, bw: Bandwidth) -> f64 {
-        let config = SplitBeamConfig::new(
-            MimoConfig::symmetric(n, bw),
-            CompressionLevel::OneQuarter,
-        );
+        let config =
+            SplitBeamConfig::new(MimoConfig::symmetric(n, bw), CompressionLevel::OneQuarter);
         let accel = AcceleratorModel::zynq_200mhz(n, n);
         accel.split_latency_from_config(&config).total_s()
     }

@@ -14,7 +14,13 @@ use wifi_phy::sounding::{sounding_round_airtime, SoundingConfig};
 /// SplitBeam feedback size in bits for an `nt x nr` configuration with `s`
 /// subcarriers at compression `k`, counting `bits_per_value` bits per
 /// (complex) bottleneck value.
-pub fn splitbeam_feedback_bits(nt: usize, nr: usize, s: usize, k: f64, bits_per_value: u8) -> usize {
+pub fn splitbeam_feedback_bits(
+    nt: usize,
+    nr: usize,
+    s: usize,
+    k: f64,
+    bits_per_value: u8,
+) -> usize {
     let bottleneck = ((nt * nr * s) as f64 * k).round().max(1.0) as usize;
     bottleneck * bits_per_value as usize
 }
@@ -109,7 +115,10 @@ mod tests {
         let large = splitbeam_feedback_bits(3, 3, 242, 1.0 / 4.0, 16);
         assert!(large > small);
         let ratio = large as f64 / small as f64;
-        assert!((ratio - 8.0).abs() < 0.1, "ratio {ratio} should be ~8 (up to rounding)");
+        assert!(
+            (ratio - 8.0).abs() < 0.1,
+            "ratio {ratio} should be ~8 (up to rounding)"
+        );
     }
 
     #[test]
@@ -120,10 +129,7 @@ mod tests {
         );
         // bottleneck 56 reals = 28 complex values -> 28 * 16 bits.
         assert_eq!(model_feedback_bits(&config, 16), 28 * 16);
-        assert_eq!(
-            splitbeam_feedback_bits(2, 2, 56, 0.125, 16),
-            28 * 16
-        );
+        assert_eq!(splitbeam_feedback_bits(2, 2, 56, 0.125, 16), 28 * 16);
     }
 
     #[test]
@@ -138,10 +144,17 @@ mod tests {
 
     #[test]
     fn grid_and_average_saving() {
-        let grid = bf_size_grid(&[4, 8], &[56, 114, 242], &[1.0 / 32.0, 1.0 / 16.0, 0.125, 0.25]);
+        let grid = bf_size_grid(
+            &[4, 8],
+            &[56, 114, 242],
+            &[1.0 / 32.0, 1.0 / 16.0, 0.125, 0.25],
+        );
         assert_eq!(grid.len(), 24);
         let saving = average_airtime_saving_percent(&grid);
-        assert!(saving > 60.0, "average airtime saving {saving}% should be large");
+        assert!(
+            saving > 60.0,
+            "average airtime saving {saving}% should be large"
+        );
         assert_eq!(average_airtime_saving_percent(&[]), 0.0);
     }
 
@@ -153,6 +166,9 @@ mod tests {
         );
         let sounding = SoundingConfig::new(Bandwidth::Mhz80, 3);
         let t = splitbeam_sounding_airtime_s(&config, &sounding, 16);
-        assert!(t > 0.0 && t < 0.01, "sounding airtime {t}s should be below 10 ms");
+        assert!(
+            t > 0.0 && t < 0.01,
+            "sounding airtime {t}s should be below 10 ms"
+        );
     }
 }

@@ -209,9 +209,9 @@ mod tests {
             0,
             dummy_train,
             |model| match model.bottleneck_dim() {
-                d if d >= 56 => 0.01,  // K = 1/8 and 1/4
-                d if d >= 28 => 0.05,  // K = 1/16
-                _ => 0.10,             // K = 1/32
+                d if d >= 56 => 0.01, // K = 1/8 and 1/4
+                d if d >= 28 => 0.05, // K = 1/16
+                _ => 0.10,            // K = 1/32
             },
             |_| 0.001,
         )
@@ -282,14 +282,32 @@ mod tests {
             |_| 1.0, // every candidate violates the 10 ms delay ceiling
         );
         assert!(result.is_err());
-        assert_eq!(trained, 0, "no candidate should be trained when delay always fails");
+        assert_eq!(
+            trained, 0,
+            "no candidate should be trained when delay always fails"
+        );
     }
 
     #[test]
     fn constraint_validation() {
-        assert!(BopConstraints { mu: 0.0, ..BopConstraints::default() }.validate().is_err());
-        assert!(BopConstraints { mu: 1.0, ..BopConstraints::default() }.validate().is_err());
-        assert!(BopConstraints { max_ber: -1.0, ..BopConstraints::default() }.validate().is_err());
+        assert!(BopConstraints {
+            mu: 0.0,
+            ..BopConstraints::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BopConstraints {
+            mu: 1.0,
+            ..BopConstraints::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BopConstraints {
+            max_ber: -1.0,
+            ..BopConstraints::default()
+        }
+        .validate()
+        .is_err());
         assert!(BopConstraints::default().validate().is_ok());
     }
 

@@ -80,7 +80,10 @@ impl std::fmt::Display for SplitBeamError {
         match self {
             SplitBeamError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
             SplitBeamError::ConstraintsUnsatisfiable(msg) => {
-                write!(f, "bottleneck optimization constraints unsatisfiable: {msg}")
+                write!(
+                    f,
+                    "bottleneck optimization constraints unsatisfiable: {msg}"
+                )
             }
         }
     }
@@ -94,7 +97,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(format!("{}", SplitBeamError::DimensionMismatch("448 vs 224".into())).contains("448"));
+        assert!(
+            format!("{}", SplitBeamError::DimensionMismatch("448 vs 224".into())).contains("448")
+        );
         assert!(
             format!("{}", SplitBeamError::ConstraintsUnsatisfiable("BER".into())).contains("BER")
         );

@@ -52,6 +52,8 @@ pub fn quantize_bottleneck(values: &[f32], bits_per_value: u8) -> QuantizedFeedb
         min = 0.0;
         max = 0.0;
     }
+    // Note `!(max > min)` rather than `max <= min`: it must also catch NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(max > min) {
         // Constant (or empty) payload: widen the range artificially so the
         // dequantizer reproduces the constant exactly.

@@ -60,16 +60,20 @@ impl TrainingData {
     /// Panics if the snapshot's dimensions do not match the configuration.
     pub fn push_snapshot(&mut self, snapshot: &ChannelSnapshot) {
         assert_eq!(snapshot.nt(), self.config.mimo.nt, "Nt mismatch");
-        assert_eq!(snapshot.subcarriers(), self.config.mimo.subcarriers(), "subcarrier mismatch");
+        assert_eq!(
+            snapshot.subcarriers(),
+            self.config.mimo.subcarriers(),
+            "subcarrier mismatch"
+        );
         let ideal = snapshot.ideal_beamforming();
-        for user in 0..snapshot.num_users() {
+        for (user, ideal_user) in ideal.iter().enumerate().take(snapshot.num_users()) {
             let input: Vec<f32> = snapshot
                 .csi_real_vector(user)
                 .into_iter()
                 .map(|v| v as f32)
                 .collect();
             let mut target = Vec::with_capacity(self.config.output_dim());
-            for v in &ideal[user] {
+            for v in ideal_user {
                 let canonical = canonicalize_column_phases(v);
                 target.extend(canonical.to_real_vec().into_iter().map(|v| v as f32));
             }
@@ -85,8 +89,16 @@ impl TrainingData {
     /// # Panics
     /// Panics if the lengths do not match the configuration.
     pub fn push_example(&mut self, input: Vec<f32>, target: Vec<f32>) {
-        assert_eq!(input.len(), self.config.input_dim(), "input length mismatch");
-        assert_eq!(target.len(), self.config.output_dim(), "target length mismatch");
+        assert_eq!(
+            input.len(),
+            self.config.input_dim(),
+            "input length mismatch"
+        );
+        assert_eq!(
+            target.len(),
+            self.config.output_dim(),
+            "target length mismatch"
+        );
         self.examples.push((input, target));
     }
 
@@ -94,10 +106,7 @@ impl TrainingData {
     pub fn split(&self, fraction: f64) -> (Vec<Example>, Vec<Example>) {
         let cut = ((self.examples.len() as f64) * fraction).round() as usize;
         let cut = cut.min(self.examples.len());
-        (
-            self.examples[..cut].to_vec(),
-            self.examples[cut..].to_vec(),
-        )
+        (self.examples[..cut].to_vec(), self.examples[cut..].to_vec())
     }
 
     /// Splits into train/validation/test with the paper's 8:1:1 ratio.

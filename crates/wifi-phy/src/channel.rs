@@ -195,12 +195,18 @@ impl EnvironmentProfile {
 fn exponential_correlation_cholesky(n: usize, rho: f64) -> Vec<Vec<f64>> {
     // Build R then run a plain Cholesky; n <= 8 so cost is negligible.
     let r: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| rho.powi((i as i32 - j as i32).abs())).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| rho.powi((i as i32 - j as i32).abs()))
+                .collect()
+        })
         .collect();
     let mut l = vec![vec![0.0; n]; n];
     for i in 0..n {
         for j in 0..=i {
             let mut sum = r[i][j];
+            // Indexed on purpose: `l[i]` and `l[j]` alias when i == j.
+            #[allow(clippy::needless_range_loop)]
             for k in 0..j {
                 sum -= l[i][k] * l[j][k];
             }
@@ -466,9 +472,7 @@ impl ChannelProcess {
                         let nlos_scale = (1.0 / (k + 1.0)).sqrt();
                         let los = CMatrix::from_fn(model.nr, model.nt, |r, c| {
                             // A deterministic rank-1 LOS steering structure.
-                            Complex64::cis(
-                                std::f64::consts::PI * (r as f64 * 0.3 + c as f64 * 0.2),
-                            )
+                            Complex64::cis(std::f64::consts::PI * (r as f64 * 0.3 + c as f64 * 0.2))
                         });
                         los.scale_real(los_scale)
                             .add(&tap.gain.scale_real(nlos_scale))
@@ -479,9 +483,8 @@ impl ChannelProcess {
                     h = h.add(&gain.scale(phase).scale_real(amplitude));
                 }
                 if noise_std > 0.0 {
-                    let noise =
-                        CMatrix::from_fn(model.nr, model.nt, |_, _| complex_gaussian(rng))
-                            .scale_real(noise_std);
+                    let noise = CMatrix::from_fn(model.nr, model.nt, |_, _| complex_gaussian(rng))
+                        .scale_real(noise_std);
                     h = h.add(&noise);
                 }
                 per_subcarrier.push(h);
@@ -780,10 +783,7 @@ mod tests {
             let l = exponential_correlation_cholesky(n, rho);
             for i in 0..n {
                 for j in 0..n {
-                    let mut val = 0.0;
-                    for k in 0..n {
-                        val += l[i][k] * l[j][k];
-                    }
+                    let val: f64 = l[i].iter().zip(l[j].iter()).map(|(a, b)| a * b).sum();
                     let expected = rho.powi((i as i32 - j as i32).abs());
                     prop_assert!((val - expected).abs() < 1e-6);
                 }

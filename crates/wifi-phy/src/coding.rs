@@ -96,7 +96,7 @@ impl Bcc {
         let padded = bits
             .iter()
             .copied()
-            .chain(std::iter::repeat(false).take(CONSTRAINT - 1));
+            .chain(std::iter::repeat_n(false, CONSTRAINT - 1));
         for bit in padded {
             let reg = ((bit as u8) << (CONSTRAINT - 1)) | state;
             mother.push(parity(reg & G0));
@@ -282,7 +282,10 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         let info_ber = errors as f64 / bits.len() as f64;
-        assert!(info_ber < 0.02, "info BER {info_ber} should be well below 5%");
+        assert!(
+            info_ber < 0.02,
+            "info BER {info_ber} should be well below 5%"
+        );
     }
 
     #[test]

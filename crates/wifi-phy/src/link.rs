@@ -118,38 +118,55 @@ fn noise_sample(rng: &mut impl Rng, variance: f64) -> Complex64 {
     Complex64::from_polar(mag, 2.0 * std::f64::consts::PI * u2)
 }
 
-/// Per-station linear MMSE equalizer over the effective (post-precoding) channel.
-#[derive(Debug, Clone)]
-struct CMatrixEqualizer {
-    /// `streams x Nr` filter matrix; row `i` recovers stream `i`.
-    filter: Option<mimo_math::CMatrix>,
+/// Estimates one stream from the received vector `y` through row `index` of an
+/// MMSE filter matrix (`streams x Nr`; row `i` recovers stream `i`).
+///
+/// Only the requested row is applied — a single dot product per symbol instead
+/// of the full `streams x Nr` product (whose other rows would be discarded).
+/// Returns zero when the filter is unavailable (singular effective channel) or
+/// the stream index is out of range.
+fn estimate_stream(
+    filter: Option<&mimo_math::CMatrix>,
+    y: &[Complex64],
+    index: usize,
+) -> Complex64 {
+    match filter {
+        Some(f) if index < f.rows() => (0..f.cols())
+            .map(|c| f[(index, c)] * y[c])
+            .sum::<Complex64>(),
+        _ => Complex64::ZERO,
+    }
 }
 
-impl CMatrixEqualizer {
-    /// Builds the MMSE filter `(G^H G + sigma^2 I)^{-1} G^H` for the effective
-    /// channel `g` (`Nr x streams`).
-    fn mmse(g: &mimo_math::CMatrix, noise_variance: f64) -> Self {
-        let streams = g.cols();
-        let gram = g.hermitian().matmul(g);
-        let regularized = gram.add(
-            &mimo_math::CMatrix::identity(streams).scale_real(noise_variance.max(1e-9)),
-        );
-        let filter = mimo_math::solve::inverse(&regularized)
-            .ok()
-            .map(|inv| inv.matmul(&g.hermitian()));
-        Self { filter }
+/// Spreads consecutive coded bits across subcarriers (802.11-style block
+/// interleaving).
+///
+/// Hard-decision Viterbi copes well with scattered errors but collapses on the
+/// bursts a deeply faded subcarrier produces, so — like the standard — the
+/// coded path never sends adjacent coded bits on the same subcarrier. Writing
+/// the stream row-major into a `bits_per_subcarrier x subcarriers` block and
+/// reading it column-major gives transmit position
+/// `p = (j % subcarriers) * bits_per_subcarrier + j / subcarriers` for coded
+/// bit `j`, a bijection on the full channel-bit capacity.
+fn interleave_bits(coded: &[bool], bits_per_subcarrier: usize) -> Vec<bool> {
+    debug_assert_eq!(coded.len() % bits_per_subcarrier, 0);
+    let subcarriers = coded.len() / bits_per_subcarrier;
+    let mut out = vec![false; coded.len()];
+    for (j, &bit) in coded.iter().enumerate() {
+        out[(j % subcarriers) * bits_per_subcarrier + j / subcarriers] = bit;
     }
+    out
+}
 
-    /// Estimates stream `index` from the received vector `y`.
-    fn estimate_stream(&self, y: &[Complex64], index: usize) -> Complex64 {
-        match &self.filter {
-            Some(f) => {
-                let estimates = f.matvec(y);
-                estimates.get(index).copied().unwrap_or(Complex64::ZERO)
-            }
-            None => Complex64::ZERO,
-        }
+/// Inverse of [`interleave_bits`], applied to the demodulated stream.
+fn deinterleave_bits(received: &[bool], bits_per_subcarrier: usize) -> Vec<bool> {
+    debug_assert_eq!(received.len() % bits_per_subcarrier, 0);
+    let subcarriers = received.len() / bits_per_subcarrier;
+    let mut out = vec![false; received.len()];
+    for (j, slot) in out.iter_mut().enumerate() {
+        *slot = received[(j % subcarriers) * bits_per_subcarrier + j / subcarriers];
     }
+    out
 }
 
 /// Finds the largest number of information bits whose coded length fits in `capacity`.
@@ -217,7 +234,7 @@ pub fn simulate_mu_mimo_ber(
                 let mut coded = codec.encode(&bits);
                 coded.resize(channel_bit_capacity, false);
                 info_bits.push(bits);
-                tx_bits.push(coded);
+                tx_bits.push(interleave_bits(&coded, config.symbols_per_subcarrier * bps));
             }
         }
     }
@@ -231,6 +248,19 @@ pub fn simulate_mu_mimo_ber(
     let noise_variance = 10f64.powf(-config.snr_db / 10.0);
     let mut rx_symbols: Vec<Vec<Complex64>> = vec![Vec::with_capacity(symbols_per_user); num_users];
 
+    // Reusable buffers for the per-symbol hot loop: one persistent filter
+    // matrix per user (refilled in place every subcarrier) plus the usual
+    // vector scratch.
+    let mut ws = mimo_math::Workspace::new();
+    let mut g = mimo_math::CMatrix::zeros(1, 1);
+    let mut filters: Vec<mimo_math::CMatrix> = (0..num_users)
+        .map(|_| mimo_math::CMatrix::zeros(1, 1))
+        .collect();
+    let mut filter_ok = vec![false; num_users];
+    let mut x: Vec<Complex64> = Vec::with_capacity(num_users);
+    let mut tx: Vec<Complex64> = Vec::new();
+    let mut y: Vec<Complex64> = Vec::new();
+
     for s in 0..subcarriers {
         let w = precoder.precoder(s);
         // Per-user MMSE receive filters. Each station estimates the effective
@@ -241,25 +271,27 @@ pub fn simulate_mu_mimo_ber(
         // compression error misaligns the precoder, the desired-stream gain
         // drops and interference leaks, which raises the BER — the mechanism
         // the paper measures.
-        let equalizers: Vec<CMatrixEqualizer> = (0..num_users)
-            .map(|u| {
-                let g = snapshot.csi(u)[s].matmul(w);
-                CMatrixEqualizer::mmse(&g, noise_variance)
-            })
-            .collect();
+        for u in 0..num_users {
+            snapshot.csi(u)[s].matmul_into(w, &mut g);
+            filter_ok[u] =
+                mimo_math::solve::mmse_filter_into(&g, noise_variance, &mut ws, &mut filters[u])
+                    .is_ok();
+        }
         for k in 0..config.symbols_per_subcarrier {
             let t = s * config.symbols_per_subcarrier + k;
             // Stacked transmit vector across streams.
-            let x: Vec<Complex64> = (0..num_users).map(|u| tx_symbols[u][t]).collect();
+            x.clear();
+            x.extend((0..num_users).map(|u| tx_symbols[u][t]));
             // Precoded transmit signal at the AP antennas.
-            let tx = w.matvec(&x);
-            for (u, equalizer) in equalizers.iter().enumerate() {
+            w.matvec_into(&x, &mut tx);
+            for u in 0..num_users {
                 let h = &snapshot.csi(u)[s];
-                let mut y = h.matvec(&tx);
+                h.matvec_into(&tx, &mut y);
                 for value in y.iter_mut() {
                     *value += noise_sample(rng, noise_variance);
                 }
-                rx_symbols[u].push(equalizer.estimate_stream(&y, u * snapshot.nss()));
+                let filter = filter_ok[u].then_some(&filters[u]);
+                rx_symbols[u].push(estimate_stream(filter, &y, u * snapshot.nss()));
             }
         }
     }
@@ -278,7 +310,12 @@ pub fn simulate_mu_mimo_ber(
             Some(rate) => {
                 let codec = Bcc::new(rate);
                 let coded_len = codec.coded_len(info_bits[u].len());
-                let decoded = codec.decode(&rx_bits[..coded_len.min(rx_bits.len())], info_bits[u].len())?;
+                let deinterleaved =
+                    deinterleave_bits(&rx_bits, bps * config.symbols_per_subcarrier);
+                let decoded = codec.decode(
+                    &deinterleaved[..coded_len.min(deinterleaved.len())],
+                    info_bits[u].len(),
+                )?;
                 let errors = count_bit_errors(&info_bits[u], &decoded);
                 per_user_errors.push(errors);
                 per_user_bits.push(info_bits[u].len());
@@ -424,6 +461,29 @@ mod tests {
             coded.ber(),
             uncoded.ber()
         );
+    }
+
+    #[test]
+    fn interleaver_roundtrips_for_all_geometries() {
+        // deinterleave(interleave(x)) == x across subcarrier counts and
+        // per-subcarrier bit widths, including the degenerate 1-subcarrier and
+        // 1-bit-per-subcarrier shapes.
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        for (subcarriers, bits_per_sc) in [(1usize, 8usize), (56, 1), (56, 16), (234, 12), (7, 5)] {
+            let bits: Vec<bool> = (0..subcarriers * bits_per_sc).map(|_| rng.gen()).collect();
+            let interleaved = interleave_bits(&bits, bits_per_sc);
+            assert_eq!(
+                deinterleave_bits(&interleaved, bits_per_sc),
+                bits,
+                "{subcarriers}x{bits_per_sc}"
+            );
+            // The permutation must actually spread adjacent coded bits onto
+            // distinct subcarriers when more than one subcarrier exists.
+            if subcarriers > 1 {
+                let pos = |j: usize| (j % subcarriers) * bits_per_sc + j / subcarriers;
+                assert_ne!(pos(0) / bits_per_sc, pos(1) / bits_per_sc);
+            }
+        }
     }
 
     #[test]

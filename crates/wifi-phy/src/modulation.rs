@@ -102,7 +102,8 @@ impl Modulation {
                     }
                 }
                 // Invert the Gray map of `pam_level`.
-                const LEVEL_TO_GRAY: [u8; 8] = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+                const LEVEL_TO_GRAY: [u8; 8] =
+                    [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
                 let g = LEVEL_TO_GRAY[best];
                 vec![(g >> 2) & 1 == 1, (g >> 1) & 1 == 1, g & 1 == 1]
             }
@@ -125,9 +126,15 @@ impl Modulation {
         }
         let symbol = match self {
             Modulation::Bpsk => Complex64::new(Self::pam_level(&bits[0..1]), 0.0),
-            Modulation::Qpsk => Complex64::new(Self::pam_level(&bits[0..1]), Self::pam_level(&bits[1..2])),
-            Modulation::Qam16 => Complex64::new(Self::pam_level(&bits[0..2]), Self::pam_level(&bits[2..4])),
-            Modulation::Qam64 => Complex64::new(Self::pam_level(&bits[0..3]), Self::pam_level(&bits[3..6])),
+            Modulation::Qpsk => {
+                Complex64::new(Self::pam_level(&bits[0..1]), Self::pam_level(&bits[1..2]))
+            }
+            Modulation::Qam16 => {
+                Complex64::new(Self::pam_level(&bits[0..2]), Self::pam_level(&bits[2..4]))
+            }
+            Modulation::Qam64 => {
+                Complex64::new(Self::pam_level(&bits[0..3]), Self::pam_level(&bits[3..6]))
+            }
         };
         Ok(symbol.scale(self.scale()))
     }
@@ -240,7 +247,9 @@ mod tests {
 
     #[test]
     fn wrong_bit_width_is_rejected() {
-        let err = Modulation::Qam16.modulate_symbol(&[true, false]).unwrap_err();
+        let err = Modulation::Qam16
+            .modulate_symbol(&[true, false])
+            .unwrap_err();
         assert!(matches!(err, PhyError::DimensionMismatch(_)));
     }
 

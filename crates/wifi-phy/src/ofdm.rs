@@ -151,8 +151,17 @@ impl MimoConfig {
     /// Panics if any dimension is zero or if the total number of streams
     /// (`num_stations * nss`) exceeds `nt` (the paper assumes
     /// `Nt = sum_i Nss_i`, so more streams than antennas is invalid).
-    pub fn new(nt: usize, nr: usize, num_stations: usize, nss: usize, bandwidth: Bandwidth) -> Self {
-        assert!(nt > 0 && nr > 0 && num_stations > 0 && nss > 0, "dimensions must be non-zero");
+    pub fn new(
+        nt: usize,
+        nr: usize,
+        num_stations: usize,
+        nss: usize,
+        bandwidth: Bandwidth,
+    ) -> Self {
+        assert!(
+            nt > 0 && nr > 0 && num_stations > 0 && nss > 0,
+            "dimensions must be non-zero"
+        );
         assert!(
             num_stations * nss <= nt,
             "total spatial streams ({}) exceed transmit antennas ({})",

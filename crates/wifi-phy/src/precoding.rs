@@ -6,8 +6,8 @@
 //! transmits one stream per user through the corresponding column of `W`.
 
 use crate::PhyError;
-use mimo_math::solve::zf_pseudo_inverse;
-use mimo_math::CMatrix;
+use mimo_math::solve::zf_pseudo_inverse_into;
+use mimo_math::{CMatrix, Workspace};
 
 /// Per-user, per-subcarrier beamforming feedback: `feedback[u][s]` is the
 /// `Nt x Nss` beamforming matrix reported by station `u` for subcarrier `s`.
@@ -62,22 +62,37 @@ impl ZfPrecoder {
             }
         }
 
+        // One workspace and one stacked-channel buffer serve every subcarrier;
+        // only the precoder matrices themselves are allocated per subcarrier.
+        let mut ws = Workspace::new();
+        let mut h_eq = CMatrix::zeros(1, 1);
         let mut precoders = Vec::with_capacity(subcarriers);
         for s in 0..subcarriers {
             // H_EQ = [V_1 ... V_Ns], Nt x (Ns * Nss)
-            let mut h_eq = feedback[0][s].clone();
-            for user in feedback.iter().skip(1) {
-                h_eq = h_eq.hcat(&user[s]);
+            h_eq.reshape_zeroed(nt, num_users * nss);
+            for (u, user) in feedback.iter().enumerate() {
+                let v = &user[s];
+                for r in 0..nt {
+                    for c in 0..nss {
+                        h_eq[(r, u * nss + c)] = v[(r, c)];
+                    }
+                }
             }
-            let mut w = zf_pseudo_inverse(&h_eq).map_err(|_| PhyError::SingularChannel)?;
-            // Normalize each column (stream) to unit power.
+            let mut w = CMatrix::zeros(1, 1);
+            zf_pseudo_inverse_into(&h_eq, &mut ws, &mut w)
+                .map_err(|_| PhyError::SingularChannel)?;
+            // Normalize each column (stream) to unit power, in place.
             for c in 0..w.cols() {
-                let norm: f64 = w.column(c).iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+                let norm: f64 = (0..w.rows())
+                    .map(|r| w[(r, c)].norm_sqr())
+                    .sum::<f64>()
+                    .sqrt();
                 if norm < 1e-12 {
                     return Err(PhyError::SingularChannel);
                 }
-                let normalized: Vec<_> = w.column(c).iter().map(|z| *z / norm).collect();
-                w.set_column(c, &normalized);
+                for r in 0..w.rows() {
+                    w[(r, c)] = w[(r, c)] / norm;
+                }
             }
             precoders.push(w);
         }
@@ -149,7 +164,11 @@ pub fn residual_interference(
             }
         }
     }
-    Ok(if count == 0 { 0.0 } else { total / count as f64 })
+    Ok(if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    })
 }
 
 #[cfg(test)]
@@ -198,12 +217,12 @@ mod tests {
         let feedback = snap.ideal_beamforming();
         let zf = ZfPrecoder::from_feedback(&feedback).unwrap();
         for s in [0, 25] {
-            for i in 0..3 {
+            for (i, feedback_i) in feedback.iter().enumerate() {
                 for j in 0..3 {
                     if i == j {
                         continue;
                     }
-                    let vi = &feedback[i][s];
+                    let vi = &feedback_i[s];
                     let wj = zf.user_precoder(s, j);
                     let leak = vi.hermitian().matmul(&wj).frobenius_norm();
                     assert!(leak < 1e-9, "leak {leak} at s={s}, i={i}, j={j}");

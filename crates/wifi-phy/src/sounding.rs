@@ -92,7 +92,8 @@ pub fn sounding_round_airtime(
             protocol += SIFS_S + BRP_POLL_S;
         }
         protocol += SIFS_S + FEEDBACK_FRAME_OVERHEAD_S;
-        feedback += feedback_payload_airtime_s(per_station_feedback_bits, config.feedback_rate_mbps);
+        feedback +=
+            feedback_payload_airtime_s(per_station_feedback_bits, config.feedback_rate_mbps);
     }
     SoundingAirtime {
         protocol_s: protocol,
@@ -102,13 +103,20 @@ pub fn sounding_round_airtime(
 
 /// Fraction of airtime consumed by channel sounding when repeated every
 /// `sounding_interval_s` (e.g. 0.043 means 4.3 % of airtime is overhead).
-pub fn sounding_overhead_fraction(config: &SoundingConfig, per_station_feedback_bits: usize) -> f64 {
+pub fn sounding_overhead_fraction(
+    config: &SoundingConfig,
+    per_station_feedback_bits: usize,
+) -> f64 {
     sounding_round_airtime(config, per_station_feedback_bits).total_s() / config.sounding_interval_s
 }
 
 /// The throughput (bit/s) consumed by feedback alone, matching the paper's
 /// introduction example ("435,456 bits every 10 ms is 43.55 Mbit/s").
-pub fn feedback_throughput_bps(per_station_feedback_bits: usize, num_stations: usize, interval_s: f64) -> f64 {
+pub fn feedback_throughput_bps(
+    per_station_feedback_bits: usize,
+    num_stations: usize,
+    interval_s: f64,
+) -> f64 {
     (per_station_feedback_bits * num_stations) as f64 / interval_s
 }
 

@@ -19,9 +19,16 @@ fn main() {
     let spec = dataset_for(2, Bandwidth::Mhz20, "E1").unwrap();
     let generated = generate_dataset(&spec, &GeneratorOptions::quick(100, 3)).unwrap();
     let (train_snaps, val_snaps, test_snaps) = generated.split_train_val_test();
-    let options = TrainingOptions { epochs: 8, ..TrainingOptions::default() };
+    let options = TrainingOptions {
+        epochs: 8,
+        ..TrainingOptions::default()
+    };
 
-    let constraints = BopConstraints { max_ber: 0.03, max_delay_s: 0.01, mu: 0.5 };
+    let constraints = BopConstraints {
+        max_ber: 0.03,
+        max_delay_s: 0.01,
+        mu: 0.5,
+    };
     let accel = AcceleratorModel::zynq_200mhz(2, 2);
     let sounding = SoundingConfig::new(Bandwidth::Mhz20, 2);
 
@@ -43,7 +50,11 @@ fn main() {
         },
         |model| {
             // Evaluate the BER of the candidate over a few held-out snapshots.
-            let link = LinkConfig { snr_db: 20.0, symbols_per_subcarrier: 1, ..LinkConfig::default() };
+            let link = LinkConfig {
+                snr_db: 20.0,
+                symbols_per_subcarrier: 1,
+                ..LinkConfig::default()
+            };
             let mut report = wifi_phy::link::LinkReport::empty();
             for snap in test_snaps.iter().take(4) {
                 let feedback: Vec<_> = (0..snap.num_users())

@@ -8,12 +8,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use splitbeam_repro::prelude::*;
 
-fn ber_of(
-    model: &SplitBeamModel,
-    snapshots: &[ChannelSnapshot],
-    rng: &mut ChaCha8Rng,
-) -> f64 {
-    let link = LinkConfig { snr_db: 18.0, symbols_per_subcarrier: 1, ..LinkConfig::default() };
+fn ber_of(model: &SplitBeamModel, snapshots: &[ChannelSnapshot], rng: &mut ChaCha8Rng) -> f64 {
+    let link = LinkConfig {
+        snr_db: 18.0,
+        symbols_per_subcarrier: 1,
+        ..LinkConfig::default()
+    };
     let mut report = wifi_phy::link::LinkReport::empty();
     for snap in snapshots.iter().take(5) {
         let feedback: Vec<_> = (0..snap.num_users())
@@ -30,7 +30,10 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(23);
     let mimo = MimoConfig::symmetric(2, Bandwidth::Mhz20);
     let config = SplitBeamConfig::new(mimo, CompressionLevel::OneEighth);
-    let options = TrainingOptions { epochs: 10, ..TrainingOptions::default() };
+    let options = TrainingOptions {
+        epochs: 10,
+        ..TrainingOptions::default()
+    };
 
     let mut models = Vec::new();
     let mut tests = Vec::new();
@@ -46,7 +49,13 @@ fn main() {
         for s in val_snaps {
             val.push_snapshot(s);
         }
-        let (model, _) = train_model(&config, train.examples(), val.examples(), &options, &mut rng);
+        let (model, _) = train_model(
+            &config,
+            train.examples(),
+            val.examples(),
+            &options,
+            &mut rng,
+        );
         models.push((env, model));
         tests.push((env, test_snaps.to_vec()));
     }
@@ -55,7 +64,11 @@ fn main() {
     for (train_env, model) in &models {
         for (test_env, snaps) in &tests {
             let ber = ber_of(model, snaps, &mut rng);
-            let kind = if train_env == test_env { "single-env" } else { "cross-env " };
+            let kind = if train_env == test_env {
+                "single-env"
+            } else {
+                "cross-env "
+            };
             println!("  trained on {train_env}, tested on {test_env} ({kind}): BER = {ber:.4}");
         }
     }

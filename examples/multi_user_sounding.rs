@@ -34,8 +34,16 @@ fn main() {
         let accel = AcceleratorModel::zynq_200mhz(3, 3);
         let latency = accel.split_latency_from_config(&config);
         println!("\n== SplitBeam, {} ==", level);
-        println!("per-station feedback: {} bits ({:.0}% of 802.11)", bits, 100.0 * bits as f64 / dot11_bits as f64);
-        println!("per-station compute: {} MACs ({:.0}% of 802.11)", macs, 100.0 * macs as f64 / dot11_flops as f64);
+        println!(
+            "per-station feedback: {} bits ({:.0}% of 802.11)",
+            bits,
+            100.0 * bits as f64 / dot11_bits as f64
+        );
+        println!(
+            "per-station compute: {} MACs ({:.0}% of 802.11)",
+            macs,
+            100.0 * macs as f64 / dot11_flops as f64
+        );
         println!(
             "sounding round airtime: {:.3} ms, head+tail compute latency: {:.3} ms",
             airtime.total_s() * 1e3,

@@ -14,7 +14,10 @@ fn main() {
     // 1. Network configuration: a 2-antenna AP serving two single-stream stations at 20 MHz.
     let mimo = MimoConfig::symmetric(2, Bandwidth::Mhz20);
     let config = SplitBeamConfig::new(mimo, CompressionLevel::OneEighth);
-    println!("SplitBeam architecture: {} (K = 1/8)", config.architecture_label());
+    println!(
+        "SplitBeam architecture: {} (K = 1/8)",
+        config.architecture_label()
+    );
 
     // 2. Generate a small training set from the environment-E1 channel model.
     let channel = ChannelModel::from_config(EnvironmentProfile::e1(), &mimo);
@@ -25,7 +28,10 @@ fn main() {
     let (train, val) = data.split(0.85);
 
     // 3. Train (shortened schedule for the example).
-    let options = TrainingOptions { epochs: 10, ..TrainingOptions::default() };
+    let options = TrainingOptions {
+        epochs: 10,
+        ..TrainingOptions::default()
+    };
     let (model, history) = train_model(&config, &train, &val, &options, &mut rng);
     println!(
         "trained {} epochs: loss {:.4} -> {:.4}",
@@ -41,19 +47,18 @@ fn main() {
 
     // 4. Online use on a fresh channel: SplitBeam vs 802.11 vs ideal feedback.
     let snapshot = channel.sample(&mut rng);
-    let link = LinkConfig { snr_db: 20.0, ..LinkConfig::default() };
+    let link = LinkConfig {
+        snr_db: 20.0,
+        ..LinkConfig::default()
+    };
 
     let splitbeam_feedback: Vec<_> = (0..snapshot.num_users())
         .map(|u| model.feedback_for_user_quantized(&snapshot, u, 16).unwrap())
         .collect();
     let dot11_feedback: Vec<_> = (0..snapshot.num_users())
         .map(|u| {
-            dot11_bfi::pipeline::dot11_feedback_roundtrip(
-                snapshot.csi(u),
-                1,
-                AngleResolution::High,
-            )
-            .unwrap()
+            dot11_bfi::pipeline::dot11_feedback_roundtrip(snapshot.csi(u), 1, AngleResolution::High)
+                .unwrap()
         })
         .collect();
     let ideal = snapshot.ideal_beamforming();

@@ -25,7 +25,10 @@ fn train_quick(
     for s in val_snaps {
         val.push_snapshot(s);
     }
-    let options = TrainingOptions { epochs: 6, ..TrainingOptions::default() };
+    let options = TrainingOptions {
+        epochs: 6,
+        ..TrainingOptions::default()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     train_model(config, train.examples(), val.examples(), &options, &mut rng).0
 }
@@ -36,7 +39,11 @@ fn ber_for_feedback(
     seed: u64,
 ) -> f64 {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let link = LinkConfig { snr_db: 20.0, symbols_per_subcarrier: 1, ..LinkConfig::default() };
+    let link = LinkConfig {
+        snr_db: 20.0,
+        symbols_per_subcarrier: 1,
+        ..LinkConfig::default()
+    };
     let mut report = wifi_phy::link::LinkReport::empty();
     for snap in snapshots.iter().take(4) {
         let feedback = feedback_of(snap);
@@ -49,7 +56,10 @@ fn ber_for_feedback(
 #[test]
 fn trained_splitbeam_beats_untrained_and_tracks_dot11() {
     let data = quick_dataset("E1", 1);
-    let config = SplitBeamConfig::new(MimoConfig::symmetric(2, Bandwidth::Mhz20), CompressionLevel::OneQuarter);
+    let config = SplitBeamConfig::new(
+        MimoConfig::symmetric(2, Bandwidth::Mhz20),
+        CompressionLevel::OneQuarter,
+    );
     let trained = train_quick(&config, &data, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let untrained = SplitBeamModel::new(config, &mut rng);
@@ -79,7 +89,10 @@ fn trained_splitbeam_beats_untrained_and_tracks_dot11() {
         ber_trained < ber_untrained,
         "training must reduce BER: trained {ber_trained} vs untrained {ber_untrained}"
     );
-    assert!(ber_ideal <= ber_trained + 0.05, "ideal feedback should be at least as good");
+    assert!(
+        ber_ideal <= ber_trained + 0.05,
+        "ideal feedback should be at least as good"
+    );
 }
 
 #[test]
@@ -110,7 +123,10 @@ fn dot11_pipeline_integrates_with_link_simulation() {
 
 #[test]
 fn splitbeam_feedback_is_much_smaller_and_cheaper_than_dot11() {
-    let config = SplitBeamConfig::new(MimoConfig::symmetric(3, Bandwidth::Mhz80), CompressionLevel::OneEighth);
+    let config = SplitBeamConfig::new(
+        MimoConfig::symmetric(3, Bandwidth::Mhz80),
+        CompressionLevel::OneEighth,
+    );
     let sb_bits = splitbeam_repro::splitbeam::airtime::model_feedback_bits(&config, 16);
     let dot11_bits = dot11_bfi::feedback::paper_report_bits(3, 242);
     assert!(
@@ -119,7 +135,10 @@ fn splitbeam_feedback_is_much_smaller_and_cheaper_than_dot11() {
     );
     // The computational advantage is evaluated at 20 MHz; at 80 MHz the dense
     // head's quadratic subcarrier scaling erodes it (see EXPERIMENTS.md, Fig. 6).
-    let narrow = SplitBeamConfig::new(MimoConfig::symmetric(3, Bandwidth::Mhz20), CompressionLevel::OneEighth);
+    let narrow = SplitBeamConfig::new(
+        MimoConfig::symmetric(3, Bandwidth::Mhz20),
+        CompressionLevel::OneEighth,
+    );
     let sb_macs = splitbeam_repro::splitbeam::complexity::splitbeam_head_macs(&narrow);
     let dot11_flops = dot11_bfi::complexity::dot11_sta_flops(3, 3, 56);
     assert!((sb_macs as f64) < 0.8 * dot11_flops as f64);
@@ -133,7 +152,10 @@ fn end_to_end_delay_meets_the_10ms_budget() {
 
     for order in [2usize, 3, 4] {
         for bw in [Bandwidth::Mhz20, Bandwidth::Mhz80, Bandwidth::Mhz160] {
-            let config = SplitBeamConfig::new(MimoConfig::symmetric(order, bw), CompressionLevel::OneQuarter);
+            let config = SplitBeamConfig::new(
+                MimoConfig::symmetric(order, bw),
+                CompressionLevel::OneQuarter,
+            );
             let accel = AcceleratorModel::zynq_200mhz(order, order);
             let sounding = SoundingConfig::new(bw, order);
             let delay = end_to_end_delay_from_config_s(&config, &accel, &sounding, 16);

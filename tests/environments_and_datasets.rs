@@ -20,7 +20,10 @@ fn catalog_covers_every_paper_configuration() {
     for order in [2usize, 3] {
         for bw in [Bandwidth::Mhz20, Bandwidth::Mhz40, Bandwidth::Mhz80] {
             for env in ["E1", "E2"] {
-                assert!(dataset_for(order, bw, env).is_ok(), "{order}x{order} {bw} {env} missing");
+                assert!(
+                    dataset_for(order, bw, env).is_ok(),
+                    "{order}x{order} {bw} {env} missing"
+                );
             }
         }
     }
@@ -55,7 +58,9 @@ fn dot11_and_splitbeam_agree_on_dimensions() {
     let channel = ChannelModel::from_config(EnvironmentProfile::e1(), &mimo);
     let snap = channel.sample(&mut rng);
 
-    let dot11 = dot11_bfi::pipeline::dot11_feedback_roundtrip(snap.csi(0), 1, AngleResolution::High).unwrap();
+    let dot11 =
+        dot11_bfi::pipeline::dot11_feedback_roundtrip(snap.csi(0), 1, AngleResolution::High)
+            .unwrap();
     let config = SplitBeamConfig::new(mimo, CompressionLevel::OneEighth);
     let model = SplitBeamModel::new(config, &mut rng);
     let sb = model.feedback_for_user(&snap, 0).unwrap();
