@@ -1,0 +1,267 @@
+//! Serving-layer benchmark: the multi-station AP feedback service.
+//!
+//! Drives `splitbeam-serve` over simulated sounding rounds and writes
+//! `BENCH_PR2.json` with:
+//!
+//! * AP-side serving throughput (payloads/s) for the coalesced batched path
+//!   and the station-at-a-time reference, plus their speedup,
+//! * a bit-exactness verdict (batched and serial serving must reconstruct
+//!   byte-identical feedback),
+//! * actual wire bytes per frame for the bit-packed bottleneck codec against
+//!   both the legacy `Vec<u16>` in-memory representation and the airtime
+//!   model's predicted size,
+//! * the end-to-end MU-MIMO link-check BER over the served feedback.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p bench --bin serve_report            # writes BENCH_PR2.json
+//! SPLITBEAM_STATIONS=32 SPLITBEAM_ROUNDS=12 cargo run --release -p bench --bin serve_report
+//! ```
+//!
+//! The binary exits non-zero when batched and serial serving disagree or the
+//! wire accounting drifts from the airtime model — CI runs it as a smoke test.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::airtime::feedback_bits_on_air;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam::model::SplitBeamModel;
+use splitbeam::wire;
+use splitbeam_serve::driver::{
+    build_server, generate_traffic, link_check, serve_traffic, ServeMode, SimConfig,
+};
+use splitbeam_serve::session::StationId;
+use splitbeam_serve::ApServer;
+use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+/// The PR index this report seeds.
+const PR_INDEX: u32 = 2;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Times `body` with warm-up and batched sampling, returning best-batch ns/op.
+fn measure<F: FnMut()>(mut body: F) -> f64 {
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed() < Duration::from_millis(80) {
+        body();
+        warmup_iters += 1;
+    }
+    let per_iter_ns = (warmup_start.elapsed().as_nanos() as u64 / warmup_iters.max(1)).max(1);
+    let batch = (4_000_000 / per_iter_ns).clamp(1, 1_000_000);
+    let mut best = f64::INFINITY;
+    let run_start = Instant::now();
+    let mut batches = 0;
+    while (run_start.elapsed() < Duration::from_millis(600) || batches < 3) && batches < 200 {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            body();
+        }
+        best = best.min(batch_start.elapsed().as_nanos() as f64 / batch as f64);
+        batches += 1;
+    }
+    best
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn feedback_identical(a: &ApServer, b: &ApServer, stations: usize) -> bool {
+    (0..stations as StationId).all(|id| a.feedback_of(id) == b.feedback_of(id))
+}
+
+fn main() {
+    let stations = env_usize("SPLITBEAM_STATIONS", 12);
+    let rounds = env_usize("SPLITBEAM_ROUNDS", 6);
+    let bits_per_value = 4u8;
+
+    // The paper's headline MU-MIMO configuration: 3x3 at 80 MHz, 242
+    // subcarriers, 4356-wide CSI, 545-wide bottleneck at K = 1/8. The tail's
+    // weight matrix (~3 MB) no longer fits in L2, which is exactly the regime
+    // where coalescing stations into one batched inference pays: serial
+    // serving re-streams the weights once per station, the batched path once
+    // per register panel.
+    let config = SplitBeamConfig::new(
+        MimoConfig::symmetric(3, Bandwidth::Mhz80),
+        CompressionLevel::OneEighth,
+    );
+    let subcarriers = config.mimo.subcarriers();
+    let bottleneck_dim = config.bottleneck_dim();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let model = SplitBeamModel::new(config, &mut rng);
+
+    println!(
+        "SplitBeam serve report (PR {PR_INDEX}) — {stations} stations x {rounds} rounds, \
+         {bottleneck_dim}-wide bottleneck at {bits_per_value} bits/value\n"
+    );
+
+    // Clean traffic (no drops) for the timed comparison.
+    let sim = SimConfig {
+        stations,
+        rounds,
+        bits_per_value,
+        drop_every: 0,
+        snr_db: 25.0,
+    };
+    let traffic = generate_traffic(&sim, &model, &mut rng);
+    let payloads_per_pass = traffic.total_frames();
+
+    // Bit-exactness: one pass per mode on fresh servers.
+    let mut batched_server = build_server(model.clone(), stations, bits_per_value);
+    let mut serial_server = build_server(model.clone(), stations, bits_per_value);
+    let batched_summaries =
+        serve_traffic(&mut batched_server, &traffic, ServeMode::Batched).expect("batched serving");
+    let serial_summaries =
+        serve_traffic(&mut serial_server, &traffic, ServeMode::Serial).expect("serial serving");
+    let batched_matches_serial = batched_summaries == serial_summaries
+        && feedback_identical(&batched_server, &serial_server, stations);
+
+    // Throughput: reuse one long-lived server per mode (sessions persist, the
+    // round counter keeps advancing — exactly the steady-state serving loop).
+    let ns_batched = {
+        let mut server = build_server(model.clone(), stations, bits_per_value);
+        measure(|| {
+            serve_traffic(&mut server, &traffic, ServeMode::Batched).expect("batched serving");
+        })
+    };
+    let ns_serial = {
+        let mut server = build_server(model.clone(), stations, bits_per_value);
+        measure(|| {
+            serve_traffic(&mut server, &traffic, ServeMode::Serial).expect("serial serving");
+        })
+    };
+    let payloads_per_sec_batched = payloads_per_pass as f64 / (ns_batched / 1e9);
+    let payloads_per_sec_serial = payloads_per_pass as f64 / (ns_serial / 1e9);
+    let speedup = ns_serial / ns_batched;
+
+    // Wire accounting: actual frame length vs the legacy in-memory
+    // representation and vs the airtime model's prediction.
+    let wire_bytes_per_frame = wire::encoded_len(bottleneck_dim, bits_per_value);
+    let legacy_bytes_per_frame = wire::legacy_repr_bytes(bottleneck_dim);
+    let wire_vs_legacy = wire_bytes_per_frame as f64 / legacy_bytes_per_frame as f64;
+    let airtime_bits = feedback_bits_on_air(bottleneck_dim, bits_per_value);
+    let airtime_matches_wire = airtime_bits.div_ceil(8) == wire_bytes_per_frame;
+    let observed_frame = traffic.frames[0][0]
+        .as_ref()
+        .expect("first frame exists in drop-free traffic");
+    assert_eq!(observed_frame.len(), wire_bytes_per_frame);
+
+    // Link check over served feedback, on traffic with drops (staleness).
+    let dropped_sim = SimConfig {
+        drop_every: 9,
+        ..sim
+    };
+    let dropped_traffic = generate_traffic(&dropped_sim, &model, &mut rng);
+    let mut link_server = build_server(model, stations, bits_per_value);
+    serve_traffic(&mut link_server, &dropped_traffic, ServeMode::Batched).expect("serving");
+    let stale_station_rounds = stations * rounds - dropped_traffic.total_frames();
+    let link_report = link_check(
+        &link_server,
+        &dropped_traffic,
+        1,
+        dropped_sim.snr_db,
+        &mut rng,
+    )
+    .expect("link check");
+    let link_ber = link_report.ber();
+
+    println!(
+        "batched  {:>12.0} payloads/s   ({ns_batched:>12.0} ns/pass)",
+        payloads_per_sec_batched
+    );
+    println!(
+        "serial   {:>12.0} payloads/s   ({ns_serial:>12.0} ns/pass)",
+        payloads_per_sec_serial
+    );
+    println!("speedup  {speedup:>12.2}x   bit-exact: {batched_matches_serial}");
+    println!(
+        "wire     {wire_bytes_per_frame} B/frame vs legacy {legacy_bytes_per_frame} B \
+         ({:.1}%), airtime model {airtime_bits} bits (match: {airtime_matches_wire})",
+        100.0 * wire_vs_legacy
+    );
+    println!("link     BER {link_ber:.4} over {} payload bits", {
+        let bits: usize = link_report.per_user_bits.iter().sum();
+        bits
+    });
+
+    // Hand-rolled JSON (the workspace's serde shim carries no serializer).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": {PR_INDEX},");
+    let _ = writeln!(json, "  \"threads\": {},", num_threads());
+    let _ = writeln!(json, "  \"stations\": {stations},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"subcarriers\": {subcarriers},");
+    let _ = writeln!(json, "  \"bottleneck_dim\": {bottleneck_dim},");
+    let _ = writeln!(json, "  \"bits_per_value\": {bits_per_value},");
+    let _ = writeln!(
+        json,
+        "  \"payloads_per_sec_batched\": {},",
+        json_f64(payloads_per_sec_batched)
+    );
+    let _ = writeln!(
+        json,
+        "  \"payloads_per_sec_serial\": {},",
+        json_f64(payloads_per_sec_serial)
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched_speedup_vs_serial\": {},",
+        json_f64(speedup)
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched_matches_serial\": {batched_matches_serial},"
+    );
+    let _ = writeln!(json, "  \"wire_bytes_per_frame\": {wire_bytes_per_frame},");
+    let _ = writeln!(
+        json,
+        "  \"legacy_vec_u16_bytes_per_frame\": {legacy_bytes_per_frame},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"wire_vs_legacy_ratio\": {},",
+        json_f64(wire_vs_legacy)
+    );
+    let _ = writeln!(json, "  \"airtime_model_bits_per_frame\": {airtime_bits},");
+    let _ = writeln!(
+        json,
+        "  \"airtime_model_matches_wire\": {airtime_matches_wire},"
+    );
+    let _ = writeln!(json, "  \"stale_station_rounds\": {stale_station_rounds},");
+    let _ = writeln!(json, "  \"link_check_ber\": {}", json_f64(link_ber));
+    let _ = writeln!(json, "}}");
+
+    let out_path =
+        std::env::var("SPLITBEAM_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_PR{PR_INDEX}.json"));
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    println!("\nwrote {out_path}");
+
+    if !batched_matches_serial {
+        eprintln!("FAIL: batched serving diverged from station-at-a-time serving");
+        std::process::exit(1);
+    }
+    if !airtime_matches_wire {
+        eprintln!("FAIL: wire frame size drifted from the airtime model prediction");
+        std::process::exit(1);
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

@@ -1,0 +1,148 @@
+//! MSB-first bit-level packing primitives.
+//!
+//! These back the compressed-beamforming-report packing in [`crate::feedback`]
+//! and are exported so other wire formats (e.g. SplitBeam's bottleneck payload
+//! codec) can share the exact same bit layout: values are written most
+//! significant bit first, and the final partial byte is zero-padded on the
+//! right.
+
+/// Minimal MSB-first bit writer.
+///
+/// Values are appended in byte-sized chunks rather than bit by bit; the
+/// resulting stream is identical to a bit-at-a-time writer.
+pub struct BitWriter {
+    buf: Vec<u8>,
+    current: u8,
+    filled: u32,
+}
+
+impl BitWriter {
+    /// Creates a writer with capacity for `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits.div_ceil(8)),
+            current: 0,
+            filled: 0,
+        }
+    }
+
+    /// Appends the `bits` least significant bits of `value`, MSB first.
+    pub fn push(&mut self, value: u32, bits: u32) {
+        debug_assert!(bits <= 32);
+        let mut remaining = bits;
+        while remaining > 0 {
+            let take = (8 - self.filled).min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u32 << take) - 1)) as u8;
+            // take == 8 only happens on an empty byte (filled == 0).
+            self.current = if take == 8 {
+                chunk
+            } else {
+                (self.current << take) | chunk
+            };
+            self.filled += take;
+            remaining -= take;
+            if self.filled == 8 {
+                self.buf.push(self.current);
+                self.current = 0;
+                self.filled = 0;
+            }
+        }
+    }
+
+    /// Flushes the trailing partial byte (zero-padded) and returns the stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.current <<= 8 - self.filled;
+            self.buf.push(self.current);
+        }
+        self.buf
+    }
+}
+
+/// Minimal MSB-first bit reader.
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`, starting at the first bit.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, bit_pos: 0 }
+    }
+
+    /// Reads the next `bits` bits as an unsigned value, or `None` when the
+    /// stream is exhausted.
+    ///
+    /// Bits are consumed in byte-sized chunks (at most `ceil(bits / 8) + 1`
+    /// iterations), not one at a time — this is on the AP's per-frame decode
+    /// hot path.
+    pub fn pull(&mut self, bits: u32) -> Option<u32> {
+        debug_assert!(bits <= 32);
+        if self.bit_pos + bits as usize > self.data.len() * 8 {
+            return None;
+        }
+        let mut value = 0u32;
+        let mut remaining = bits;
+        while remaining > 0 {
+            let byte = self.data[self.bit_pos / 8];
+            let avail = 8 - (self.bit_pos % 8) as u32;
+            let take = avail.min(remaining);
+            let chunk = (u32::from(byte) >> (avail - take)) & ((1u32 << take) - 1);
+            value = (value << take) | chunk;
+            self.bit_pos += take as usize;
+            remaining -= take;
+        }
+        Some(value)
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.bit_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = BitWriter::with_capacity_bits(12);
+        w.push(0b101, 3);
+        w.push(0b11110000, 8);
+        w.push(0b1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.pull(3), Some(0b101));
+        assert_eq!(r.pull(8), Some(0b11110000));
+        assert_eq!(r.pull(1), Some(1));
+        assert_eq!(r.bits_read(), 12);
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.pull(8), Some(0xFF));
+        assert_eq!(r.pull(1), None);
+    }
+
+    #[test]
+    fn partial_byte_is_right_zero_padded() {
+        let mut w = BitWriter::with_capacity_bits(3);
+        w.push(0b111, 3);
+        assert_eq!(w.finish(), vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn wide_values_cross_byte_boundaries() {
+        let mut w = BitWriter::with_capacity_bits(64);
+        w.push(0xDEAD_BEEF, 32);
+        w.push(0x1234, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.pull(32), Some(0xDEAD_BEEF));
+        assert_eq!(r.pull(16), Some(0x1234));
+    }
+}

@@ -7,6 +7,7 @@
 //! actual bit-level packing of the quantized angles, so the feedback payload can
 //! be handed to the airtime model byte-for-byte.
 
+use crate::bits::{BitReader, BitWriter};
 use crate::givens::{total_angles, GivensAngles};
 use crate::quantize::{
     dequantize_phi, dequantize_psi, quantize_phi, quantize_psi, AngleResolution,
@@ -202,83 +203,6 @@ impl CompressedBeamformingReport {
     }
 }
 
-/// Minimal MSB-first bit writer.
-///
-/// Values are appended in byte-sized chunks rather than bit by bit; the
-/// resulting stream is identical to the historical bit-at-a-time writer.
-pub(crate) struct BitWriter {
-    buf: Vec<u8>,
-    current: u8,
-    filled: u32,
-}
-
-impl BitWriter {
-    pub(crate) fn with_capacity_bits(bits: usize) -> Self {
-        Self {
-            buf: Vec::with_capacity(bits.div_ceil(8)),
-            current: 0,
-            filled: 0,
-        }
-    }
-
-    pub(crate) fn push(&mut self, value: u32, bits: u32) {
-        debug_assert!(bits <= 32);
-        let mut remaining = bits;
-        while remaining > 0 {
-            let take = (8 - self.filled).min(remaining);
-            let shift = remaining - take;
-            let chunk = ((value >> shift) & ((1u32 << take) - 1)) as u8;
-            // take == 8 only happens on an empty byte (filled == 0).
-            self.current = if take == 8 {
-                chunk
-            } else {
-                (self.current << take) | chunk
-            };
-            self.filled += take;
-            remaining -= take;
-            if self.filled == 8 {
-                self.buf.push(self.current);
-                self.current = 0;
-                self.filled = 0;
-            }
-        }
-    }
-
-    pub(crate) fn finish(mut self) -> Vec<u8> {
-        if self.filled > 0 {
-            self.current <<= 8 - self.filled;
-            self.buf.push(self.current);
-        }
-        self.buf
-    }
-}
-
-/// Minimal MSB-first bit reader.
-struct BitReader<'a> {
-    data: &'a [u8],
-    bit_pos: usize,
-}
-
-impl<'a> BitReader<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Self { data, bit_pos: 0 }
-    }
-
-    fn pull(&mut self, bits: u32) -> Option<u32> {
-        if self.bit_pos + bits as usize > self.data.len() * 8 {
-            return None;
-        }
-        let mut value = 0u32;
-        for _ in 0..bits {
-            let byte = self.data[self.bit_pos / 8];
-            let bit = (byte >> (7 - (self.bit_pos % 8))) & 1;
-            value = (value << 1) | bit as u32;
-            self.bit_pos += 1;
-        }
-        Some(value)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,26 +243,6 @@ mod tests {
         // The standard-accurate single-stream accounting compresses harder.
         let cr_single = compression_ratio(2, 2, 1, 56, AngleResolution::High);
         assert!(cr_single < cr_2x2);
-    }
-
-    #[test]
-    fn bitwriter_reader_roundtrip() {
-        let mut w = BitWriter::with_capacity_bits(12);
-        w.push(0b101, 3);
-        w.push(0b11110000, 8);
-        w.push(0b1, 1);
-        let bytes = w.finish();
-        let mut r = BitReader::new(&bytes);
-        assert_eq!(r.pull(3), Some(0b101));
-        assert_eq!(r.pull(8), Some(0b11110000));
-        assert_eq!(r.pull(1), Some(1));
-    }
-
-    #[test]
-    fn bitreader_detects_exhaustion() {
-        let mut r = BitReader::new(&[0xFF]);
-        assert_eq!(r.pull(8), Some(0xFF));
-        assert_eq!(r.pull(1), None);
     }
 
     fn random_angles(seed: u64, nt: usize, nss: usize, count: usize) -> Vec<GivensAngles> {

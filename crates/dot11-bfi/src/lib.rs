@@ -7,6 +7,8 @@
 //!   into Givens-rotation angles (ψ, φ) and the inverse reconstruction,
 //! * [`quantize`] — standard angle quantization with `bφ ∈ {5, 7, 9}` bits and
 //!   `bψ = bφ − 2` bits,
+//! * [`bits`] — the shared MSB-first bit writer/reader primitives behind every
+//!   wire format in the workspace,
 //! * [`feedback`] — compressed-beamforming-frame bit packing, feedback sizes
 //!   and the compression-ratio formula (Eq. 9),
 //! * [`pipeline`] — the complete beamformee (STA) and beamformer (AP) sides:
@@ -40,6 +42,7 @@
 //! assert_eq!(reconstructed[0].shape(), (2, 1));
 //! ```
 
+pub mod bits;
 pub mod complexity;
 pub mod engine;
 pub mod feedback;

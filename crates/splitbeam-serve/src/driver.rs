@@ -1,0 +1,321 @@
+//! Simulated multi-station sounding-round traffic for the serving layer.
+//!
+//! The driver splits the world exactly along the air interface: station-side
+//! work (channel estimation → head compression → quantization → wire encoding)
+//! happens in [`generate_traffic`] ahead of time, and the AP-side serving path
+//! ([`serve_traffic`]) consumes only wire frames — so benchmarks can time the
+//! server in isolation and compare the coalesced batched path against the
+//! station-at-a-time reference on identical traffic.
+
+use crate::server::{ApServer, RoundSummary};
+use crate::session::StationId;
+use crate::ServeError;
+use rand::Rng;
+use splitbeam::model::SplitBeamModel;
+use splitbeam::wire;
+use wifi_phy::channel::{ChannelModel, ChannelSnapshot, EnvironmentProfile};
+use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig, LinkReport};
+use wifi_phy::ofdm::Bandwidth;
+
+/// Shape of one simulated serving workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Number of stations associated with the AP.
+    pub stations: usize,
+    /// Number of sounding rounds.
+    pub rounds: usize,
+    /// Bottleneck quantizer width every station announces.
+    pub bits_per_value: u8,
+    /// Every `drop_every`-th (station, round) pair skips its report, leaving
+    /// that station stale for the round; `0` disables drops.
+    pub drop_every: usize,
+    /// Per-stream SNR of the MU-MIMO link check in dB.
+    pub snr_db: f64,
+}
+
+impl SimConfig {
+    /// A small default workload: 8 stations, 4 rounds, 4-bit bottleneck, one
+    /// in eleven reports dropped.
+    pub fn small() -> Self {
+        Self {
+            stations: 8,
+            rounds: 4,
+            bits_per_value: 4,
+            drop_every: 11,
+            snr_db: 25.0,
+        }
+    }
+}
+
+/// Pre-generated station-side traffic: the wire frames of every round plus the
+/// final-round true channels for the link check.
+#[derive(Debug, Clone)]
+pub struct SimTraffic {
+    /// `frames[r][s]` is the wire frame station `s` transmits in round `r`
+    /// (`None` when the report was dropped).
+    pub frames: Vec<Vec<Option<Vec<u8>>>>,
+    /// `final_csi[s]` is station `s`'s true per-subcarrier channel in the last
+    /// round it reported.
+    pub final_csi: Vec<Vec<mimo_math::CMatrix>>,
+    /// Channel bandwidth (for rebuilding snapshots).
+    pub bandwidth: Bandwidth,
+    /// Spatial streams per station.
+    pub nss: usize,
+}
+
+impl SimTraffic {
+    /// Total wire bytes across all rounds and stations.
+    pub fn total_wire_bytes(&self) -> usize {
+        self.frames
+            .iter()
+            .flatten()
+            .filter_map(|f| f.as_ref().map(Vec::len))
+            .sum()
+    }
+
+    /// Number of frames actually transmitted (non-dropped reports).
+    pub fn total_frames(&self) -> usize {
+        self.frames.iter().flatten().flatten().count()
+    }
+}
+
+/// Runs the station side of `cfg.rounds` sounding rounds: every station
+/// estimates an independent channel, compresses it through the model head,
+/// quantizes at `cfg.bits_per_value` bits and wire-encodes the payload.
+///
+/// # Panics
+/// Panics if `cfg.stations` or `cfg.rounds` is zero, or the model rejects the
+/// generated CSI (impossible for a model matching its own `MimoConfig`).
+pub fn generate_traffic(cfg: &SimConfig, model: &SplitBeamModel, rng: &mut impl Rng) -> SimTraffic {
+    assert!(cfg.stations > 0 && cfg.rounds > 0, "empty workload");
+    let mimo = &model.config().mimo;
+    let channel = ChannelModel::with_rx_antennas(
+        EnvironmentProfile::e1(),
+        mimo.bandwidth,
+        mimo.nt,
+        mimo.nr,
+        1,
+        mimo.nss,
+    );
+    let mut frames = Vec::with_capacity(cfg.rounds);
+    let mut final_csi: Vec<Vec<mimo_math::CMatrix>> = vec![Vec::new(); cfg.stations];
+    let mut event = 0usize;
+    for _ in 0..cfg.rounds {
+        let mut round_frames = Vec::with_capacity(cfg.stations);
+        for station_csi in final_csi.iter_mut() {
+            event += 1;
+            let dropped = cfg.drop_every != 0 && event.is_multiple_of(cfg.drop_every);
+            if dropped {
+                round_frames.push(None);
+                continue;
+            }
+            let snapshot = channel.sample(rng);
+            let csi: Vec<f32> = snapshot
+                .csi_real_vector(0)
+                .into_iter()
+                .map(|v| v as f32)
+                .collect();
+            let payload = model
+                .compress_quantized(&csi, cfg.bits_per_value)
+                .expect("model accepts its own configuration's CSI");
+            let frame = wire::encode_feedback(&payload).expect("freshly quantized payload encodes");
+            *station_csi = snapshot.csi(0).to_vec();
+            round_frames.push(Some(frame));
+        }
+        frames.push(round_frames);
+    }
+    SimTraffic {
+        frames,
+        final_csi,
+        bandwidth: mimo.bandwidth,
+        nss: mimo.nss,
+    }
+}
+
+/// How [`serve_traffic`] closes each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Coalesced: one batched tail inference per model per round.
+    Batched,
+    /// Reference: one tail inference per station.
+    Serial,
+}
+
+/// Builds a server with `model` registered and stations `0..stations`
+/// associated at `bits_per_value` bits.
+///
+/// # Panics
+/// Panics on invalid `bits_per_value` (registration is infallible otherwise).
+pub fn build_server(model: SplitBeamModel, stations: usize, bits_per_value: u8) -> ApServer {
+    let mut server = ApServer::new();
+    let key = server.register_model(model);
+    for id in 0..stations as StationId {
+        server
+            .register_station(id, key, bits_per_value)
+            .expect("fresh server accepts fleet registration");
+    }
+    server
+}
+
+/// Feeds pre-generated traffic through the server, closing one round per
+/// traffic round. This is the AP-side hot path benchmarks time.
+///
+/// # Errors
+/// Propagates ingest/reconstruction failures (impossible for traffic generated
+/// against the registered model).
+pub fn serve_traffic(
+    server: &mut ApServer,
+    traffic: &SimTraffic,
+    mode: ServeMode,
+) -> Result<Vec<RoundSummary>, ServeError> {
+    let mut summaries = Vec::with_capacity(traffic.frames.len());
+    for round_frames in &traffic.frames {
+        for (station, frame) in round_frames.iter().enumerate() {
+            if let Some(frame) = frame {
+                server.ingest_wire(station as StationId, frame)?;
+            }
+        }
+        summaries.push(match mode {
+            ServeMode::Batched => server.process_round()?,
+            ServeMode::Serial => server.process_round_serial()?,
+        });
+    }
+    Ok(summaries)
+}
+
+/// Runs the end-to-end MU-MIMO link check over the served feedback: fresh
+/// stations are partitioned into `Nt`-sized zero-forcing groups, each group's
+/// reconstructed `V̂` drives the precoder, and the payload propagates through
+/// the stations' *true* final-round channels.
+///
+/// `max_age` bounds how stale a station's feedback may be (in rounds) to join
+/// a group. Returns the merged report across groups; groups of a single
+/// station are skipped (no inter-user interference to measure).
+///
+/// # Errors
+/// [`ServeError::Link`] when the precoder or link simulation rejects a group.
+pub fn link_check(
+    server: &ApServer,
+    traffic: &SimTraffic,
+    max_age: u64,
+    snr_db: f64,
+    rng: &mut impl Rng,
+) -> Result<LinkReport, ServeError> {
+    let link_cfg = LinkConfig {
+        snr_db,
+        ..LinkConfig::default()
+    };
+    let mut merged = LinkReport::empty();
+    for group in server.mu_mimo_groups(max_age) {
+        if group.len() < 2 {
+            continue;
+        }
+        let feedback = server.group_feedback(&group)?;
+        let per_user: Vec<Vec<mimo_math::CMatrix>> = group
+            .iter()
+            .map(|&id| traffic.final_csi[id as usize].clone())
+            .collect();
+        let snapshot = ChannelSnapshot::from_matrices(traffic.bandwidth, traffic.nss, per_user);
+        let report = simulate_mu_mimo_ber(&snapshot, &feedback, &link_cfg, rng)
+            .map_err(|e| ServeError::Link(e.to_string()))?;
+        merged.merge(&report);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+    use wifi_phy::ofdm::MimoConfig;
+
+    fn trained_free_model(seed: u64) -> SplitBeamModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        SplitBeamModel::new(
+            SplitBeamConfig::new(
+                MimoConfig::symmetric(2, Bandwidth::Mhz20),
+                CompressionLevel::OneEighth,
+            ),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn traffic_has_expected_shape() {
+        let model = trained_free_model(1);
+        let cfg = SimConfig {
+            stations: 3,
+            rounds: 2,
+            bits_per_value: 4,
+            drop_every: 5,
+            snr_db: 25.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let traffic = generate_traffic(&cfg, &model, &mut rng);
+        assert_eq!(traffic.frames.len(), 2);
+        assert_eq!(traffic.frames[0].len(), 3);
+        // Events 5 (round 1, station 1) dropped out of 6.
+        assert_eq!(traffic.total_frames(), 5);
+        assert!(traffic.frames[1][1].is_none());
+        let expected_frame_len = wire::encoded_len(model.bottleneck_dim(), 4);
+        for frame in traffic.frames.iter().flatten().flatten() {
+            assert_eq!(frame.len(), expected_frame_len);
+        }
+        assert_eq!(traffic.total_wire_bytes(), 5 * expected_frame_len);
+        assert_eq!(traffic.final_csi.len(), 3);
+        assert_eq!(traffic.final_csi[0].len(), 56);
+    }
+
+    /// Satellite determinism test: the serving layer's batched reconstruction
+    /// matches station-at-a-time reconstruction exactly, over multiple rounds
+    /// with drops.
+    #[test]
+    fn batched_serving_is_bit_exact_with_serial() {
+        let model = trained_free_model(3);
+        let cfg = SimConfig {
+            stations: 6,
+            rounds: 3,
+            bits_per_value: 4,
+            drop_every: 7,
+            snr_db: 25.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let traffic = generate_traffic(&cfg, &model, &mut rng);
+        let mut batched = build_server(model.clone(), cfg.stations, cfg.bits_per_value);
+        let mut serial = build_server(model, cfg.stations, cfg.bits_per_value);
+        let b = serve_traffic(&mut batched, &traffic, ServeMode::Batched).unwrap();
+        let s = serve_traffic(&mut serial, &traffic, ServeMode::Serial).unwrap();
+        assert_eq!(b, s);
+        for id in 0..cfg.stations as StationId {
+            assert_eq!(
+                batched.feedback_of(id),
+                serial.feedback_of(id),
+                "station {id} batched vs serial"
+            );
+            assert!(batched.feedback_of(id).is_some());
+        }
+    }
+
+    #[test]
+    fn link_check_runs_on_fresh_groups() {
+        let model = trained_free_model(5);
+        let cfg = SimConfig {
+            stations: 4,
+            rounds: 2,
+            bits_per_value: 8,
+            drop_every: 0,
+            snr_db: 25.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let traffic = generate_traffic(&cfg, &model, &mut rng);
+        let mut server = build_server(model, cfg.stations, cfg.bits_per_value);
+        serve_traffic(&mut server, &traffic, ServeMode::Batched).unwrap();
+        let report = link_check(&server, &traffic, 0, cfg.snr_db, &mut rng).unwrap();
+        // Two groups of two stations, every station carries payload bits.
+        assert_eq!(report.per_user_bits.len(), 2);
+        assert!(report.per_user_bits.iter().all(|&b| b > 0));
+        assert!(report.ber().is_finite());
+    }
+}

@@ -1,0 +1,101 @@
+//! AP-side SplitBeam feedback **serving layer**.
+//!
+//! The paper's airtime and compute wins (Section IV) only materialize at the
+//! access point, which aggregates head outputs from *many* stations across
+//! sounding rounds and runs the tail reconstruction for all of them. This
+//! crate turns the batched kernels of `splitbeam`/`neural` into that service:
+//!
+//! * [`session`] — per-station state: model binding, quantizer width, the last
+//!   reconstructed `V̂` and its age in sounding rounds,
+//! * [`server`] — the [`ApServer`]: ingests bit-packed wire frames
+//!   ([`splitbeam::wire`]), coalesces everything pending into one batched tail
+//!   inference per model at round boundaries (bit-exact with serving each
+//!   station alone), and groups fresh stations into `Nt`-sized MU-MIMO groups
+//!   for the zero-forcing precoder,
+//! * [`driver`] — a simulated multi-station sounding-round driver: station-side
+//!   compress → quantize → wire-encode traffic generation, AP-side serving in
+//!   batched or station-at-a-time mode, and the end-to-end
+//!   `simulate_mu_mimo_ber` link check over the served feedback.
+//!
+//! # Example: serve two stations for one round
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+//! use splitbeam::model::SplitBeamModel;
+//! use splitbeam_serve::server::ApServer;
+//! use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
+//! use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(7);
+//! let config = SplitBeamConfig::new(
+//!     MimoConfig::symmetric(2, Bandwidth::Mhz20),
+//!     CompressionLevel::OneEighth,
+//! );
+//! let model = SplitBeamModel::new(config, &mut rng);
+//! let channel = ChannelModel::new(EnvironmentProfile::e1(), Bandwidth::Mhz20, 2, 1, 1);
+//!
+//! let mut server = ApServer::new();
+//! let key = server.register_model(model.clone());
+//! for id in 0..2u64 {
+//!     server.register_station(id, key, 4).unwrap();
+//!     let csi: Vec<f32> = channel
+//!         .sample(&mut rng)
+//!         .csi_real_vector(0)
+//!         .into_iter()
+//!         .map(|v| v as f32)
+//!         .collect();
+//!     let payload = model.compress_quantized(&csi, 4).unwrap();
+//!     let frame = splitbeam::wire::encode_feedback(&payload).unwrap();
+//!     server.ingest_wire(id, &frame).unwrap();
+//! }
+//! let summary = server.process_round().unwrap();
+//! assert_eq!(summary.served, 2);
+//! // Flat real-interleaved V̂ per station; matrices materialize per group.
+//! assert_eq!(server.feedback_of(0).unwrap().len(), 224);
+//! assert_eq!(server.feedback_matrices_of(0).unwrap().len(), 56);
+//! ```
+
+pub mod driver;
+pub mod server;
+pub mod session;
+
+pub use server::{ApServer, RoundSummary};
+pub use session::{StationId, StationSession};
+
+/// Errors produced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The station id is not registered.
+    UnknownStation(StationId),
+    /// The model key does not name a registered model.
+    UnknownModel(usize),
+    /// The station id is already registered.
+    DuplicateStation(StationId),
+    /// A wire frame failed to decode, or its payload does not match the
+    /// station's model.
+    Codec(String),
+    /// Tail reconstruction failed.
+    Model(String),
+    /// A station has no reconstructed feedback yet.
+    NoFeedback(StationId),
+    /// The MU-MIMO link check failed.
+    Link(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownStation(id) => write!(f, "unknown station {id}"),
+            ServeError::UnknownModel(key) => write!(f, "unknown model key {key}"),
+            ServeError::DuplicateStation(id) => write!(f, "station {id} already registered"),
+            ServeError::Codec(msg) => write!(f, "wire codec error: {msg}"),
+            ServeError::Model(msg) => write!(f, "tail reconstruction error: {msg}"),
+            ServeError::NoFeedback(id) => write!(f, "station {id} has no feedback yet"),
+            ServeError::Link(msg) => write!(f, "link check error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,493 @@
+//! The sessionized AP feedback server.
+
+use crate::session::{StationId, StationSession};
+use crate::ServeError;
+use splitbeam::model::SplitBeamModel;
+use splitbeam::quantization::{dequantize_bottleneck, QuantizedFeedback};
+use splitbeam::wire;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wifi_phy::precoding::BeamformingFeedback;
+
+/// What one call to [`ApServer::process_round`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// Index of the round that was just closed.
+    pub round: u64,
+    /// Stations whose payload was reconstructed this round.
+    pub served: usize,
+    /// Registered stations that delivered nothing this round.
+    pub stale: usize,
+    /// Batched tail invocations performed (one per model with pending traffic).
+    pub batches: usize,
+}
+
+/// The AP-side serving state: model registry, per-station sessions, and the
+/// payloads pending for the current sounding round.
+///
+/// Ingest and reconstruction are decoupled: [`ApServer::ingest_wire`] decodes
+/// and validates frames as they arrive, [`ApServer::process_round`] coalesces
+/// everything pending into one batched tail inference per model — bit-exact
+/// with [`ApServer::process_round_serial`], which reconstructs station by
+/// station and exists as the reference (and comparison baseline).
+#[derive(Debug, Clone, Default)]
+pub struct ApServer {
+    models: Vec<Arc<SplitBeamModel>>,
+    sessions: BTreeMap<StationId, StationSession>,
+    pending: BTreeMap<StationId, QuantizedFeedback>,
+    round: u64,
+}
+
+impl ApServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tail model and returns its key. Stations referencing the
+    /// same key share the model (and one batched inference per round).
+    pub fn register_model(&mut self, model: SplitBeamModel) -> usize {
+        self.models.push(Arc::new(model));
+        self.models.len() - 1
+    }
+
+    /// The model behind `key`.
+    pub fn model(&self, key: usize) -> Option<&SplitBeamModel> {
+        self.models.get(key).map(Arc::as_ref)
+    }
+
+    /// Associates a station with a registered model and quantizer width.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] for an unregistered key,
+    /// [`ServeError::DuplicateStation`] when the id is already associated, and
+    /// [`ServeError::Codec`] for a bit width outside `1..=16`.
+    pub fn register_station(
+        &mut self,
+        id: StationId,
+        model_key: usize,
+        bits_per_value: u8,
+    ) -> Result<(), ServeError> {
+        if model_key >= self.models.len() {
+            return Err(ServeError::UnknownModel(model_key));
+        }
+        if !(1..=16).contains(&bits_per_value) {
+            return Err(ServeError::Codec(format!(
+                "station {id} announced invalid bits_per_value {bits_per_value}"
+            )));
+        }
+        if self.sessions.contains_key(&id) {
+            return Err(ServeError::DuplicateStation(id));
+        }
+        self.sessions
+            .insert(id, StationSession::new(id, model_key, bits_per_value));
+        Ok(())
+    }
+
+    /// Number of registered stations.
+    pub fn num_stations(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The session of station `id`.
+    pub fn session(&self, id: StationId) -> Option<&StationSession> {
+        self.sessions.get(&id)
+    }
+
+    /// Iterates over all sessions in station-id order.
+    pub fn sessions(&self) -> impl Iterator<Item = &StationSession> {
+        self.sessions.values()
+    }
+
+    /// Index of the sounding round currently being collected.
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of payloads waiting for the next `process_round`.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ingests one bit-packed wire frame from station `id` for the current
+    /// round, returning the decoded payload size in bytes. A station reporting
+    /// twice in one round replaces its pending payload (last wins).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownStation`] for an unassociated id and
+    /// [`ServeError::Codec`] when the frame fails to decode, its bit width
+    /// disagrees with the session, or the code count does not match the
+    /// station's model bottleneck.
+    pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
+        let payload = wire::decode_feedback(frame).map_err(|e| ServeError::Codec(e.to_string()))?;
+        self.ingest_payload(id, payload, frame.len())
+    }
+
+    /// Ingests an already-decoded payload (in-process stations, tests).
+    ///
+    /// # Errors
+    /// Same validation as [`ApServer::ingest_wire`].
+    pub fn ingest_payload(
+        &mut self,
+        id: StationId,
+        payload: QuantizedFeedback,
+        wire_bytes: usize,
+    ) -> Result<usize, ServeError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        if payload.bits_per_value != session.bits_per_value() {
+            return Err(ServeError::Codec(format!(
+                "station {id} sent {} bits/value, session announced {}",
+                payload.bits_per_value,
+                session.bits_per_value()
+            )));
+        }
+        let expected = self.models[session.model_key()].bottleneck_dim();
+        if payload.codes.len() != expected {
+            return Err(ServeError::Codec(format!(
+                "station {id} sent {} codes, model bottleneck is {expected}",
+                payload.codes.len()
+            )));
+        }
+        session.record_ingest(wire_bytes);
+        self.pending.insert(id, payload);
+        Ok(wire_bytes)
+    }
+
+    /// Closes the current round: coalesces all pending payloads into **one
+    /// batched tail inference per model**, stores every reconstruction in its
+    /// session, and advances the round counter.
+    ///
+    /// # Errors
+    /// [`ServeError::Model`] when a tail reconstruction fails (the round is
+    /// still consumed).
+    pub fn process_round(&mut self) -> Result<RoundSummary, ServeError> {
+        let pending = std::mem::take(&mut self.pending);
+        let round = self.round;
+        self.round += 1;
+        let mut served = 0usize;
+        let mut batches = 0usize;
+        for key in 0..self.models.len() {
+            let group: Vec<(StationId, &QuantizedFeedback)> = pending
+                .iter()
+                .filter(|(id, _)| self.sessions[id].model_key() == key)
+                .map(|(&id, p)| (id, p))
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            batches += 1;
+            let model = Arc::clone(&self.models[key]);
+            let bottlenecks: Vec<Vec<f32>> = group
+                .iter()
+                .map(|(_, p)| dequantize_bottleneck(p))
+                .collect();
+            let refs: Vec<&[f32]> = bottlenecks.iter().map(Vec::as_slice).collect();
+            let flats = model
+                .reconstruct_batch(&refs)
+                .map_err(|e| ServeError::Model(e.to_string()))?;
+            for ((id, _), flat) in group.iter().zip(flats.iter()) {
+                self.sessions
+                    .get_mut(id)
+                    .expect("pending payload from registered station")
+                    .store_feedback(flat, round);
+                served += 1;
+            }
+        }
+        Ok(RoundSummary {
+            round,
+            served,
+            stale: self.sessions.len() - served,
+            batches,
+        })
+    }
+
+    /// Reference path: closes the round reconstructing **one station at a
+    /// time** (no coalescing). Produces bit-identical session state to
+    /// [`ApServer::process_round`]; kept for verification and as the baseline
+    /// the batched path is benchmarked against.
+    ///
+    /// # Errors
+    /// [`ServeError::Model`] when a tail reconstruction fails.
+    pub fn process_round_serial(&mut self) -> Result<RoundSummary, ServeError> {
+        let pending = std::mem::take(&mut self.pending);
+        let round = self.round;
+        self.round += 1;
+        let mut served = 0usize;
+        let mut models_touched = std::collections::BTreeSet::new();
+        for (id, payload) in &pending {
+            let key = self.sessions[id].model_key();
+            models_touched.insert(key);
+            let model = Arc::clone(&self.models[key]);
+            let flat = model
+                .reconstruct_quantized(payload)
+                .map_err(|e| ServeError::Model(e.to_string()))?;
+            self.sessions
+                .get_mut(id)
+                .expect("pending payload from registered station")
+                .store_feedback(&flat, round);
+            served += 1;
+        }
+        Ok(RoundSummary {
+            round,
+            served,
+            stale: self.sessions.len() - served,
+            batches: models_touched.len(),
+        })
+    }
+
+    /// The latest reconstructed feedback of station `id`, in the tail's flat
+    /// real-interleaved layout.
+    pub fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
+        self.sessions.get(&id).and_then(StationSession::feedback)
+    }
+
+    /// The latest feedback of station `id` materialized as per-subcarrier
+    /// `Nt x Nss` beamforming matrices.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownStation`] / [`ServeError::NoFeedback`] when the
+    /// station is missing or was never served.
+    pub fn feedback_matrices_of(
+        &self,
+        id: StationId,
+    ) -> Result<Vec<mimo_math::CMatrix>, ServeError> {
+        let session = self
+            .sessions
+            .get(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        let flat = session.feedback().ok_or(ServeError::NoFeedback(id))?;
+        self.models[session.model_key()]
+            .feedback_to_matrices(flat)
+            .map_err(|e| ServeError::Model(e.to_string()))
+    }
+
+    /// Stacks the latest feedback of `ids` (in the given order) into the
+    /// per-user layout [`wifi_phy::precoding::ZfPrecoder`] consumes. Matrix
+    /// materialization happens here, per precoding group — deliberately off
+    /// the per-round serving path.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownStation`] / [`ServeError::NoFeedback`] when a
+    /// station is missing or was never served.
+    pub fn group_feedback(&self, ids: &[StationId]) -> Result<BeamformingFeedback, ServeError> {
+        ids.iter()
+            .map(|&id| self.feedback_matrices_of(id))
+            .collect()
+    }
+
+    /// Stations (id order) whose feedback is at most `max_age` rounds old,
+    /// relative to the last closed round.
+    pub fn fresh_station_ids(&self, max_age: u64) -> Vec<StationId> {
+        let now = self.round.saturating_sub(1);
+        self.sessions
+            .values()
+            .filter(|s| s.is_fresh(now, max_age))
+            .map(StationSession::id)
+            .collect()
+    }
+
+    /// Partitions fresh stations into MU-MIMO groups the zero-forcing precoder
+    /// can serve simultaneously: stations sharing a model, chunked so each
+    /// group's total stream count stays within the AP's `Nt` antennas.
+    pub fn mu_mimo_groups(&self, max_age: u64) -> Vec<Vec<StationId>> {
+        let fresh = self.fresh_station_ids(max_age);
+        let mut groups = Vec::new();
+        for key in 0..self.models.len() {
+            let config = self.models[key].config();
+            let per_group = (config.mimo.nt / config.mimo.nss.max(1)).max(1);
+            let members: Vec<StationId> = fresh
+                .iter()
+                .copied()
+                .filter(|id| self.sessions[id].model_key() == key)
+                .collect();
+            groups.extend(members.chunks(per_group).map(<[StationId]>::to_vec));
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+    use splitbeam::quantization::quantize_bottleneck;
+    use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
+    use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+    fn model(seed: u64) -> SplitBeamModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        SplitBeamModel::new(
+            SplitBeamConfig::new(
+                MimoConfig::symmetric(2, Bandwidth::Mhz20),
+                CompressionLevel::OneEighth,
+            ),
+            &mut rng,
+        )
+    }
+
+    fn station_frame(model: &SplitBeamModel, seed: u64, bits: u8) -> Vec<u8> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let channel = ChannelModel::new(EnvironmentProfile::e1(), Bandwidth::Mhz20, 2, 1, 1);
+        let csi: Vec<f32> = channel
+            .sample(&mut rng)
+            .csi_real_vector(0)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect();
+        let payload = model.compress_quantized(&csi, bits).unwrap();
+        splitbeam::wire::encode_feedback(&payload).unwrap()
+    }
+
+    #[test]
+    fn registration_is_validated() {
+        let mut server = ApServer::new();
+        assert_eq!(
+            server.register_station(1, 0, 8),
+            Err(ServeError::UnknownModel(0))
+        );
+        let key = server.register_model(model(1));
+        assert!(server.register_station(1, key, 8).is_ok());
+        assert_eq!(
+            server.register_station(1, key, 8),
+            Err(ServeError::DuplicateStation(1))
+        );
+        assert!(matches!(
+            server.register_station(2, key, 0),
+            Err(ServeError::Codec(_))
+        ));
+        assert_eq!(server.num_stations(), 1);
+        assert!(server.model(key).is_some());
+    }
+
+    #[test]
+    fn ingest_validates_width_and_dimension() {
+        let m = model(2);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        server.register_station(7, key, 8).unwrap();
+
+        let frame = station_frame(&m, 3, 8);
+        assert!(matches!(
+            server.ingest_wire(99, &frame),
+            Err(ServeError::UnknownStation(99))
+        ));
+        // Wrong announced width.
+        let narrow = station_frame(&m, 3, 4);
+        assert!(matches!(
+            server.ingest_wire(7, &narrow),
+            Err(ServeError::Codec(_))
+        ));
+        // Wrong bottleneck width.
+        let short = quantize_bottleneck(&[0.5; 3], 8);
+        assert!(matches!(
+            server.ingest_payload(7, short, 10),
+            Err(ServeError::Codec(_))
+        ));
+        // Valid frame; a second one in the same round replaces the first.
+        assert_eq!(server.ingest_wire(7, &frame).unwrap(), frame.len());
+        server.ingest_wire(7, &frame).unwrap();
+        assert_eq!(server.pending_count(), 1);
+        assert_eq!(server.session(7).unwrap().payloads_ingested(), 2);
+    }
+
+    #[test]
+    fn batched_round_matches_serial_round_exactly() {
+        let m = model(4);
+        let stations = 5u64;
+        let mut batched = ApServer::new();
+        let mut serial = ApServer::new();
+        let bkey = batched.register_model(m.clone());
+        let skey = serial.register_model(m.clone());
+        for id in 0..stations {
+            batched.register_station(id, bkey, 6).unwrap();
+            serial.register_station(id, skey, 6).unwrap();
+        }
+        for round in 0..3u64 {
+            for id in 0..stations {
+                // Station `stations - 1` skips round 1 to exercise staleness.
+                if round == 1 && id == stations - 1 {
+                    continue;
+                }
+                let frame = station_frame(&m, 100 + round * stations + id, 6);
+                batched.ingest_wire(id, &frame).unwrap();
+                serial.ingest_wire(id, &frame).unwrap();
+            }
+            let b = batched.process_round().unwrap();
+            let s = serial.process_round_serial().unwrap();
+            assert_eq!(b, s, "round summaries must agree");
+            if round == 1 {
+                assert_eq!(b.served, stations as usize - 1);
+                assert_eq!(b.stale, 1);
+            }
+            for id in 0..stations {
+                assert_eq!(
+                    batched.feedback_of(id),
+                    serial.feedback_of(id),
+                    "round {round}, station {id}: batched and serial must be bit-exact"
+                );
+            }
+        }
+        // The skipping station's feedback aged but was refreshed in round 2.
+        assert_eq!(batched.session(stations - 1).unwrap().last_round(), Some(2));
+    }
+
+    #[test]
+    fn staleness_and_grouping() {
+        let m = model(5);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        for id in 0..5u64 {
+            server.register_station(id, key, 8).unwrap();
+        }
+        // Round 0: stations 0..3 report; 3 and 4 stay silent.
+        for id in 0..3u64 {
+            let frame = station_frame(&m, 50 + id, 8);
+            server.ingest_wire(id, &frame).unwrap();
+        }
+        let summary = server.process_round().unwrap();
+        assert_eq!((summary.served, summary.stale, summary.batches), (3, 2, 1));
+        assert_eq!(server.fresh_station_ids(0), vec![0, 1, 2]);
+        // Nt = 2, Nss = 1 -> groups of at most two stations.
+        let groups = server.mu_mimo_groups(0);
+        assert_eq!(groups, vec![vec![0, 1], vec![2]]);
+        let feedback = server.group_feedback(&groups[0]).unwrap();
+        assert_eq!(feedback.len(), 2);
+        assert_eq!(feedback[0].len(), 56);
+        assert_eq!(server.group_feedback(&[4]), Err(ServeError::NoFeedback(4)));
+        assert_eq!(
+            server.group_feedback(&[77]),
+            Err(ServeError::UnknownStation(77))
+        );
+        // One idle round: age grows, freshness window matters.
+        server.process_round().unwrap();
+        assert!(server.fresh_station_ids(0).is_empty());
+        assert_eq!(server.fresh_station_ids(1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multiple_models_batch_independently() {
+        let m_a = model(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let m_b = SplitBeamModel::new(
+            SplitBeamConfig::new(
+                MimoConfig::symmetric(2, Bandwidth::Mhz20),
+                CompressionLevel::OneQuarter,
+            ),
+            &mut rng,
+        );
+        let mut server = ApServer::new();
+        let key_a = server.register_model(m_a.clone());
+        let key_b = server.register_model(m_b.clone());
+        server.register_station(0, key_a, 8).unwrap();
+        server.register_station(1, key_b, 8).unwrap();
+        server.ingest_wire(0, &station_frame(&m_a, 60, 8)).unwrap();
+        server.ingest_wire(1, &station_frame(&m_b, 61, 8)).unwrap();
+        let summary = server.process_round().unwrap();
+        assert_eq!((summary.served, summary.batches), (2, 2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-station serving state.
+
+/// Over-the-air station identifier (association id in a real AP).
+pub type StationId = u64;
+
+/// The AP's per-station serving state: which model reconstructs this station's
+/// payloads, how wide its quantizer is, and the freshest reconstructed `V̂`.
+///
+/// The feedback is kept in the tail's flat real-interleaved layout; per-round
+/// serving never materializes `CMatrix` objects — that happens lazily, only
+/// for stations entering a precoding group
+/// (see [`crate::server::ApServer::group_feedback`]).
+#[derive(Debug, Clone)]
+pub struct StationSession {
+    id: StationId,
+    model_key: usize,
+    bits_per_value: u8,
+    last_feedback: Option<Vec<f32>>,
+    last_round: Option<u64>,
+    payloads_ingested: u64,
+    wire_bytes_ingested: u64,
+}
+
+impl StationSession {
+    pub(crate) fn new(id: StationId, model_key: usize, bits_per_value: u8) -> Self {
+        Self {
+            id,
+            model_key,
+            bits_per_value,
+            last_feedback: None,
+            last_round: None,
+            payloads_ingested: 0,
+            wire_bytes_ingested: 0,
+        }
+    }
+
+    /// The station id.
+    pub fn id(&self) -> StationId {
+        self.id
+    }
+
+    /// Key of the model serving this station.
+    pub fn model_key(&self) -> usize {
+        self.model_key
+    }
+
+    /// Quantizer width this station announced at association.
+    pub fn bits_per_value(&self) -> u8 {
+        self.bits_per_value
+    }
+
+    /// The most recently reconstructed feedback in the tail's flat
+    /// real-interleaved layout (length `2 * Nt * Nss * S`).
+    pub fn feedback(&self) -> Option<&[f32]> {
+        self.last_feedback.as_deref()
+    }
+
+    /// Round the feedback was reconstructed in, if any.
+    pub fn last_round(&self) -> Option<u64> {
+        self.last_round
+    }
+
+    /// Feedback age in sounding rounds at `current_round` (0 = reconstructed
+    /// this very round). `None` when the station never reported.
+    pub fn age(&self, current_round: u64) -> Option<u64> {
+        self.last_round.map(|r| current_round.saturating_sub(r))
+    }
+
+    /// Whether the feedback is at most `max_age` rounds old at `current_round`.
+    pub fn is_fresh(&self, current_round: u64, max_age: u64) -> bool {
+        self.age(current_round).is_some_and(|a| a <= max_age)
+    }
+
+    /// Number of payloads this station has delivered.
+    pub fn payloads_ingested(&self) -> u64 {
+        self.payloads_ingested
+    }
+
+    /// Total wire bytes this station has delivered.
+    pub fn wire_bytes_ingested(&self) -> u64 {
+        self.wire_bytes_ingested
+    }
+
+    pub(crate) fn record_ingest(&mut self, wire_bytes: usize) {
+        self.payloads_ingested += 1;
+        self.wire_bytes_ingested += wire_bytes as u64;
+    }
+
+    /// Stores a reconstruction, reusing the previous round's buffer when one
+    /// exists (steady-state serving allocates nothing per station).
+    pub(crate) fn store_feedback(&mut self, flat: &[f32], round: u64) {
+        match &mut self.last_feedback {
+            Some(buf) => {
+                buf.clear();
+                buf.extend_from_slice(flat);
+            }
+            None => self.last_feedback = Some(flat.to_vec()),
+        }
+        self.last_round = Some(round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_and_freshness() {
+        let mut s = StationSession::new(9, 0, 8);
+        assert_eq!(s.age(5), None);
+        assert!(!s.is_fresh(5, 100));
+        s.store_feedback(&[], 3);
+        assert_eq!(s.age(3), Some(0));
+        assert_eq!(s.age(7), Some(4));
+        assert!(s.is_fresh(4, 1));
+        assert!(!s.is_fresh(7, 3));
+        assert_eq!(s.last_round(), Some(3));
+    }
+
+    #[test]
+    fn ingest_accounting() {
+        let mut s = StationSession::new(1, 2, 4);
+        assert_eq!((s.id(), s.model_key(), s.bits_per_value()), (1, 2, 4));
+        s.record_ingest(68);
+        s.record_ingest(68);
+        assert_eq!(s.payloads_ingested(), 2);
+        assert_eq!(s.wire_bytes_ingested(), 136);
+        assert!(s.feedback().is_none());
+    }
+}

@@ -31,6 +31,16 @@ pub fn model_feedback_bits(config: &SplitBeamConfig, bits_per_value: u8) -> usiz
     (config.bottleneck_dim() / 2).max(1) * bits_per_value as usize
 }
 
+/// On-air feedback size in bits for a bottleneck of `bottleneck_dim` (real)
+/// values: the bit-packed codes plus the fixed wire-frame header the codec in
+/// [`crate::wire`] emits. This is the number the airtime model should use when
+/// it must match actual transmitted bytes: `8 * encoded_len == ` this value
+/// rounded up to a whole byte.
+pub fn feedback_bits_on_air(bottleneck_dim: usize, bits_per_value: u8) -> usize {
+    crate::wire::WIRE_HEADER_BITS
+        + crate::quantization::feedback_bits(bottleneck_dim, bits_per_value)
+}
+
 /// The Fig. 7 quantity: SplitBeam feedback size as a percentage of the 802.11
 /// compressed beamforming report size (paper accounting convention).
 pub fn bf_size_ratio_percent(nt: usize, nr: usize, s: usize, k: f64) -> f64 {
@@ -119,6 +129,19 @@ mod tests {
             (ratio - 8.0).abs() < 0.1,
             "ratio {ratio} should be ~8 (up to rounding)"
         );
+    }
+
+    #[test]
+    fn on_air_bits_match_wire_codec() {
+        use crate::quantization::quantize_bottleneck;
+        let values: Vec<f32> = (0..114).map(|i| (i as f32 * 0.11).sin()).collect();
+        for bits in [1u8, 4, 7, 16] {
+            let payload = quantize_bottleneck(&values, bits);
+            let frame = crate::wire::encode_feedback(&payload).unwrap();
+            let predicted = feedback_bits_on_air(values.len(), bits);
+            assert_eq!(payload.size_bits(), predicted);
+            assert_eq!(frame.len(), predicted.div_ceil(8), "bits={bits}");
+        }
     }
 
     #[test]

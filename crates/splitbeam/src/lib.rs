@@ -14,6 +14,8 @@
 //! * [`model`] — the split head/tail model, inference and feedback round trip,
 //! * [`quantization`] — fixed-point quantization of the bottleneck activations
 //!   for over-the-air transport,
+//! * [`wire`] — the bit-packed wire format carrying a quantized payload at its
+//!   true per-code width (shares `dot11-bfi`'s packing primitives),
 //! * [`training`] — the supervised H → V training procedure of Section IV-D,
 //! * [`bop`] — the Bottleneck Optimization Problem (Eq. 7) and the heuristic
 //!   solver of Section IV-C,
@@ -61,6 +63,7 @@ pub mod config;
 pub mod model;
 pub mod quantization;
 pub mod training;
+pub mod wire;
 
 pub use config::{CompressionLevel, SplitBeamConfig};
 pub use model::SplitBeamModel;

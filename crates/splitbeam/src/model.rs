@@ -130,6 +130,25 @@ impl SplitBeamModel {
         self.reconstruct(&dequantize_bottleneck(payload))
     }
 
+    /// **AP side, batched**: reconstructs many bottleneck vectors with one
+    /// matmul per tail layer instead of one forward pass per vector — the
+    /// serving layer's coalesced path. Results are identical to calling
+    /// [`SplitBeamModel::reconstruct`] per vector.
+    ///
+    /// # Errors
+    /// Returns [`SplitBeamError::DimensionMismatch`] when the batch is empty or
+    /// any vector has the wrong width.
+    pub fn reconstruct_batch(
+        &self,
+        bottlenecks: &[&[f32]],
+    ) -> Result<Vec<Vec<f32>>, SplitBeamError> {
+        let out = self
+            .tail
+            .predict_batch(bottlenecks)
+            .map_err(|e| SplitBeamError::DimensionMismatch(e.to_string()))?;
+        Ok(split_rows(&out))
+    }
+
     /// Full station→AP inference: CSI vector in, flattened `V̂` out (no
     /// quantization; used during training and for upper-bound evaluations).
     ///
@@ -402,6 +421,11 @@ mod tests {
         let compressed = model.compress_batch(&refs).unwrap();
         for (input, out) in inputs.iter().zip(compressed.iter()) {
             assert_eq!(out, &model.compress(input).unwrap());
+        }
+        let bottleneck_refs: Vec<&[f32]> = compressed.iter().map(Vec::as_slice).collect();
+        let reconstructed = model.reconstruct_batch(&bottleneck_refs).unwrap();
+        for (bottleneck, out) in compressed.iter().zip(reconstructed.iter()) {
+            assert_eq!(out, &model.reconstruct(bottleneck).unwrap());
         }
         assert!(matches!(
             model.infer_batch(&[]),

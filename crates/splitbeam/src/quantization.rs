@@ -28,13 +28,27 @@ pub struct QuantizedFeedback {
 }
 
 impl QuantizedFeedback {
-    /// Size of the payload in bits: the codes plus the 32-bit range fields.
+    /// Size of the payload in bits as carried by the wire codec: the codes at
+    /// their true bit width plus the frame header (bits-per-value field, code
+    /// count, and the two 32-bit range floats — [`crate::wire::WIRE_HEADER_BITS`]).
     pub fn size_bits(&self) -> usize {
-        self.codes.len() * self.bits_per_value as usize + 64
+        self.codes.len() * self.bits_per_value as usize + crate::wire::WIRE_HEADER_BITS
+    }
+
+    /// Size of the payload in bytes when bit-packed by [`crate::wire::encode_feedback`]
+    /// (the body is zero-padded to a whole byte).
+    pub fn wire_bytes(&self) -> usize {
+        crate::wire::encoded_len(self.codes.len(), self.bits_per_value)
     }
 }
 
 /// Quantizes a bottleneck activation vector with `bits_per_value` bits per value.
+///
+/// The quantization range is computed over the *finite* values only, so a
+/// stray NaN or infinity (e.g. from an overflowed activation) cannot poison
+/// the scale for the whole payload. Non-finite inputs are clamped to the
+/// nearest edge code: `+inf` to the top code, `-inf` to code 0, and NaN —
+/// which has no nearest edge — deterministically to code 0.
 ///
 /// # Panics
 /// Panics if `bits_per_value` is zero or greater than 16.
@@ -45,25 +59,38 @@ pub fn quantize_bottleneck(values: &[f32], bits_per_value: u8) -> QuantizedFeedb
     );
     let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
     for &v in values {
-        min = min.min(v);
-        max = max.max(v);
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
     }
-    if values.is_empty() {
+    if !min.is_finite() || !max.is_finite() {
+        // Empty payload, or no finite value at all: pin the range.
         min = 0.0;
         max = 0.0;
     }
-    // Note `!(max > min)` rather than `max <= min`: it must also catch NaN.
-    #[allow(clippy::neg_cmp_op_on_partial_ord)]
-    if !(max > min) {
+    if max <= min {
         // Constant (or empty) payload: widen the range artificially so the
         // dequantizer reproduces the constant exactly.
         max = min + 1.0;
     }
-    let levels = ((1u32 << bits_per_value) - 1) as f32;
-    let scale = levels / (max - min);
+    // The span and scale are computed in f64: a finite-but-extreme range
+    // (e.g. min = -2e38, max = 2e38) overflows `max - min` in f32, which
+    // would zero the scale and NaN-poison the dequantized values.
+    let levels = f64::from((1u32 << bits_per_value) - 1);
+    let scale = levels / (f64::from(max) - f64::from(min));
     let codes = values
         .iter()
-        .map(|&v| (((v - min) * scale).round().clamp(0.0, levels)) as u16)
+        .map(|&v| {
+            if v.is_nan() {
+                0
+            } else {
+                // +inf/-inf flow through the arithmetic and clamp to an edge.
+                (((f64::from(v) - f64::from(min)) * scale)
+                    .round()
+                    .clamp(0.0, levels)) as u16
+            }
+        })
         .collect();
     QuantizedFeedback {
         bits_per_value,
@@ -74,25 +101,30 @@ pub fn quantize_bottleneck(values: &[f32], bits_per_value: u8) -> QuantizedFeedb
 }
 
 /// Dequantizes a payload back into bottleneck activations.
+///
+/// Like the quantizer, the step is computed in f64 so a finite-but-extreme
+/// `[min, max]` range cannot overflow to infinity and turn every value NaN.
 pub fn dequantize_bottleneck(payload: &QuantizedFeedback) -> Vec<f32> {
-    let levels = ((1u32 << payload.bits_per_value) - 1) as f32;
-    let step = (payload.max - payload.min) / levels;
+    let levels = f64::from((1u32 << payload.bits_per_value) - 1);
+    let step = (f64::from(payload.max) - f64::from(payload.min)) / levels;
     payload
         .codes
         .iter()
-        .map(|&c| payload.min + c as f32 * step)
+        .map(|&c| (f64::from(payload.min) + f64::from(c) * step) as f32)
         .collect()
 }
 
 /// Worst-case quantization error for a payload spanning `[min, max]` with the
 /// given bit width (half a step).
 pub fn max_quantization_error(min: f32, max: f32, bits_per_value: u8) -> f32 {
-    let levels = ((1u32 << bits_per_value) - 1) as f32;
-    (max - min) / levels / 2.0
+    let levels = f64::from((1u32 << bits_per_value) - 1);
+    ((f64::from(max) - f64::from(min)) / levels / 2.0) as f32
 }
 
 /// Feedback size in bits for a bottleneck of `bottleneck_dim` values at
-/// `bits_per_value` bits each (excluding the small range header).
+/// `bits_per_value` bits each, excluding the fixed per-frame wire header
+/// ([`crate::wire::WIRE_HEADER_BITS`] bits; see
+/// [`crate::airtime::feedback_bits_on_air`] for the header-inclusive size).
 pub fn feedback_bits(bottleneck_dim: usize, bits_per_value: u8) -> usize {
     bottleneck_dim * bits_per_value as usize
 }
@@ -147,15 +179,75 @@ mod tests {
     fn empty_payload_roundtrips() {
         let payload = quantize_bottleneck(&[], 8);
         assert!(dequantize_bottleneck(&payload).is_empty());
-        assert_eq!(payload.size_bits(), 64);
+        assert_eq!(payload.size_bits(), crate::wire::WIRE_HEADER_BITS);
+        assert_eq!(payload.wire_bytes(), crate::wire::WIRE_HEADER_BYTES);
     }
 
     #[test]
     fn size_accounting() {
         let values = vec![0.0f32; 56];
         let payload = quantize_bottleneck(&values, 16);
-        assert_eq!(payload.size_bits(), 56 * 16 + 64);
+        assert_eq!(payload.size_bits(), 56 * 16 + crate::wire::WIRE_HEADER_BITS);
         assert_eq!(feedback_bits(56, 16), 896);
+        // A 4-bit payload's codes really occupy 4 bits each on the wire.
+        let narrow = quantize_bottleneck(&values, 4);
+        assert_eq!(
+            narrow.wire_bytes(),
+            crate::wire::WIRE_HEADER_BYTES + (56 * 4usize).div_ceil(8)
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_poison_the_range() {
+        // Regression: a single NaN/Inf used to drive min/max (and therefore
+        // the scale) to NaN/Inf, collapsing every code to 0.
+        let values = [1.0f32, f32::NAN, 3.0, f32::INFINITY, f32::NEG_INFINITY, 2.0];
+        let payload = quantize_bottleneck(&values, 8);
+        assert_eq!(payload.min, 1.0);
+        assert_eq!(payload.max, 3.0);
+        assert_eq!(payload.codes[1], 0, "NaN clamps to code 0");
+        assert_eq!(payload.codes[3], 255, "+inf clamps to the top code");
+        assert_eq!(payload.codes[4], 0, "-inf clamps to code 0");
+        let rebuilt = dequantize_bottleneck(&payload);
+        assert!(rebuilt.iter().all(|v| v.is_finite()));
+        let bound = max_quantization_error(payload.min, payload.max, 8) + 1e-6;
+        for &i in &[0usize, 2, 5] {
+            assert!(
+                (values[i] - rebuilt[i]).abs() <= bound,
+                "finite value {i} must still round-trip within the bound"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_finite_range_does_not_overflow() {
+        // Regression: min = -2e38, max = 2e38 are each finite but their span
+        // overflows f32 to infinity — the scale collapsed to 0 (every code 0)
+        // and dequantization returned NaN for all values.
+        let values = [-2.0e38f32, 0.0, 2.0e38];
+        let payload = quantize_bottleneck(&values, 8);
+        assert_eq!(payload.codes[0], 0);
+        assert_eq!(payload.codes[2], 255);
+        assert!(payload.codes[1] == 127 || payload.codes[1] == 128);
+        let rebuilt = dequantize_bottleneck(&payload);
+        assert!(
+            rebuilt.iter().all(|v| v.is_finite()),
+            "rebuilt: {rebuilt:?}"
+        );
+        assert!((rebuilt[0] - -2.0e38).abs() < 2.0e36);
+        assert!((rebuilt[2] - 2.0e38).abs() < 2.0e36);
+        assert!(max_quantization_error(payload.min, payload.max, 8).is_finite());
+    }
+
+    #[test]
+    fn all_non_finite_inputs_fall_back_to_pinned_range() {
+        let values = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+        let payload = quantize_bottleneck(&values, 8);
+        assert_eq!((payload.min, payload.max), (0.0, 1.0));
+        assert_eq!(payload.codes, vec![0, 255, 0]);
+        assert!(dequantize_bottleneck(&payload)
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]

@@ -103,9 +103,20 @@ impl TrainingData {
     }
 
     /// Splits the dataset into two contiguous parts; `fraction` goes to the first.
+    ///
+    /// Whenever the dataset holds at least two examples the cut is clamped so
+    /// *both* sides are non-empty: rounding must not silently hand
+    /// `train_model` an empty validation (or training) split — e.g. `len = 3`
+    /// with `fraction = 0.9` used to round the cut to 3 and train with no
+    /// validation loss at all.
     pub fn split(&self, fraction: f64) -> (Vec<Example>, Vec<Example>) {
-        let cut = ((self.examples.len() as f64) * fraction).round() as usize;
-        let cut = cut.min(self.examples.len());
+        let len = self.examples.len();
+        let cut = ((len as f64) * fraction).round() as usize;
+        let cut = if len >= 2 {
+            cut.clamp(1, len - 1)
+        } else {
+            cut.min(len)
+        };
         (self.examples[..cut].to_vec(), self.examples[cut..].to_vec())
     }
 
@@ -273,6 +284,27 @@ mod tests {
         assert_eq!(train.len(), 16);
         assert_eq!(val.len(), 2);
         assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn split_never_returns_an_empty_side_for_two_plus_examples() {
+        // Regression: len = 3, fraction = 0.9 rounded the cut to 3, leaving an
+        // empty validation split.
+        let cfg = config();
+        let mut data = TrainingData::new(cfg.clone());
+        for _ in 0..3 {
+            data.push_example(vec![0.0; cfg.input_dim()], vec![0.0; cfg.output_dim()]);
+        }
+        let (train, val) = data.split(0.9);
+        assert_eq!((train.len(), val.len()), (2, 1));
+        let (train, val) = data.split(0.05);
+        assert_eq!((train.len(), val.len()), (1, 2));
+        // Degenerate sizes keep their old behavior.
+        let mut tiny = TrainingData::new(cfg.clone());
+        assert_eq!(tiny.split(0.9).0.len(), 0);
+        tiny.push_example(vec![0.0; cfg.input_dim()], vec![0.0; cfg.output_dim()]);
+        let (a, b) = tiny.split(0.9);
+        assert_eq!((a.len(), b.len()), (1, 0));
     }
 
     #[test]

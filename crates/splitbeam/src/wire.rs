@@ -1,0 +1,238 @@
+//! Bit-packed over-the-air wire format for [`QuantizedFeedback`].
+//!
+//! The in-memory payload keeps one `u16` per code for fast arithmetic, but a
+//! real feedback frame must carry each code at its true width — a 4-bit
+//! bottleneck occupies 4 bits per value on the air, not 16. This module is the
+//! boundary between the two representations. The frame layout is:
+//!
+//! ```text
+//! +---------------+-------------+-----------+-----------+------------------+
+//! | bits_per_value|  code count |    min    |    max    |   packed codes   |
+//! |     u8        |     u16     | f32 (BE)  | f32 (BE)  | bpv bits/code,   |
+//! |               | big-endian  |  IEEE 754 |  IEEE 754 | MSB first, zero- |
+//! |               |             |           |           | padded to a byte |
+//! +---------------+-------------+-----------+-----------+------------------+
+//! ```
+//!
+//! The body reuses the exact MSB-first packing primitives of
+//! [`dot11_bfi::bits`], so the SplitBeam payload and the 802.11 compressed
+//! beamforming report share one bit-level convention. An explicit code count
+//! is carried because the zero-padding of the final byte would otherwise make
+//! the number of codes ambiguous for widths that do not divide 8.
+
+use crate::quantization::QuantizedFeedback;
+use crate::SplitBeamError;
+use dot11_bfi::bits::{BitReader, BitWriter};
+
+/// Size of the fixed frame header in bits: `bits_per_value` (8) + code count
+/// (16) + `min` (32) + `max` (32).
+pub const WIRE_HEADER_BITS: usize = 8 + 16 + 32 + 32;
+
+/// Size of the fixed frame header in bytes.
+pub const WIRE_HEADER_BYTES: usize = WIRE_HEADER_BITS / 8;
+
+/// Encodes a quantized payload into its bit-packed wire representation.
+///
+/// # Errors
+/// Returns [`SplitBeamError::DimensionMismatch`] when the payload carries more
+/// codes than the 16-bit count field can describe, or a code that does not fit
+/// the declared bit width (both indicate a corrupted payload, not a capacity
+/// limit of the format per se).
+pub fn encode_feedback(payload: &QuantizedFeedback) -> Result<Vec<u8>, SplitBeamError> {
+    if payload.codes.len() > u16::MAX as usize {
+        return Err(SplitBeamError::DimensionMismatch(format!(
+            "{} codes exceed the wire format's u16 count field",
+            payload.codes.len()
+        )));
+    }
+    let bits = u32::from(payload.bits_per_value);
+    debug_assert!((1..=16).contains(&bits));
+    let max_code = ((1u32 << bits) - 1) as u16;
+    let mut writer =
+        BitWriter::with_capacity_bits(WIRE_HEADER_BITS + payload.codes.len() * bits as usize);
+    writer.push(u32::from(payload.bits_per_value), 8);
+    writer.push(payload.codes.len() as u32, 16);
+    writer.push(payload.min.to_bits(), 32);
+    writer.push(payload.max.to_bits(), 32);
+    for (i, &code) in payload.codes.iter().enumerate() {
+        if code > max_code {
+            return Err(SplitBeamError::DimensionMismatch(format!(
+                "code {code} at index {i} does not fit in {bits} bits"
+            )));
+        }
+        writer.push(u32::from(code), bits);
+    }
+    Ok(writer.finish())
+}
+
+/// Decodes a wire frame back into the quantized payload.
+///
+/// Decoding is exact: the codes and the two range floats are recovered
+/// bit-for-bit, so dequantizing the decoded payload yields byte-identical
+/// results to dequantizing the original.
+///
+/// # Errors
+/// Returns [`SplitBeamError::DimensionMismatch`] when the frame is truncated,
+/// declares an invalid bit width, carries non-finite range floats, or has
+/// trailing bytes beyond the declared code count.
+pub fn decode_feedback(frame: &[u8]) -> Result<QuantizedFeedback, SplitBeamError> {
+    let mut reader = BitReader::new(frame);
+    let header_err = || {
+        SplitBeamError::DimensionMismatch(format!(
+            "wire frame of {} bytes is shorter than the {WIRE_HEADER_BYTES}-byte header",
+            frame.len()
+        ))
+    };
+    let bits_per_value = reader.pull(8).ok_or_else(header_err)? as u8;
+    let count = reader.pull(16).ok_or_else(header_err)? as usize;
+    let min = f32::from_bits(reader.pull(32).ok_or_else(header_err)?);
+    let max = f32::from_bits(reader.pull(32).ok_or_else(header_err)?);
+    if !(1..=16).contains(&bits_per_value) {
+        return Err(SplitBeamError::DimensionMismatch(format!(
+            "invalid bits_per_value {bits_per_value} in wire header"
+        )));
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return Err(SplitBeamError::DimensionMismatch(
+            "non-finite quantization range in wire header".into(),
+        ));
+    }
+    let expected_len = WIRE_HEADER_BYTES + (count * bits_per_value as usize).div_ceil(8);
+    if frame.len() != expected_len {
+        return Err(SplitBeamError::DimensionMismatch(format!(
+            "wire frame is {} bytes, header declares {count} codes x {bits_per_value} bits = {expected_len} bytes",
+            frame.len()
+        )));
+    }
+    let mut codes = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Length was validated above; pull cannot fail.
+        codes.push(reader.pull(u32::from(bits_per_value)).unwrap() as u16);
+    }
+    Ok(QuantizedFeedback {
+        bits_per_value,
+        min,
+        max,
+        codes,
+    })
+}
+
+/// Exact wire frame length in bytes for `count` codes at `bits_per_value` bits.
+pub fn encoded_len(count: usize, bits_per_value: u8) -> usize {
+    WIRE_HEADER_BYTES + (count * bits_per_value as usize).div_ceil(8)
+}
+
+/// Bytes the pre-wire in-memory representation shipped between crates: one
+/// `u16` per code plus the `bits_per_value`/`min`/`max` fields. Kept as the
+/// baseline the wire codec is measured against in `serve_report`.
+pub fn legacy_repr_bytes(count: usize) -> usize {
+    1 + 4 + 4 + 2 * count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantization::{dequantize_bottleneck, quantize_bottleneck};
+    use proptest::prelude::*;
+
+    fn sample_values(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.217).sin() * 2.5).collect()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact_for_all_widths() {
+        let values = sample_values(77);
+        for bits in 1..=16u8 {
+            let payload = quantize_bottleneck(&values, bits);
+            let frame = encode_feedback(&payload).unwrap();
+            assert_eq!(frame.len(), encoded_len(payload.codes.len(), bits));
+            assert_eq!(frame.len(), payload.wire_bytes());
+            let decoded = decode_feedback(&frame).unwrap();
+            assert_eq!(decoded, payload, "bits={bits}");
+            assert_eq!(
+                dequantize_bottleneck(&decoded),
+                dequantize_bottleneck(&payload)
+            );
+        }
+    }
+
+    #[test]
+    fn four_bit_codes_occupy_four_bits() {
+        let payload = quantize_bottleneck(&sample_values(100), 4);
+        let frame = encode_feedback(&payload).unwrap();
+        assert_eq!(frame.len(), WIRE_HEADER_BYTES + 50);
+        assert!(frame.len() * 8 < legacy_repr_bytes(100) * 8 / 3);
+    }
+
+    #[test]
+    fn empty_payload_encodes_to_header_only() {
+        let payload = quantize_bottleneck(&[], 8);
+        let frame = encode_feedback(&payload).unwrap();
+        assert_eq!(frame.len(), WIRE_HEADER_BYTES);
+        assert_eq!(decode_feedback(&frame).unwrap(), payload);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let payload = quantize_bottleneck(&sample_values(10), 6);
+        let frame = encode_feedback(&payload).unwrap();
+        for cut in [0, 3, WIRE_HEADER_BYTES, frame.len() - 1] {
+            assert!(
+                decode_feedback(&frame[..cut]).is_err(),
+                "truncation to {cut} bytes must be rejected"
+            );
+        }
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(decode_feedback(&padded).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn invalid_header_fields_rejected() {
+        let payload = quantize_bottleneck(&sample_values(4), 8);
+        let mut frame = encode_feedback(&payload).unwrap();
+        frame[0] = 0; // bits_per_value = 0
+        assert!(decode_feedback(&frame).is_err());
+        frame[0] = 17;
+        assert!(decode_feedback(&frame).is_err());
+        let mut nan_range = encode_feedback(&payload).unwrap();
+        nan_range[3..7].copy_from_slice(&f32::NAN.to_bits().to_be_bytes());
+        assert!(decode_feedback(&nan_range).is_err());
+    }
+
+    #[test]
+    fn oversized_code_rejected_at_encode() {
+        let mut payload = quantize_bottleneck(&sample_values(4), 4);
+        payload.codes[2] = 16; // does not fit in 4 bits
+        assert!(encode_feedback(&payload).is_err());
+    }
+
+    #[test]
+    fn header_constants_consistent() {
+        assert_eq!(WIRE_HEADER_BITS, 88);
+        assert_eq!(WIRE_HEADER_BYTES, 11);
+        assert_eq!(encoded_len(0, 16), WIRE_HEADER_BYTES);
+    }
+
+    proptest! {
+        /// Satellite: quantize → wire-encode → wire-decode → dequantize is
+        /// bit-exact with the unencoded path for every width 1..=16.
+        #[test]
+        fn prop_wire_roundtrip_bit_exact(
+            values in proptest::collection::vec(-25.0f32..25.0, 0..96),
+            bits in 1u8..17,
+        ) {
+            let payload = quantize_bottleneck(&values, bits);
+            let frame = encode_feedback(&payload).unwrap();
+            prop_assert_eq!(frame.len(), encoded_len(values.len(), bits));
+            let decoded = decode_feedback(&frame).unwrap();
+            prop_assert_eq!(&decoded, &payload);
+            let direct = dequantize_bottleneck(&payload);
+            let via_wire = dequantize_bottleneck(&decoded);
+            prop_assert_eq!(direct.len(), via_wire.len());
+            for (a, b) in direct.iter().zip(via_wire.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "wire path must be bit-exact");
+            }
+        }
+    }
+}

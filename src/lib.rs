@@ -19,6 +19,7 @@ pub use splitbeam;
 pub use splitbeam_baselines as baselines;
 pub use splitbeam_datasets as datasets;
 pub use splitbeam_hwsim as hwsim;
+pub use splitbeam_serve as serve;
 pub use wifi_phy;
 
 /// The most commonly used types, re-exported for examples and quick scripts.
@@ -32,6 +33,10 @@ pub mod prelude {
     pub use splitbeam_datasets::catalog::{dataset_catalog, dataset_for};
     pub use splitbeam_datasets::generator::{generate_dataset, GeneratorOptions};
     pub use splitbeam_hwsim::accelerator::AcceleratorModel;
+    pub use splitbeam_serve::driver::{
+        build_server, generate_traffic, link_check, serve_traffic, ServeMode, SimConfig,
+    };
+    pub use splitbeam_serve::server::ApServer;
     pub use wifi_phy::channel::{ChannelModel, ChannelSnapshot, EnvironmentProfile};
     pub use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig};
     pub use wifi_phy::ofdm::{Bandwidth, MimoConfig};
