@@ -16,9 +16,7 @@
 //! SPLITBEAM_BENCH_OUT=custom.json cargo run --release -p bench --bin perf_report
 //! ```
 
-use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
 
 use dot11_bfi::engine::FeedbackEngine;
 use dot11_bfi::quantize::AngleResolution;
@@ -32,6 +30,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use splitbeam::config::{CompressionLevel, SplitBeamConfig};
 use splitbeam::model::SplitBeamModel;
+use splitbeam_bench::report::{kernel_dispatch_value, object, JsonReport, JsonValue};
+use splitbeam_bench::timing::{measure, measure_pair, num_threads};
 use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
 use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig};
 use wifi_phy::ofdm::{Bandwidth, MimoConfig};
@@ -56,63 +56,6 @@ impl Entry {
     fn speedup(&self) -> Option<f64> {
         self.reference_ns_per_op.map(|r| r / self.ns_per_op)
     }
-}
-
-/// Sizes a batch so one batch of `body` runs ~2 ms, warming the code path up
-/// along the way.
-fn calibrate<F: FnMut()>(body: &mut F) -> u64 {
-    let warmup_start = Instant::now();
-    let mut warmup_iters = 0u64;
-    while warmup_start.elapsed() < Duration::from_millis(60) {
-        body();
-        warmup_iters += 1;
-    }
-    let per_iter_ns = (warmup_start.elapsed().as_nanos() as u64 / warmup_iters.max(1)).max(1);
-    (2_000_000 / per_iter_ns).clamp(1, 2_000_000)
-}
-
-/// Times `body` with a warm-up and batched wall-clock sampling; returns the
-/// best-batch ns/op (least scheduler noise).
-fn measure<F: FnMut()>(mut body: F) -> f64 {
-    let batch = calibrate(&mut body);
-    let mut best = f64::INFINITY;
-    let run_start = Instant::now();
-    let mut batches = 0;
-    while (run_start.elapsed() < Duration::from_millis(400) || batches < 3) && batches < 200 {
-        let batch_start = Instant::now();
-        for _ in 0..batch {
-            body();
-        }
-        best = best.min(batch_start.elapsed().as_nanos() as f64 / batch as f64);
-        batches += 1;
-    }
-    best
-}
-
-/// Times two bodies by alternating their batches, so slow drift (frequency
-/// scaling, background load) hits both sides equally. Returns
-/// `(ns_per_op_a, ns_per_op_b)` as best-batch times.
-fn measure_pair<A: FnMut(), B: FnMut()>(mut a: A, mut b: B) -> (f64, f64) {
-    let batch_a = calibrate(&mut a);
-    let batch_b = calibrate(&mut b);
-    let mut best_a = f64::INFINITY;
-    let mut best_b = f64::INFINITY;
-    let run_start = Instant::now();
-    let mut rounds = 0;
-    while (run_start.elapsed() < Duration::from_millis(700) || rounds < 3) && rounds < 100 {
-        let start = Instant::now();
-        for _ in 0..batch_a {
-            a();
-        }
-        best_a = best_a.min(start.elapsed().as_nanos() as f64 / batch_a as f64);
-        let start = Instant::now();
-        for _ in 0..batch_b {
-            b();
-        }
-        best_b = best_b.min(start.elapsed().as_nanos() as f64 / batch_b as f64);
-        rounds += 1;
-    }
-    (best_a, best_b)
 }
 
 fn random_cmatrix(rng: &mut impl Rng, m: usize, n: usize) -> CMatrix {
@@ -322,14 +265,6 @@ fn bench_link_simulation() -> Entry {
     }
 }
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.1}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn main() {
     println!("SplitBeam perf report (PR {PR_INDEX}) — optimized vs naive reference kernels\n");
 
@@ -358,67 +293,49 @@ fn main() {
     }
     println!("\nthroughput: {subcarriers_per_sec:.0} subcarriers/s (feedback), {inferences_per_sec:.0} inferences/s");
 
-    // Hand-rolled JSON (the workspace's serde shim carries no serializer).
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": {PR_INDEX},");
-    let _ = writeln!(json, "  \"threads\": {},", num_threads());
+    let mut report = JsonReport::new()
+        .field("pr", PR_INDEX)
+        .field("threads", num_threads())
+        .field("kernel", kernel_dispatch_value());
     if num_threads() == 1 {
-        let _ = writeln!(
-            json,
-            "  \"note\": \"single-core host: the feedback engine's parallel fan-out degenerates to the serial path, so compute_feedback_e2e speedups here are single-thread only; on an N-core host the e2e speedup scales with the bit-exact chunk fan-out (see compute_feedback_parallel_vs_serial)\","
+        report = report.field(
+            "note",
+            "single-core host: the feedback engine's parallel fan-out degenerates to the serial \
+             path, so compute_feedback_e2e speedups here are single-thread only; on an N-core \
+             host the e2e speedup scales with the bit-exact chunk fan-out (see \
+             compute_feedback_parallel_vs_serial)",
         );
     }
-    let _ = writeln!(json, "  \"throughput\": {{");
-    let _ = writeln!(
-        json,
-        "    \"feedback_subcarriers_per_sec\": {},",
-        json_f64(subcarriers_per_sec)
-    );
-    let _ = writeln!(
-        json,
-        "    \"model_inferences_per_sec\": {}",
-        json_f64(inferences_per_sec)
-    );
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"benchmarks\": [");
-    for (i, e) in entries.iter().enumerate() {
-        let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"name\": \"{}\",", e.name);
-        let _ = writeln!(json, "      \"unit\": \"{}\",", e.unit);
-        let _ = writeln!(json, "      \"ns_per_op\": {},", json_f64(e.ns_per_op));
-        let _ = writeln!(
-            json,
-            "      \"ops_per_sec\": {},",
-            json_f64(e.ops_per_sec())
+    let report = report
+        .field(
+            "throughput",
+            object(vec![
+                ("feedback_subcarriers_per_sec", subcarriers_per_sec.into()),
+                ("model_inferences_per_sec", inferences_per_sec.into()),
+            ]),
+        )
+        .field(
+            "benchmarks",
+            entries
+                .iter()
+                .map(|e| {
+                    object(vec![
+                        ("name", e.name.into()),
+                        ("unit", e.unit.into()),
+                        ("ns_per_op", e.ns_per_op.into()),
+                        ("ops_per_sec", e.ops_per_sec().into()),
+                        (
+                            "reference_ns_per_op",
+                            e.reference_ns_per_op.map_or(JsonValue::Null, Into::into),
+                        ),
+                        (
+                            "speedup_vs_reference",
+                            e.speedup().map_or(JsonValue::Null, Into::into),
+                        ),
+                    ])
+                })
+                .collect::<Vec<_>>(),
         );
-        match (e.reference_ns_per_op, e.speedup()) {
-            (Some(r), Some(s)) => {
-                let _ = writeln!(json, "      \"reference_ns_per_op\": {},", json_f64(r));
-                let _ = writeln!(json, "      \"speedup_vs_reference\": {}", json_f64(s));
-            }
-            _ => {
-                let _ = writeln!(json, "      \"reference_ns_per_op\": null,");
-                let _ = writeln!(json, "      \"speedup_vs_reference\": null");
-            }
-        }
-        let _ = writeln!(
-            json,
-            "    }}{}",
-            if i + 1 < entries.len() { "," } else { "" }
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
-
-    let out_path =
-        std::env::var("SPLITBEAM_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_PR{PR_INDEX}.json"));
-    std::fs::write(&out_path, &json).expect("write benchmark report");
+    let out_path = report.write(&format!("BENCH_PR{PR_INDEX}.json"));
     println!("\nwrote {out_path}");
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }

@@ -21,67 +21,22 @@
 //! The binary exits non-zero when batched and serial serving disagree or the
 //! wire accounting drifts from the airtime model — CI runs it as a smoke test.
 
-use std::fmt::Write as _;
-use std::time::{Duration, Instant};
-
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use splitbeam::airtime::feedback_bits_on_air;
 use splitbeam::config::{CompressionLevel, SplitBeamConfig};
 use splitbeam::model::SplitBeamModel;
 use splitbeam::wire;
+use splitbeam_bench::report::{kernel_dispatch_value, JsonReport};
+use splitbeam_bench::timing::{measure, num_threads};
+use splitbeam_bench::{env_usize, feedback_identical};
 use splitbeam_serve::driver::{
     build_server, generate_traffic, link_check, serve_traffic, ServeMode, SimConfig,
 };
-use splitbeam_serve::session::StationId;
-use splitbeam_serve::ApServer;
 use wifi_phy::ofdm::{Bandwidth, MimoConfig};
 
 /// The PR index this report seeds.
 const PR_INDEX: u32 = 2;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Times `body` with warm-up and batched sampling, returning best-batch ns/op.
-fn measure<F: FnMut()>(mut body: F) -> f64 {
-    let warmup_start = Instant::now();
-    let mut warmup_iters = 0u64;
-    while warmup_start.elapsed() < Duration::from_millis(80) {
-        body();
-        warmup_iters += 1;
-    }
-    let per_iter_ns = (warmup_start.elapsed().as_nanos() as u64 / warmup_iters.max(1)).max(1);
-    let batch = (4_000_000 / per_iter_ns).clamp(1, 1_000_000);
-    let mut best = f64::INFINITY;
-    let run_start = Instant::now();
-    let mut batches = 0;
-    while (run_start.elapsed() < Duration::from_millis(600) || batches < 3) && batches < 200 {
-        let batch_start = Instant::now();
-        for _ in 0..batch {
-            body();
-        }
-        best = best.min(batch_start.elapsed().as_nanos() as f64 / batch as f64);
-        batches += 1;
-    }
-    best
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn feedback_identical(a: &ApServer, b: &ApServer, stations: usize) -> bool {
-    (0..stations as StationId).all(|id| a.feedback_of(id) == b.feedback_of(id))
-}
 
 fn main() {
     let stations = env_usize("SPLITBEAM_STATIONS", 12);
@@ -197,57 +152,27 @@ fn main() {
         bits
     });
 
-    // Hand-rolled JSON (the workspace's serde shim carries no serializer).
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"pr\": {PR_INDEX},");
-    let _ = writeln!(json, "  \"threads\": {},", num_threads());
-    let _ = writeln!(json, "  \"stations\": {stations},");
-    let _ = writeln!(json, "  \"rounds\": {rounds},");
-    let _ = writeln!(json, "  \"subcarriers\": {subcarriers},");
-    let _ = writeln!(json, "  \"bottleneck_dim\": {bottleneck_dim},");
-    let _ = writeln!(json, "  \"bits_per_value\": {bits_per_value},");
-    let _ = writeln!(
-        json,
-        "  \"payloads_per_sec_batched\": {},",
-        json_f64(payloads_per_sec_batched)
-    );
-    let _ = writeln!(
-        json,
-        "  \"payloads_per_sec_serial\": {},",
-        json_f64(payloads_per_sec_serial)
-    );
-    let _ = writeln!(
-        json,
-        "  \"batched_speedup_vs_serial\": {},",
-        json_f64(speedup)
-    );
-    let _ = writeln!(
-        json,
-        "  \"batched_matches_serial\": {batched_matches_serial},"
-    );
-    let _ = writeln!(json, "  \"wire_bytes_per_frame\": {wire_bytes_per_frame},");
-    let _ = writeln!(
-        json,
-        "  \"legacy_vec_u16_bytes_per_frame\": {legacy_bytes_per_frame},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"wire_vs_legacy_ratio\": {},",
-        json_f64(wire_vs_legacy)
-    );
-    let _ = writeln!(json, "  \"airtime_model_bits_per_frame\": {airtime_bits},");
-    let _ = writeln!(
-        json,
-        "  \"airtime_model_matches_wire\": {airtime_matches_wire},"
-    );
-    let _ = writeln!(json, "  \"stale_station_rounds\": {stale_station_rounds},");
-    let _ = writeln!(json, "  \"link_check_ber\": {}", json_f64(link_ber));
-    let _ = writeln!(json, "}}");
-
-    let out_path =
-        std::env::var("SPLITBEAM_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_PR{PR_INDEX}.json"));
-    std::fs::write(&out_path, &json).expect("write benchmark report");
+    let report = JsonReport::new()
+        .field("pr", PR_INDEX)
+        .field("threads", num_threads())
+        .field("kernel", kernel_dispatch_value())
+        .field("stations", stations)
+        .field("rounds", rounds)
+        .field("subcarriers", subcarriers)
+        .field("bottleneck_dim", bottleneck_dim)
+        .field("bits_per_value", bits_per_value)
+        .field("payloads_per_sec_batched", payloads_per_sec_batched)
+        .field("payloads_per_sec_serial", payloads_per_sec_serial)
+        .field("batched_speedup_vs_serial", speedup)
+        .field("batched_matches_serial", batched_matches_serial)
+        .field("wire_bytes_per_frame", wire_bytes_per_frame)
+        .field("legacy_vec_u16_bytes_per_frame", legacy_bytes_per_frame)
+        .field("wire_vs_legacy_ratio", wire_vs_legacy)
+        .field("airtime_model_bits_per_frame", airtime_bits)
+        .field("airtime_model_matches_wire", airtime_matches_wire)
+        .field("stale_station_rounds", stale_station_rounds)
+        .field("link_check_ber", link_ber);
+    let out_path = report.write(&format!("BENCH_PR{PR_INDEX}.json"));
     println!("\nwrote {out_path}");
 
     if !batched_matches_serial {
@@ -258,10 +183,4 @@ fn main() {
         eprintln!("FAIL: wire frame size drifted from the airtime model prediction");
         std::process::exit(1);
     }
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }

@@ -214,6 +214,28 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+pub mod report;
+pub mod timing;
+
+/// Reads a `usize` knob from the environment, falling back on parse failure
+/// (shared by the `serve_report` / `kernel_report` binaries).
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether two servers hold bit-identical reconstructed feedback for stations
+/// `0..stations` — the serving layer's bit-exactness verdict.
+pub fn feedback_identical(
+    a: &splitbeam_serve::ApServer,
+    b: &splitbeam_serve::ApServer,
+    stations: usize,
+) -> bool {
+    (0..stations as splitbeam_serve::StationId).all(|id| a.feedback_of(id) == b.feedback_of(id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,84 @@
+//! Shared wall-clock measurement helpers for the report binaries.
+//!
+//! One copy of the calibrate/measure machinery the `perf_report`,
+//! `serve_report` and `kernel_report` binaries previously each hand-rolled.
+
+use std::time::{Duration, Instant};
+
+/// Sizes a batch so one batch of `body` runs ~2 ms, warming the code path up
+/// along the way.
+pub fn calibrate<F: FnMut()>(body: &mut F) -> u64 {
+    let warmup_start = Instant::now();
+    let mut warmup_iters = 0u64;
+    while warmup_start.elapsed() < Duration::from_millis(60) {
+        body();
+        warmup_iters += 1;
+    }
+    let per_iter_ns = (warmup_start.elapsed().as_nanos() as u64 / warmup_iters.max(1)).max(1);
+    (2_000_000 / per_iter_ns).clamp(1, 2_000_000)
+}
+
+/// Times `body` with a warm-up and batched wall-clock sampling; returns the
+/// best-batch ns/op (least scheduler noise).
+pub fn measure<F: FnMut()>(mut body: F) -> f64 {
+    let batch = calibrate(&mut body);
+    let mut best = f64::INFINITY;
+    let run_start = Instant::now();
+    let mut batches = 0;
+    while (run_start.elapsed() < Duration::from_millis(400) || batches < 3) && batches < 200 {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            body();
+        }
+        best = best.min(batch_start.elapsed().as_nanos() as f64 / batch as f64);
+        batches += 1;
+    }
+    best
+}
+
+/// Times two bodies by alternating their batches, so slow drift (frequency
+/// scaling, background load) hits both sides equally. Returns
+/// `(ns_per_op_a, ns_per_op_b)` as best-batch times.
+pub fn measure_pair<A: FnMut(), B: FnMut()>(mut a: A, mut b: B) -> (f64, f64) {
+    let batch_a = calibrate(&mut a);
+    let batch_b = calibrate(&mut b);
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    let run_start = Instant::now();
+    let mut rounds = 0;
+    while (run_start.elapsed() < Duration::from_millis(700) || rounds < 3) && rounds < 100 {
+        let start = Instant::now();
+        for _ in 0..batch_a {
+            a();
+        }
+        best_a = best_a.min(start.elapsed().as_nanos() as f64 / batch_a as f64);
+        let start = Instant::now();
+        for _ in 0..batch_b {
+            b();
+        }
+        best_b = best_b.min(start.elapsed().as_nanos() as f64 / batch_b as f64);
+        rounds += 1;
+    }
+    (best_a, best_b)
+}
+
+/// Logical thread count of the host (tracked in every report).
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_time() {
+        let ns = measure(|| {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns.is_finite() && ns > 0.0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -19,7 +19,11 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!((a + b).re, 4.0);
 /// assert_eq!((a * b).im, 5.0);
 /// ```
+/// The layout is `repr(C)` — `re` then `im` — so a `&[Complex64]` can be
+/// viewed as interleaved `re, im` `f64` memory by the SIMD kernels of
+/// [`crate::kernel`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -1,0 +1,887 @@
+//! Runtime-dispatched SIMD kernel backend.
+//!
+//! Every hot inner loop of the workspace (complex matmul/axpy, the LU
+//! elimination and MMSE filter of [`crate::solve`], the dense f32 GEMM of the
+//! `neural` crate, and the fused dequantize→tail kernel of `splitbeam`) funnels
+//! through the primitives in this module. Each primitive exists in two
+//! implementations:
+//!
+//! * **scalar** — byte-for-byte the historical loops. Selecting
+//!   [`Kernel::Scalar`] reproduces the pre-dispatch outputs bit-identically.
+//! * **AVX2+FMA** — `core::arch::x86_64` vector code, selected at runtime only
+//!   when the CPU reports both `avx2` and `fma`. FMA contracts the
+//!   multiply-add, so results differ from scalar by normal rounding (the
+//!   parity tests document max-abs tolerances); per output element the
+//!   accumulation order is still ascending `k` with a single accumulator
+//!   chain, which keeps *different call shapes* of the same kernel (one row at
+//!   a time vs a whole batch, fused vs unfused) bit-identical to each other.
+//!
+//! # Selection
+//!
+//! The active kernel is resolved once and cached:
+//!
+//! 1. a programmatic override set via [`set_kernel`] wins,
+//! 2. otherwise the `SPLITBEAM_KERNEL` environment variable is consulted
+//!    (`scalar` forces the fallback, `auto` — or anything else, or unset —
+//!    picks the best available),
+//! 3. `auto` resolves to [`Kernel::Avx2Fma`] only when the host CPU supports
+//!    AVX2 and FMA; on every other host it degrades to [`Kernel::Scalar`].
+//!
+//! Hot paths call [`selected`] once per kernel invocation (an atomic load) and
+//! pass the result down; benchmarks and parity tests bypass the global state
+//! entirely by passing an explicit [`Kernel`] to the primitives.
+
+use crate::complex::Complex64;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// What the caller asked for (environment variable or [`set_kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Pick the fastest backend the CPU supports.
+    Auto,
+    /// Force the scalar reference kernels (bit-identical to the pre-SIMD code).
+    Scalar,
+}
+
+/// A concrete kernel backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Plain scalar loops — always available, the bit-exactness reference.
+    Scalar,
+    /// AVX2 + FMA vector kernels (x86_64 only, runtime-detected).
+    Avx2Fma,
+}
+
+impl Kernel {
+    /// Stable lower-snake name used in reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Avx2Fma => "avx2_fma",
+        }
+    }
+}
+
+/// Cached resolution of [`selected`]: 0 = unresolved, 1 = scalar, 2 = AVX2+FMA.
+static RESOLVED: AtomicU8 = AtomicU8::new(0);
+/// Programmatic override: 0 = none (use the environment), 1 = auto, 2 = scalar.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Returns `true` when the host CPU supports both AVX2 and FMA.
+///
+/// Detection is delegated to `std::is_x86_feature_detected!`, which caches its
+/// own answer; on non-x86_64 targets this is constant `false`.
+pub fn avx2_fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Parses a `SPLITBEAM_KERNEL` value. Only `scalar` forces the fallback;
+/// `auto`, the empty string, and unknown values all mean "best available", so
+/// a typo can never silently disable correctness (scalar and SIMD agree within
+/// tolerance) — it merely fails to pin the kernel.
+fn parse_choice(value: &str) -> KernelChoice {
+    if value.trim().eq_ignore_ascii_case("scalar") {
+        KernelChoice::Scalar
+    } else {
+        KernelChoice::Auto
+    }
+}
+
+/// The kernel choice currently in force: the programmatic override if one was
+/// set, otherwise the `SPLITBEAM_KERNEL` environment variable (default `auto`).
+pub fn requested() -> KernelChoice {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => KernelChoice::Auto,
+        2 => KernelChoice::Scalar,
+        _ => std::env::var("SPLITBEAM_KERNEL")
+            .map(|v| parse_choice(&v))
+            .unwrap_or(KernelChoice::Auto),
+    }
+}
+
+/// Resolves a choice against the host CPU.
+fn resolve(choice: KernelChoice) -> Kernel {
+    match choice {
+        KernelChoice::Scalar => Kernel::Scalar,
+        KernelChoice::Auto => {
+            if avx2_fma_available() {
+                Kernel::Avx2Fma
+            } else {
+                Kernel::Scalar
+            }
+        }
+    }
+}
+
+/// The kernel backend all dispatched hot paths use right now.
+///
+/// Resolved once (override → environment → CPU detection) and cached; a single
+/// relaxed atomic load afterwards.
+pub fn selected() -> Kernel {
+    match RESOLVED.load(Ordering::Relaxed) {
+        1 => Kernel::Scalar,
+        2 => Kernel::Avx2Fma,
+        _ => {
+            let kernel = resolve(requested());
+            RESOLVED.store(
+                match kernel {
+                    Kernel::Scalar => 1,
+                    Kernel::Avx2Fma => 2,
+                },
+                Ordering::Relaxed,
+            );
+            kernel
+        }
+    }
+}
+
+/// Installs (or with `None` removes) a programmatic kernel override, replacing
+/// whatever `SPLITBEAM_KERNEL` requested. Takes effect for all subsequent
+/// dispatched calls in the process.
+///
+/// This is the programmatic form of the environment knob — benchmark drivers
+/// use it to measure both backends in one process, and the bit-exactness suite
+/// uses it to pin `scalar`. Note the override is process-global: concurrent
+/// tests that flip it must serialize among themselves.
+pub fn set_kernel(choice: Option<KernelChoice>) {
+    OVERRIDE.store(
+        match choice {
+            None => 0,
+            Some(KernelChoice::Auto) => 1,
+            Some(KernelChoice::Scalar) => 2,
+        },
+        Ordering::Relaxed,
+    );
+    RESOLVED.store(0, Ordering::Relaxed);
+}
+
+/// A report of how kernel dispatch resolved, for benchmark JSON and logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// What was requested (`auto` or `scalar`).
+    pub requested: &'static str,
+    /// The backend actually in use.
+    pub selected: &'static str,
+    /// Whether the host CPU supports AVX2+FMA at all.
+    pub avx2_fma_available: bool,
+}
+
+/// Snapshot of the current dispatch state.
+pub fn dispatch_report() -> DispatchReport {
+    DispatchReport {
+        requested: match requested() {
+            KernelChoice::Auto => "auto",
+            KernelChoice::Scalar => "scalar",
+        },
+        selected: selected().name(),
+        avx2_fma_available: avx2_fma_available(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Complex f64 primitives (CMatrix products, LU elimination, MMSE filter).
+// ---------------------------------------------------------------------------
+
+/// `y += a * x` over complex slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn caxpy(kernel: Kernel, a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len(), "caxpy length mismatch");
+    match kernel {
+        Kernel::Scalar => {
+            for (o, &b) in y.iter_mut().zip(x.iter()) {
+                *o += a * b;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe { caxpy_avx2(a, x, y) },
+        #[allow(unreachable_patterns)]
+        _ => caxpy(Kernel::Scalar, a, x, y),
+    }
+}
+
+/// `y -= a * x` over complex slices (the LU elimination update).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn caxpy_sub(kernel: Kernel, a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+    assert_eq!(x.len(), y.len(), "caxpy_sub length mismatch");
+    match kernel {
+        Kernel::Scalar => {
+            for (o, &b) in y.iter_mut().zip(x.iter()) {
+                let sub = a * b;
+                *o -= sub;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe { caxpy_sub_avx2(a, x, y) },
+        #[allow(unreachable_patterns)]
+        _ => caxpy_sub(Kernel::Scalar, a, x, y),
+    }
+}
+
+/// Conjugated dot product `sum_k x[k] * conj(y[k])` (the MMSE filter row).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn cdotc(kernel: Kernel, x: &[Complex64], y: &[Complex64]) -> Complex64 {
+    assert_eq!(x.len(), y.len(), "cdotc length mismatch");
+    match kernel {
+        Kernel::Scalar => {
+            let mut acc = Complex64::ZERO;
+            for (&a, &b) in x.iter().zip(y.iter()) {
+                acc += a * b.conj();
+            }
+            acc
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe { cdotc_avx2(x, y) },
+        #[allow(unreachable_patterns)]
+        _ => cdotc(Kernel::Scalar, x, y),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense f32 primitives (neural GEMM, fused dequantize→tail kernel).
+// ---------------------------------------------------------------------------
+
+/// Dense f32 GEMM: `out += a * b` where `a` is `rows x m`, `b` is `m x n` and
+/// `out` is `rows x n`, all row-major. `out` is typically pre-zeroed by the
+/// caller (`+=` semantics make the kernel composable).
+///
+/// The scalar arm accumulates each output element over ascending `k` with
+/// individually rounded adds and skips exact-zero `a` terms — per element
+/// identical to the historical register-blocked panel kernels. The AVX2 arm
+/// uses one FMA chain per output element (also ascending `k`), so any call
+/// shape — whole batch, single row, fused variants — produces bit-identical
+/// elements for identical inputs.
+///
+/// # Panics
+/// Panics if the slice lengths disagree with the dimensions.
+pub fn gemm_f32(kernel: Kernel, a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize) {
+    assert_eq!(b.len(), m * n, "gemm_f32 rhs length mismatch");
+    assert_eq!(a.len() % m.max(1), 0, "gemm_f32 lhs length mismatch");
+    let rows = a.len().checked_div(m).unwrap_or(0);
+    assert_eq!(out.len(), rows * n, "gemm_f32 out length mismatch");
+    match kernel {
+        Kernel::Scalar => {
+            for (a_row, out_row) in a.chunks_exact(m).zip(out.chunks_exact_mut(n)) {
+                for (k, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &bv) in out_row.iter_mut().zip(b[k * n..(k + 1) * n].iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe { gemm_f32_avx2(a, b, out, rows, m, n) },
+        #[allow(unreachable_patterns)]
+        _ => gemm_f32(Kernel::Scalar, a, b, out, m, n),
+    }
+}
+
+/// One GEMM row: `out_row += a_row * b` — [`gemm_f32`] with a single
+/// left-hand row, used by the parity tests to pin that single-row and
+/// batched calls agree bit-for-bit per kernel.
+#[cfg(test)]
+fn gemm_row_f32(kernel: Kernel, a_row: &[f32], b: &[f32], out_row: &mut [f32]) {
+    let (m, n) = (a_row.len(), out_row.len());
+    gemm_f32(kernel, a_row, b, out_row, m, n);
+}
+
+/// `y += a * x` over f32 slices; exact-zero `a` is a no-op (matching the
+/// historical `axpy1_skip`).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn saxpy(kernel: Kernel, a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "saxpy length mismatch");
+    if a == 0.0 {
+        return;
+    }
+    match kernel {
+        Kernel::Scalar => {
+            for (o, &b) in y.iter_mut().zip(x.iter()) {
+                *o += a * b;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe { saxpy_avx2(a, x, y) },
+        #[allow(unreachable_patterns)]
+        _ => saxpy(Kernel::Scalar, a, x, y),
+    }
+}
+
+/// Dot product `sum_k x[k] * y[k]` over f32 slices.
+///
+/// The scalar arm is the historical sequential accumulation; the AVX2 arm uses
+/// four independent vector accumulators and a horizontal reduction (different
+/// association, tolerance-tested).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn sdot(kernel: Kernel, x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "sdot length mismatch");
+    match kernel {
+        Kernel::Scalar => {
+            let mut acc = 0.0f32;
+            for (&a, &b) in x.iter().zip(y.iter()) {
+                acc += a * b;
+            }
+            acc
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe { sdot_avx2(x, y) },
+        #[allow(unreachable_patterns)]
+        _ => sdot(Kernel::Scalar, x, y),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA implementations.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Complex64;
+    use core::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_fmadd_pd, _mm256_fmadd_ps, _mm256_fmaddsub_pd,
+        _mm256_loadu_pd, _mm256_loadu_ps, _mm256_mul_pd, _mm256_permute_pd, _mm256_set1_pd,
+        _mm256_set1_ps, _mm256_set_pd, _mm256_setzero_pd, _mm256_setzero_ps, _mm256_storeu_pd,
+        _mm256_storeu_ps, _mm256_sub_pd,
+    };
+
+    /// Complexes per 256-bit vector (2 × f64 re/im pairs).
+    const CPV: usize = 2;
+
+    /// Sums the four f64 lanes of a vector.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_pd(v: __m256d) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), v);
+        (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+    }
+
+    /// Computes the per-lane complex product `a * x` for one vector of two
+    /// interleaved complexes: even lanes `ar*xr - ai*xi`, odd lanes
+    /// `ar*xi + ai*xr` (the first product FMA-fused by `fmaddsub`).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn cmul_lanes(ar: __m256d, ai: __m256d, xv: __m256d) -> __m256d {
+        let xswap = _mm256_permute_pd(xv, 0b0101);
+        _mm256_fmaddsub_pd(ar, xv, _mm256_mul_pd(ai, xswap))
+    }
+
+    /// `y += a * x` (complex, interleaved f64). `Complex64` is `repr(C)`, so a
+    /// complex slice is safely viewed as interleaved `re, im` f64 memory.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn caxpy_avx2(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+        let ar = _mm256_set1_pd(a.re);
+        let ai = _mm256_set1_pd(a.im);
+        let pairs = x.len() / CPV * CPV;
+        let xp = x.as_ptr().cast::<f64>();
+        let yp = y.as_mut_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < pairs {
+            let xv = _mm256_loadu_pd(xp.add(2 * i));
+            let yv = _mm256_loadu_pd(yp.add(2 * i));
+            _mm256_storeu_pd(yp.add(2 * i), _mm256_add_pd(yv, cmul_lanes(ar, ai, xv)));
+            i += CPV;
+        }
+        for k in pairs..x.len() {
+            y[k] += a * x[k];
+        }
+    }
+
+    /// `y -= a * x` (complex, interleaved f64).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn caxpy_sub_avx2(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
+        let ar = _mm256_set1_pd(a.re);
+        let ai = _mm256_set1_pd(a.im);
+        let pairs = x.len() / CPV * CPV;
+        let xp = x.as_ptr().cast::<f64>();
+        let yp = y.as_mut_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < pairs {
+            let xv = _mm256_loadu_pd(xp.add(2 * i));
+            let yv = _mm256_loadu_pd(yp.add(2 * i));
+            _mm256_storeu_pd(yp.add(2 * i), _mm256_sub_pd(yv, cmul_lanes(ar, ai, xv)));
+            i += CPV;
+        }
+        for k in pairs..x.len() {
+            let sub = a * x[k];
+            y[k] -= sub;
+        }
+    }
+
+    /// `sum_k x[k] * conj(y[k])` (complex, interleaved f64).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn cdotc_avx2(x: &[Complex64], y: &[Complex64]) -> Complex64 {
+        // acc_direct lanes hold xr*yr / xi*yi products; their full sum is the
+        // real part. acc_cross lanes hold xi*yr / xr*yi; the real part of the
+        // cross term enters with +, the imaginary with -, giving xi*yr - xr*yi.
+        let mut acc_direct = _mm256_setzero_pd();
+        let mut acc_cross = _mm256_setzero_pd();
+        let pairs = x.len() / CPV * CPV;
+        let xp = x.as_ptr().cast::<f64>();
+        let yp = y.as_ptr().cast::<f64>();
+        let mut i = 0;
+        while i < pairs {
+            let xv = _mm256_loadu_pd(xp.add(2 * i));
+            let yv = _mm256_loadu_pd(yp.add(2 * i));
+            acc_direct = _mm256_fmadd_pd(xv, yv, acc_direct);
+            let xswap = _mm256_permute_pd(xv, 0b0101);
+            acc_cross = _mm256_fmadd_pd(xswap, yv, acc_cross);
+            i += CPV;
+        }
+        let re = hsum_pd(acc_direct);
+        let sign = _mm256_set_pd(-1.0, 1.0, -1.0, 1.0);
+        let im = hsum_pd(_mm256_mul_pd(acc_cross, sign));
+        let mut acc = Complex64::new(re, im);
+        for k in pairs..x.len() {
+            acc += x[k] * y[k].conj();
+        }
+        acc
+    }
+
+    /// Inner-dimension rows per block of [`gemm_f32_avx2`]: a `16 x n` block
+    /// of `b` streams sequentially and stays cache-resident while every
+    /// row-panel of the batch reuses it.
+    const GEMM_K_BLOCK: usize = 16;
+
+    /// Dense f32 GEMM `out += a * b` (`a`: rows x m, `b`: m x n, `out`:
+    /// rows x n, all row-major) — the 8-wide FMA microkernel.
+    ///
+    /// Same blocking discipline as the historical scalar panel kernel, with
+    /// vector registers: the outer loop walks 16-deep `k` blocks (so the
+    /// corresponding `b` rows are streamed *sequentially* and reused across
+    /// the whole batch from cache), the middle loop walks 4-row panels of
+    /// `a`/`out` (one loaded `b` vector feeds four FMA accumulators), and the
+    /// inner loop runs 8 floats per instruction over `n`.
+    ///
+    /// Every output element accumulates as a single FMA chain over ascending
+    /// `k`: the accumulator round-trips memory only between `k` blocks, and an
+    /// f32 store/load is value-preserving, so results are independent of the
+    /// blocking — single-row calls, batched calls and the fused
+    /// dequantize→tail path all agree bit-for-bit.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm_f32_avx2(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        rows: usize,
+        m: usize,
+        n: usize,
+    ) {
+        for k0 in (0..m).step_by(GEMM_K_BLOCK) {
+            let k1 = (k0 + GEMM_K_BLOCK).min(m);
+            let mut r = 0;
+            while r + 4 <= rows {
+                gemm_panel4_avx2(
+                    &a[r * m..(r + 4) * m],
+                    b,
+                    &mut out[r * n..(r + 4) * n],
+                    m,
+                    n,
+                    k0,
+                    k1,
+                );
+                r += 4;
+            }
+            while r < rows {
+                gemm_panel1_avx2(
+                    &a[r * m..(r + 1) * m],
+                    b,
+                    &mut out[r * n..(r + 1) * n],
+                    n,
+                    k0,
+                    k1,
+                );
+                r += 1;
+            }
+        }
+    }
+
+    /// Four output rows over `k0..k1`: each loaded `b` vector feeds four
+    /// accumulator chains (16 live accumulators at the 32-float unroll).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn gemm_panel4_avx2(
+        a: &[f32],
+        b: &[f32],
+        o: &mut [f32],
+        m: usize,
+        n: usize,
+        k0: usize,
+        k1: usize,
+    ) {
+        let (a0, rest) = a.split_at(m);
+        let (a1, rest) = rest.split_at(m);
+        let (a2, a3) = rest.split_at(m);
+        let bp = b.as_ptr();
+        let op = o.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc0 = _mm256_loadu_ps(op.add(j));
+            let mut acc1 = _mm256_loadu_ps(op.add(n + j));
+            let mut acc2 = _mm256_loadu_ps(op.add(2 * n + j));
+            let mut acc3 = _mm256_loadu_ps(op.add(3 * n + j));
+            for k in k0..k1 {
+                let bv = _mm256_loadu_ps(bp.add(k * n + j));
+                acc0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.get_unchecked(k)), bv, acc0);
+                acc1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.get_unchecked(k)), bv, acc1);
+                acc2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.get_unchecked(k)), bv, acc2);
+                acc3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.get_unchecked(k)), bv, acc3);
+            }
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(n + j), acc1);
+            _mm256_storeu_ps(op.add(2 * n + j), acc2);
+            _mm256_storeu_ps(op.add(3 * n + j), acc3);
+            j += 8;
+        }
+        while j < n {
+            for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
+                let slot = op.add(row * n + j);
+                let mut acc = *slot;
+                for k in k0..k1 {
+                    acc = ar.get_unchecked(k).mul_add(*bp.add(k * n + j), acc);
+                }
+                *slot = acc;
+            }
+            j += 1;
+        }
+    }
+
+    /// One output row over `k0..k1`, 16 floats (two accumulators) per step.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn gemm_panel1_avx2(
+        a: &[f32],
+        b: &[f32],
+        o: &mut [f32],
+        n: usize,
+        k0: usize,
+        k1: usize,
+    ) {
+        let bp = b.as_ptr();
+        let op = o.as_mut_ptr();
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut acc0 = _mm256_loadu_ps(op.add(j));
+            let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
+            for k in k0..k1 {
+                let av = _mm256_set1_ps(*a.get_unchecked(k));
+                let bk = bp.add(k * n + j);
+                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bk), acc0);
+                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bk.add(8)), acc1);
+            }
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(j + 8), acc1);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut acc = _mm256_loadu_ps(op.add(j));
+            for k in k0..k1 {
+                acc = _mm256_fmadd_ps(
+                    _mm256_set1_ps(*a.get_unchecked(k)),
+                    _mm256_loadu_ps(bp.add(k * n + j)),
+                    acc,
+                );
+            }
+            _mm256_storeu_ps(op.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            let mut acc = *op.add(j);
+            for k in k0..k1 {
+                acc = a.get_unchecked(k).mul_add(*bp.add(k * n + j), acc);
+            }
+            *op.add(j) = acc;
+            j += 1;
+        }
+    }
+
+    /// `y += a * x` (f32), FMA per element; scalar tail with `mul_add`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn saxpy_avx2(a: f32, x: &[f32], y: &mut [f32]) {
+        let av = _mm256_set1_ps(a);
+        let n8 = x.len() / 8 * 8;
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i < n8 {
+            let acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            _mm256_storeu_ps(yp.add(i), acc);
+            i += 8;
+        }
+        for k in n8..x.len() {
+            y[k] = a.mul_add(x[k], y[k]);
+        }
+    }
+
+    /// f32 dot product with four independent accumulators.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn sdot_avx2(x: &[f32], y: &[f32]) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let n32 = x.len() / 32 * 32;
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut i = 0;
+        while i < n32 {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(i + 8)),
+                _mm256_loadu_ps(yp.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(i + 16)),
+                _mm256_loadu_ps(yp.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(i + 24)),
+                _mm256_loadu_ps(yp.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        let mut n8 = n32;
+        while n8 + 8 <= x.len() {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(xp.add(n8)),
+                _mm256_loadu_ps(yp.add(n8)),
+                acc0,
+            );
+            n8 += 8;
+        }
+        let folded = {
+            let mut lanes = [0.0f32; 8];
+            let sum01 = {
+                let mut l0 = [0.0f32; 8];
+                let mut l1 = [0.0f32; 8];
+                _mm256_storeu_ps(l0.as_mut_ptr(), acc0);
+                _mm256_storeu_ps(l1.as_mut_ptr(), acc1);
+                for (a, b) in l0.iter_mut().zip(l1.iter()) {
+                    *a += b;
+                }
+                l0
+            };
+            let mut l2 = [0.0f32; 8];
+            let mut l3 = [0.0f32; 8];
+            _mm256_storeu_ps(l2.as_mut_ptr(), acc2);
+            _mm256_storeu_ps(l3.as_mut_ptr(), acc3);
+            for i in 0..8 {
+                lanes[i] = sum01[i] + (l2[i] + l3[i]);
+            }
+            lanes
+        };
+        let mut acc = folded.iter().sum::<f32>();
+        for k in n8..x.len() {
+            acc = x[k].mul_add(y[k], acc);
+        }
+        acc
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{caxpy_avx2, caxpy_sub_avx2, cdotc_avx2, gemm_f32_avx2, saxpy_avx2, sdot_avx2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complex_series(n: usize, seed: f64) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                Complex64::new(
+                    ((i as f64) * 0.37 + seed).sin(),
+                    ((i as f64) * 0.21 - seed).cos(),
+                )
+            })
+            .collect()
+    }
+
+    fn f32_series(n: usize, seed: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32) * 0.173 + seed).sin() * 0.5)
+            .collect()
+    }
+
+    /// Both kernels, but AVX2 only on hosts that have it.
+    fn kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Scalar];
+        if avx2_fma_available() {
+            ks.push(Kernel::Avx2Fma);
+        }
+        ks
+    }
+
+    #[test]
+    fn resolve_is_pure_and_total() {
+        assert_eq!(resolve(KernelChoice::Scalar), Kernel::Scalar);
+        let auto = resolve(KernelChoice::Auto);
+        if avx2_fma_available() {
+            assert_eq!(auto, Kernel::Avx2Fma);
+        } else {
+            assert_eq!(auto, Kernel::Scalar);
+        }
+    }
+
+    #[test]
+    fn parse_choice_only_scalar_forces_fallback() {
+        assert_eq!(parse_choice("scalar"), KernelChoice::Scalar);
+        assert_eq!(parse_choice(" SCALAR "), KernelChoice::Scalar);
+        assert_eq!(parse_choice("auto"), KernelChoice::Auto);
+        assert_eq!(parse_choice(""), KernelChoice::Auto);
+        assert_eq!(parse_choice("sse9000"), KernelChoice::Auto);
+    }
+
+    #[test]
+    fn dispatch_report_is_consistent() {
+        let report = dispatch_report();
+        assert!(["auto", "scalar"].contains(&report.requested));
+        assert!(["scalar", "avx2_fma"].contains(&report.selected));
+        if !report.avx2_fma_available {
+            assert_eq!(report.selected, "scalar");
+        }
+        assert_eq!(Kernel::Scalar.name(), "scalar");
+        assert_eq!(Kernel::Avx2Fma.name(), "avx2_fma");
+    }
+
+    #[test]
+    fn caxpy_parity_across_kernels_and_lengths() {
+        for n in [0usize, 1, 2, 3, 5, 8, 17] {
+            let a = Complex64::new(0.7, -0.3);
+            let x = complex_series(n, 1.0);
+            let base = complex_series(n, 2.0);
+            let mut expect = base.clone();
+            for (o, &b) in expect.iter_mut().zip(x.iter()) {
+                *o += a * b;
+            }
+            for k in kernels() {
+                let mut y = base.clone();
+                caxpy(k, a, &x, &mut y);
+                for (got, want) in y.iter().zip(expect.iter()) {
+                    assert!(
+                        (got.re - want.re).abs() < 1e-12 && (got.im - want.im).abs() < 1e-12,
+                        "caxpy {k:?} n={n}"
+                    );
+                }
+                let mut y2 = base.clone();
+                caxpy_sub(k, a, &x, &mut y2);
+                let mut expect_sub = base.clone();
+                for (o, &b) in expect_sub.iter_mut().zip(x.iter()) {
+                    *o -= a * b;
+                }
+                for (got, want) in y2.iter().zip(expect_sub.iter()) {
+                    assert!(
+                        (got.re - want.re).abs() < 1e-12 && (got.im - want.im).abs() < 1e-12,
+                        "caxpy_sub {k:?} n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdotc_parity_across_kernels() {
+        for n in [0usize, 1, 2, 5, 9, 33] {
+            let x = complex_series(n, 0.4);
+            let y = complex_series(n, 1.7);
+            let want = cdotc(Kernel::Scalar, &x, &y);
+            for k in kernels() {
+                let got = cdotc(k, &x, &y);
+                assert!(
+                    (got.re - want.re).abs() < 1e-10 && (got.im - want.im).abs() < 1e-10,
+                    "cdotc {k:?} n={n}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_parity_across_kernels_and_shapes() {
+        for (m, n) in [(1, 1), (3, 7), (8, 8), (5, 33), (16, 40), (7, 70)] {
+            let a = f32_series(2 * m, 0.3);
+            let b = f32_series(m * n, 1.1);
+            let mut want = vec![0.0f32; 2 * n];
+            gemm_f32(Kernel::Scalar, &a, &b, &mut want, m, n);
+            for k in kernels() {
+                let mut out = vec![0.0f32; 2 * n];
+                gemm_f32(k, &a, &b, &mut out, m, n);
+                for (got, w) in out.iter().zip(want.iter()) {
+                    assert!((got - w).abs() < 1e-4, "gemm {k:?} {m}x{n}: {got} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_row_and_batch_shapes_agree_bitwise_per_kernel() {
+        // One row at a time must equal the batched call exactly — the property
+        // the fused dequantize→tail path relies on. Six rows exercise the
+        // 4-row AVX2 panel plus the single-row remainder path.
+        const ROWS: usize = 6;
+        let (m, n) = (37, 41);
+        let a = f32_series(ROWS * m, 0.9);
+        let b = f32_series(m * n, 0.2);
+        for k in kernels() {
+            let mut batched = vec![0.0f32; ROWS * n];
+            gemm_f32(k, &a, &b, &mut batched, m, n);
+            for r in 0..ROWS {
+                let mut row = vec![0.0f32; n];
+                gemm_row_f32(k, &a[r * m..(r + 1) * m], &b, &mut row);
+                assert_eq!(row, batched[r * n..(r + 1) * n].to_vec(), "{k:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn saxpy_and_sdot_parity() {
+        for n in [0usize, 1, 7, 8, 31, 64, 100] {
+            let x = f32_series(n, 0.5);
+            let base = f32_series(n, 2.5);
+            for k in kernels() {
+                let mut y = base.clone();
+                saxpy(k, 0.37, &x, &mut y);
+                for (i, (got, b)) in y.iter().zip(base.iter()).enumerate() {
+                    let want = 0.37f32 * x[i] + b;
+                    assert!((got - want).abs() < 1e-5, "saxpy {k:?} n={n} i={i}");
+                }
+                let mut y2 = base.clone();
+                saxpy(k, 0.0, &x, &mut y2);
+                assert_eq!(y2, base, "zero saxpy must be a no-op");
+
+                let want = sdot(Kernel::Scalar, &x, &base);
+                let got = sdot(k, &x, &base);
+                assert!((got - want).abs() < 1e-4, "sdot {k:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_gemm_skips_exact_zero_terms() {
+        // -0.0 in the accumulator must survive a zero a-term, exactly like the
+        // historical axpy1_skip.
+        let a = [0.0f32, 1.0];
+        let b = [5.0f32, -0.0, 2.0, -0.0];
+        let mut out = [-0.0f32, -0.0];
+        gemm_row_f32(Kernel::Scalar, &a, &b, &mut out);
+        assert_eq!(out[0], 2.0);
+        assert_eq!(out[1].to_bits(), (-0.0f32).to_bits());
+    }
+}

@@ -11,7 +11,10 @@
 //! * [`qr`] — modified Gram–Schmidt QR used in tests and for orthonormality
 //!   checks,
 //! * [`solve`] — LU-based linear solves and inverses used by the zero-forcing
-//!   precoder.
+//!   precoder,
+//! * [`kernel`] — the runtime-dispatched SIMD backend (`SPLITBEAM_KERNEL`)
+//!   behind the matmul/solve inner loops here and the dense f32 kernels of the
+//!   `neural` crate.
 //!
 //! # Example
 //!
@@ -26,6 +29,7 @@
 //! ```
 
 pub mod complex;
+pub mod kernel;
 pub mod matrix;
 pub mod qr;
 #[cfg(any(test, feature = "reference"))]
@@ -35,6 +39,7 @@ pub mod svd;
 pub mod workspace;
 
 pub use complex::Complex64;
+pub use kernel::{Kernel, KernelChoice};
 pub use matrix::CMatrix;
 pub use workspace::Workspace;
 

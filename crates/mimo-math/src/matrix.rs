@@ -6,11 +6,14 @@
 //! ([`CMatrix::matmul_into`], [`CMatrix::hermitian_matmul_into`],
 //! [`CMatrix::matvec_into`]) that reuse a caller-owned output buffer and run a
 //! cache-blocked inner loop over the row-major storage — the building blocks of
-//! the allocation-free per-subcarrier pipeline. The blocked kernels accumulate
-//! in exactly the same floating-point order as the naive reference
-//! (`crate::reference::matmul_naive`), so results are bit-identical.
+//! the allocation-free per-subcarrier pipeline. The inner loops dispatch
+//! through [`crate::kernel`]: under the scalar backend the blocked kernels
+//! accumulate in exactly the same floating-point order as the naive reference
+//! (`crate::reference::matmul_naive`), so results are bit-identical; the AVX2
+//! backend agrees within FMA rounding.
 
 use crate::complex::Complex64;
+use crate::kernel::{self, Kernel};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -223,16 +226,28 @@ impl CMatrix {
     }
 
     /// Matrix product `self * rhs` written into `out` (reshaped as needed, its
-    /// storage reused).
-    ///
-    /// The inner loop is blocked over the output columns so wide right-hand
-    /// sides stream through cache line by line; for each output entry the
-    /// `k`-accumulation order matches the naive triple loop exactly, keeping
-    /// results bit-identical to `reference::matmul_naive`.
+    /// storage reused), using the runtime-selected kernel backend
+    /// ([`crate::kernel::selected`]).
     ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        self.matmul_into_with(rhs, out, kernel::selected());
+    }
+
+    /// [`CMatrix::matmul_into`] with an explicit kernel backend — the seam the
+    /// dispatch-parity tests and per-kernel benchmarks use.
+    ///
+    /// The inner loop is blocked over the output columns so wide right-hand
+    /// sides stream through cache line by line; for each output entry the
+    /// `k`-accumulation order matches the naive triple loop exactly. Under
+    /// [`Kernel::Scalar`] results are bit-identical to
+    /// `reference::matmul_naive`; the AVX2 backend fuses the complex
+    /// multiply-add and agrees within normal FMA rounding.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul_into_with(&self, rhs: &CMatrix, out: &mut CMatrix, k: Kernel) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -247,14 +262,12 @@ impl CMatrix {
             let mut cb = 0;
             while cb < p {
                 let ce = (cb + COL_BLOCK).min(p);
-                for (k, &a) in a_row.iter().enumerate() {
+                for (ki, &a) in a_row.iter().enumerate() {
                     if a.norm_sqr() == 0.0 {
                         continue;
                     }
-                    let rhs_row = &rhs.data[k * p + cb..k * p + ce];
-                    for (o, &b) in out_row[cb..ce].iter_mut().zip(rhs_row.iter()) {
-                        *o += a * b;
-                    }
+                    let rhs_row = &rhs.data[ki * p + cb..ki * p + ce];
+                    kernel::caxpy(k, a, rhs_row, &mut out_row[cb..ce]);
                 }
                 cb = ce;
             }
@@ -262,15 +275,24 @@ impl CMatrix {
     }
 
     /// Hermitian product `self^H * rhs` written into `out`, without
-    /// materializing the conjugate transpose.
-    ///
-    /// Equivalent to `self.hermitian().matmul(rhs)` — bit-identical, since the
-    /// accumulation order is preserved — but allocation-free and with a single
-    /// pass over `self`'s storage.
+    /// materializing the conjugate transpose, using the runtime-selected
+    /// kernel backend.
     ///
     /// # Panics
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn hermitian_matmul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        self.hermitian_matmul_into_with(rhs, out, kernel::selected());
+    }
+
+    /// [`CMatrix::hermitian_matmul_into`] with an explicit kernel backend.
+    ///
+    /// Equivalent to `self.hermitian().matmul(rhs)` — bit-identical under
+    /// [`Kernel::Scalar`], since the accumulation order is preserved — but
+    /// allocation-free and with a single pass over `self`'s storage.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn hermitian_matmul_into_with(&self, rhs: &CMatrix, out: &mut CMatrix, k: Kernel) {
         assert_eq!(
             self.rows, rhs.rows,
             "hermitian matmul dimension mismatch: ({}x{})^H * {}x{}",
@@ -284,15 +306,13 @@ impl CMatrix {
             let mut cb = 0;
             while cb < p {
                 let ce = (cb + COL_BLOCK).min(p);
-                for k in 0..self.rows {
-                    let a = self.data[k * self.cols + r].conj();
+                for ki in 0..self.rows {
+                    let a = self.data[ki * self.cols + r].conj();
                     if a.norm_sqr() == 0.0 {
                         continue;
                     }
-                    let rhs_row = &rhs.data[k * p + cb..k * p + ce];
-                    for (o, &b) in out_row[cb..ce].iter_mut().zip(rhs_row.iter()) {
-                        *o += a * b;
-                    }
+                    let rhs_row = &rhs.data[ki * p + cb..ki * p + ce];
+                    kernel::caxpy(k, a, rhs_row, &mut out_row[cb..ce]);
                 }
                 cb = ce;
             }
@@ -635,8 +655,11 @@ mod tests {
 
     #[test]
     fn into_kernels_match_naive_on_edge_shapes() {
+        use crate::kernel::Kernel;
         use crate::reference::{hermitian_matmul_naive, matmul_naive};
-        // Includes non-square and 1xN / Nx1 shapes.
+        // Includes non-square and 1xN / Nx1 shapes. The scalar backend is the
+        // bit-exactness reference; the comparison pins it explicitly so the
+        // test holds regardless of what SPLITBEAM_KERNEL dispatched.
         for (m, k, n) in [
             (1, 1, 1),
             (1, 4, 1),
@@ -648,16 +671,45 @@ mod tests {
             let a = small_matrix(m, k, 1.7);
             let b = small_matrix(k, n, 0.6);
             let mut out = CMatrix::zeros(1, 1);
-            a.matmul_into(&b, &mut out);
+            a.matmul_into_with(&b, &mut out, Kernel::Scalar);
             assert_eq!(out, matmul_naive(&a, &b), "matmul {m}x{k}*{k}x{n}");
 
             let ah = small_matrix(k, m, 0.9);
             let mut hout = CMatrix::zeros(1, 1);
-            ah.hermitian_matmul_into(&b, &mut hout);
+            ah.hermitian_matmul_into_with(&b, &mut hout, Kernel::Scalar);
             assert_eq!(
                 hout,
                 hermitian_matmul_naive(&ah, &b),
                 "hermitian {k}x{m}^H*{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_backend_matches_scalar_within_tolerance() {
+        use crate::kernel::{avx2_fma_available, Kernel};
+        if !avx2_fma_available() {
+            // Graceful fallback hosts: the dispatched path IS the scalar path.
+            return;
+        }
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (4, 4, 4), (3, 8, 9), (8, 8, 130)] {
+            let a = small_matrix(m, k, 1.3);
+            let b = small_matrix(k, n, 0.8);
+            let mut scalar = CMatrix::zeros(1, 1);
+            let mut simd = CMatrix::zeros(1, 1);
+            a.matmul_into_with(&b, &mut scalar, Kernel::Scalar);
+            a.matmul_into_with(&b, &mut simd, Kernel::Avx2Fma);
+            assert!(
+                scalar.sub(&simd).max_abs() <= 1e-10 * scalar.max_abs().max(1.0),
+                "matmul simd drift {m}x{k}x{n}"
+            );
+
+            let ah = small_matrix(k, m, 0.9);
+            ah.hermitian_matmul_into_with(&b, &mut scalar, Kernel::Scalar);
+            ah.hermitian_matmul_into_with(&b, &mut simd, Kernel::Avx2Fma);
+            assert!(
+                scalar.sub(&simd).max_abs() <= 1e-10 * scalar.max_abs().max(1.0),
+                "hermitian simd drift {m}x{k}x{n}"
             );
         }
     }
@@ -695,7 +747,7 @@ mod tests {
             let a = small_matrix(m, k, seed);
             let b = small_matrix(k, n, seed + 0.41);
             let mut out = CMatrix::zeros(1, 1);
-            a.matmul_into(&b, &mut out);
+            a.matmul_into_with(&b, &mut out, crate::kernel::Kernel::Scalar);
             prop_assert_eq!(out, crate::reference::matmul_naive(&a, &b));
         }
 
@@ -705,8 +757,23 @@ mod tests {
             let a = small_matrix(m, k, seed);
             let b = small_matrix(m, n, seed + 0.17);
             let mut out = CMatrix::zeros(1, 1);
-            a.hermitian_matmul_into(&b, &mut out);
+            a.hermitian_matmul_into_with(&b, &mut out, crate::kernel::Kernel::Scalar);
             prop_assert_eq!(out, crate::reference::hermitian_matmul_naive(&a, &b));
+        }
+
+        #[test]
+        fn prop_simd_matmul_parity(m in 1usize..6, k in 1usize..9, n in 1usize..9,
+                                   seed in 0.1f64..10.0) {
+            use crate::kernel::{avx2_fma_available, Kernel};
+            if avx2_fma_available() {
+                let a = small_matrix(m, k, seed);
+                let b = small_matrix(k, n, seed + 0.29);
+                let mut scalar = CMatrix::zeros(1, 1);
+                let mut simd = CMatrix::zeros(1, 1);
+                a.matmul_into_with(&b, &mut scalar, Kernel::Scalar);
+                a.matmul_into_with(&b, &mut simd, Kernel::Avx2Fma);
+                prop_assert!(scalar.sub(&simd).max_abs() <= 1e-9 * scalar.max_abs().max(1.0));
+            }
         }
 
         #[test]

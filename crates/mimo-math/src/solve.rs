@@ -6,6 +6,7 @@
 //! enough and trivially fast.
 
 use crate::complex::Complex64;
+use crate::kernel;
 use crate::matrix::CMatrix;
 use crate::workspace::Workspace;
 
@@ -35,8 +36,9 @@ impl std::error::Error for SolveError {}
 /// `lu` must hold a row-major copy of the `n x n` system matrix and `rhs` a
 /// row-major copy of the `n x m` right-hand side; both are destroyed. The
 /// solution is written into `out` (reshaped, storage reused). The elimination
-/// is the original partial-pivoting sweep, so results are bit-identical to the
-/// historical allocating implementation.
+/// row updates dispatch through [`kernel::caxpy_sub`]; under the scalar
+/// backend the sweep is the original partial-pivoting arithmetic, so results
+/// are bit-identical to the historical allocating implementation.
 fn lu_solve_core(
     lu: &mut [Complex64],
     rhs: &mut [Complex64],
@@ -44,6 +46,7 @@ fn lu_solve_core(
     m: usize,
     out: &mut CMatrix,
 ) -> Result<(), SolveError> {
+    let kern = kernel::selected();
     for k in 0..n {
         // Pivot selection.
         let mut pivot_row = k;
@@ -72,14 +75,22 @@ fn lu_solve_core(
             if factor.norm_sqr() == 0.0 {
                 continue;
             }
-            for c in k..n {
-                let sub = factor * lu[k * n + c];
-                lu[r * n + c] -= sub;
-            }
-            for c in 0..m {
-                let sub = factor * rhs[k * m + c];
-                rhs[r * m + c] -= sub;
-            }
+            // Row r lies strictly after row k, so splitting at r's start
+            // yields disjoint views of the pivot row and the updated row.
+            let (lu_head, lu_tail) = lu.split_at_mut(r * n);
+            kernel::caxpy_sub(
+                kern,
+                factor,
+                &lu_head[k * n + k..(k + 1) * n],
+                &mut lu_tail[k..n],
+            );
+            let (rhs_head, rhs_tail) = rhs.split_at_mut(r * m);
+            kernel::caxpy_sub(
+                kern,
+                factor,
+                &rhs_head[k * m..(k + 1) * m],
+                &mut rhs_tail[..m],
+            );
         }
     }
 
@@ -244,15 +255,15 @@ pub fn mmse_filter_into(
     }
     invert_core(ma, lu, rhs, mb)?;
     // out = inv * G^H, computed without materializing G^H:
-    // out[r, c] = sum_k inv[r, k] * conj(g[c, k]).
+    // out[r, c] = sum_k inv[r, k] * conj(g[c, k]) — a conjugated dot product
+    // of two contiguous rows, dispatched through the kernel backend.
+    let kern = kernel::selected();
     out.reshape_zeroed(n, g.rows());
     for r in 0..n {
+        let inv_row = &mb.as_slice()[r * n..(r + 1) * n];
         for c in 0..g.rows() {
-            let mut acc = Complex64::ZERO;
-            for k in 0..n {
-                acc += mb[(r, k)] * g[(c, k)].conj();
-            }
-            out[(r, c)] = acc;
+            let g_row = &g.as_slice()[c * n..(c + 1) * n];
+            out[(r, c)] = kernel::cdotc(kern, inv_row, g_row);
         }
     }
     Ok(())

@@ -190,6 +190,13 @@ impl Dense {
         input.matmul_bias_act_into(&self.weights, &self.bias, self.activation, out);
     }
 
+    /// Inference-only forward pass into a caller-owned buffer with an explicit
+    /// kernel backend (the fused dequantize→tail path pins one backend for a
+    /// whole batched reconstruction).
+    pub fn infer_into_with(&self, input: &Matrix, out: &mut Matrix, kern: mimo_math::Kernel) {
+        input.matmul_bias_act_into_with(&self.weights, &self.bias, self.activation, out, kern);
+    }
+
     /// The original unfused forward chain (matmul, then bias broadcast, then
     /// activation — two intermediate allocations), kept as the behavioral
     /// reference for the fused epilogue.

@@ -6,10 +6,13 @@
 //! [`Matrix::matmul_bias_act_into`], and the transpose-free products
 //! [`Matrix::matmul_at_b_into`] / [`Matrix::matmul_a_bt_into`] that replace
 //! the full-matrix `transpose()` allocations of the backward pass. All of them
+//! dispatch through [`mimo_math::kernel`]: under the scalar backend they
 //! accumulate in the same element order as the naive kernels, so results are
-//! bit-identical.
+//! bit-identical; the AVX2+FMA backend uses 8-wide fused-multiply-add
+//! microkernels and agrees within FMA rounding.
 
 use crate::layer::Activation;
+use mimo_math::kernel::{self, Kernel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -127,22 +130,36 @@ impl Matrix {
     /// across every row of the batch.
     const MATMUL_K_BLOCK: usize = 16;
 
-    /// Matrix product `self * rhs` written into `out` (reshaped, storage reused).
-    ///
-    /// Register-blocked 4x4 micro-kernel: four output rows share every loaded
-    /// `rhs` (weight) row, and four inner-dimension terms accumulate per
-    /// output element between one load and one store of the accumulator — for
-    /// batched inference this cuts both the weight traffic and the
-    /// accumulator traffic by 4x instead of streaming the full weight matrix
-    /// once per batch row. Bit-identical to the plain triple loop: every
-    /// output element still accumulates its `k` terms in ascending order (the
-    /// blocks only interleave *different* accumulators, and f32 temporaries
-    /// in registers round identically to memory round trips), and exact-zero
-    /// `a` terms are still skipped.
+    /// Matrix product `self * rhs` written into `out` (reshaped, storage
+    /// reused), using the runtime-selected kernel backend
+    /// ([`mimo_math::kernel::selected`]).
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(rhs, out, kernel::selected());
+    }
+
+    /// [`Matrix::matmul_into`] with an explicit kernel backend — the seam the
+    /// dispatch-parity tests and per-kernel benchmarks use.
+    ///
+    /// **Scalar**: register-blocked 4x4 micro-kernel — four output rows share
+    /// every loaded `rhs` (weight) row, and four inner-dimension terms
+    /// accumulate per output element between one load and one store of the
+    /// accumulator. Bit-identical to the plain triple loop: every output
+    /// element still accumulates its `k` terms in ascending order (the blocks
+    /// only interleave *different* accumulators, and f32 temporaries in
+    /// registers round identically to memory round trips), and exact-zero `a`
+    /// terms are still skipped.
+    ///
+    /// **AVX2+FMA**: an 8-wide FMA microkernel ([`kernel::gemm_f32`]), one
+    /// fused-multiply-add chain per output element over ascending `k` — so
+    /// single-row and batched calls stay bit-identical to each other, which
+    /// the fused dequantize→tail path depends on.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into_with(&self, rhs: &Matrix, out: &mut Matrix, kern: Kernel) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -152,6 +169,10 @@ impl Matrix {
         let n = rhs.cols;
         let m = self.cols;
         if n == 0 || m == 0 {
+            return;
+        }
+        if kern != Kernel::Scalar {
+            kernel::gemm_f32(kern, &self.data, &rhs.data, &mut out.data, m, n);
             return;
         }
         for k0 in (0..m).step_by(Self::MATMUL_K_BLOCK) {
@@ -359,9 +380,25 @@ impl Matrix {
         activation: Activation,
         out: &mut Matrix,
     ) {
+        self.matmul_bias_act_into_with(w, bias, activation, out, kernel::selected());
+    }
+
+    /// [`Matrix::matmul_bias_act_into`] with an explicit kernel backend.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree or `bias` is not a `1 x w.cols()`
+    /// row vector.
+    pub fn matmul_bias_act_into_with(
+        &self,
+        w: &Matrix,
+        bias: &Matrix,
+        activation: Activation,
+        out: &mut Matrix,
+        kern: Kernel,
+    ) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, w.cols, "bias width mismatch");
-        self.matmul_into(w, out);
+        self.matmul_into_with(w, out, kern);
         for row in out.data.chunks_exact_mut(w.cols) {
             for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
                 *o = activation.eval(*o + b);
@@ -369,15 +406,25 @@ impl Matrix {
         }
     }
 
-    /// Transpose-free product `self^T * rhs` written into `out`.
-    ///
-    /// Replaces `self.transpose().matmul(rhs)` (the weight-gradient step of
-    /// backpropagation) without materializing the transpose; accumulation
-    /// order matches, so results are bit-identical.
+    /// Transpose-free product `self^T * rhs` written into `out`, using the
+    /// runtime-selected kernel backend.
     ///
     /// # Panics
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_at_b_into_with(rhs, out, kernel::selected());
+    }
+
+    /// [`Matrix::matmul_at_b_into`] with an explicit kernel backend.
+    ///
+    /// Replaces `self.transpose().matmul(rhs)` (the weight-gradient step of
+    /// backpropagation) without materializing the transpose; under the scalar
+    /// backend the accumulation order matches, so results are bit-identical.
+    /// The AVX2 backend runs one 8-wide FMA axpy per `(r, k)` term.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_at_b_into_with(&self, rhs: &Matrix, out: &mut Matrix, kern: Kernel) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_at_b dimension mismatch: ({}x{})^T * {}x{}",
@@ -392,23 +439,32 @@ impl Matrix {
                 }
                 let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * b;
-                }
+                kernel::saxpy(kern, a, rhs_row, out_row);
             }
         }
     }
 
-    /// Transpose-free product `self * rhs^T` written into `out`.
-    ///
-    /// Replaces `self.matmul(&rhs.transpose())` (the input-gradient step of
-    /// backpropagation). Both operands are traversed along contiguous rows —
-    /// a dot product per output entry — with the same `k` accumulation order
-    /// as the naive chain, so results are bit-identical.
+    /// Transpose-free product `self * rhs^T` written into `out`, using the
+    /// runtime-selected kernel backend.
     ///
     /// # Panics
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_a_bt_into_with(rhs, out, kernel::selected());
+    }
+
+    /// [`Matrix::matmul_a_bt_into`] with an explicit kernel backend.
+    ///
+    /// Replaces `self.matmul(&rhs.transpose())` (the input-gradient step of
+    /// backpropagation). Both operands are traversed along contiguous rows —
+    /// a dot product per output entry — with the same `k` accumulation order
+    /// as the naive chain under the scalar backend, so results are
+    /// bit-identical there. The AVX2 backend reduces with four independent
+    /// vector accumulators ([`kernel::sdot`]).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_a_bt_into_with(&self, rhs: &Matrix, out: &mut Matrix, kern: Kernel) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_a_bt dimension mismatch: {}x{} * ({}x{})^T",
@@ -422,11 +478,7 @@ impl Matrix {
                 // No zero-skip here: inside a dot product it saves one FMA but
                 // defeats vectorization, and adding `0.0 * b` is bit-neutral
                 // for finite operands.
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
+                *o = kernel::sdot(kern, a_row, b_row);
             }
         }
     }
@@ -656,10 +708,28 @@ mod tests {
         let _ = a.matmul(&b);
     }
 
+    /// Plain triple loop, ascending `k`, one rounded add per term — the
+    /// arithmetic the scalar backend must reproduce bit-for-bit.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a.get(r, k) * b.get(k, c);
+                }
+                out.as_mut_slice()[r * b.cols() + c] = acc;
+            }
+        }
+        out
+    }
+
     #[test]
     fn into_kernels_match_naive_on_edge_shapes() {
         let mut rng = ChaCha8Rng::seed_from_u64(31);
-        // Non-square and 1xN / Nx1 shapes.
+        // Non-square and 1xN / Nx1 shapes. The scalar backend is the
+        // bit-exactness reference, so the comparison pins it explicitly and
+        // holds regardless of what SPLITBEAM_KERNEL dispatched.
         for (m, k, n) in [
             (1, 1, 1),
             (1, 5, 1),
@@ -671,16 +741,58 @@ mod tests {
             let a = Matrix::xavier_uniform(m, k, &mut rng);
             let b = Matrix::xavier_uniform(k, n, &mut rng);
             let mut out = Matrix::zeros(1, 1);
-            a.matmul_into(&b, &mut out);
-            assert_eq!(out, a.matmul(&b), "matmul {m}x{k}*{k}x{n}");
+            let mut reference = Matrix::zeros(1, 1);
+            a.matmul_into_with(&b, &mut out, Kernel::Scalar);
+            assert_eq!(out, naive_matmul(&a, &b), "matmul {m}x{k}*{k}x{n}");
 
             let at = Matrix::xavier_uniform(k, m, &mut rng);
-            at.matmul_at_b_into(&b, &mut out);
-            assert_eq!(out, at.transpose().matmul(&b), "at_b {k}x{m}^T*{k}x{n}");
+            at.matmul_at_b_into_with(&b, &mut out, Kernel::Scalar);
+            at.transpose()
+                .matmul_into_with(&b, &mut reference, Kernel::Scalar);
+            assert_eq!(out, reference, "at_b {k}x{m}^T*{k}x{n}");
 
             let bt = Matrix::xavier_uniform(n, k, &mut rng);
-            a.matmul_a_bt_into(&bt, &mut out);
-            assert_eq!(out, a.matmul(&bt.transpose()), "a_bt {m}x{k}*({n}x{k})^T");
+            a.matmul_a_bt_into_with(&bt, &mut out, Kernel::Scalar);
+            a.matmul_into_with(&bt.transpose(), &mut reference, Kernel::Scalar);
+            assert_eq!(out, reference, "a_bt {m}x{k}*({n}x{k})^T");
+        }
+    }
+
+    #[test]
+    fn simd_backend_matches_scalar_within_tolerance() {
+        use mimo_math::kernel::avx2_fma_available;
+        if !avx2_fma_available() {
+            // Graceful fallback hosts: the dispatched path IS the scalar path.
+            return;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        // The shapes the 2x2 / 3x3 / 4x4 configurations drive through the
+        // dense layers (batch x in x out), plus edge cases.
+        for (m, k, n) in [
+            (1, 448, 56),
+            (16, 448, 56),
+            (12, 545, 4356),
+            (1, 896, 112),
+            (5, 1, 5),
+            (3, 7, 33),
+        ] {
+            let a = Matrix::xavier_uniform(m, k, &mut rng);
+            let b = Matrix::xavier_uniform(k, n, &mut rng);
+            let mut scalar = Matrix::zeros(1, 1);
+            let mut simd = Matrix::zeros(1, 1);
+            a.matmul_into_with(&b, &mut scalar, Kernel::Scalar);
+            a.matmul_into_with(&b, &mut simd, Kernel::Avx2Fma);
+            let tol = 1e-5 * (k as f32).sqrt();
+            for (s, v) in scalar.as_slice().iter().zip(simd.as_slice()) {
+                assert!((s - v).abs() <= tol, "matmul drift {m}x{k}x{n}: {s} vs {v}");
+            }
+
+            let bt = Matrix::xavier_uniform(n, k, &mut rng);
+            a.matmul_a_bt_into_with(&bt, &mut scalar, Kernel::Scalar);
+            a.matmul_a_bt_into_with(&bt, &mut simd, Kernel::Avx2Fma);
+            for (s, v) in scalar.as_slice().iter().zip(simd.as_slice()) {
+                assert!((s - v).abs() <= tol, "a_bt drift {m}x{k}x{n}");
+            }
         }
     }
 
@@ -714,16 +826,35 @@ mod tests {
             let a = Matrix::xavier_uniform(m, k, &mut rng);
             let b = Matrix::xavier_uniform(k, n, &mut rng);
             let mut out = Matrix::zeros(1, 1);
-            a.matmul_into(&b, &mut out);
-            prop_assert_eq!(&out, &a.matmul(&b));
+            a.matmul_into_with(&b, &mut out, Kernel::Scalar);
+            prop_assert_eq!(&out, &naive_matmul(&a, &b));
 
             let at = Matrix::xavier_uniform(k, m, &mut rng);
-            at.matmul_at_b_into(&b, &mut out);
-            prop_assert_eq!(&out, &at.transpose().matmul(&b));
+            at.matmul_at_b_into_with(&b, &mut out, Kernel::Scalar);
+            prop_assert_eq!(&out, &naive_matmul(&at.transpose(), &b));
 
             let bt = Matrix::xavier_uniform(n, k, &mut rng);
-            a.matmul_a_bt_into(&bt, &mut out);
-            prop_assert_eq!(&out, &a.matmul(&bt.transpose()));
+            a.matmul_a_bt_into_with(&bt, &mut out, Kernel::Scalar);
+            prop_assert_eq!(&out, &naive_matmul(&a, &bt.transpose()));
+        }
+
+        #[test]
+        fn prop_simd_gemm_parity(m in 1usize..5, k in 1usize..40, n in 1usize..40,
+                                 seed in 0u64..200) {
+            use mimo_math::kernel::avx2_fma_available;
+            if avx2_fma_available() {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let a = Matrix::xavier_uniform(m, k, &mut rng);
+                let b = Matrix::xavier_uniform(k, n, &mut rng);
+                let mut scalar = Matrix::zeros(1, 1);
+                let mut simd = Matrix::zeros(1, 1);
+                a.matmul_into_with(&b, &mut scalar, Kernel::Scalar);
+                a.matmul_into_with(&b, &mut simd, Kernel::Avx2Fma);
+                let tol = 1e-5 * (k as f32).sqrt();
+                for (s, v) in scalar.as_slice().iter().zip(simd.as_slice()) {
+                    prop_assert!((s - v).abs() <= tol);
+                }
+            }
         }
 
         #[test]

@@ -71,6 +71,11 @@ pub fn normalize_by_mean_amplitude(h: &CMatrix) -> CMatrix {
 
 /// Applies an `n`-point moving median to a scalar time series (used on the
 /// per-subcarrier amplitude traces to suppress impulsive estimation noise).
+///
+/// NaN samples (a corrupted CSI estimate) are ordered by `f64::total_cmp`, so
+/// they sort after every finite amplitude instead of panicking the capture
+/// pipeline; a NaN therefore only surfaces in a window's output when it
+/// reaches the median position itself.
 pub fn moving_median(values: &[f64], window: usize) -> Vec<f64> {
     if window <= 1 || values.is_empty() {
         return values.to_vec();
@@ -81,7 +86,7 @@ pub fn moving_median(values: &[f64], window: usize) -> Vec<f64> {
             let start = i.saturating_sub(half);
             let end = (i + half + 1).min(values.len());
             let mut slice: Vec<f64> = values[start..end].to_vec();
-            slice.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            slice.sort_by(f64::total_cmp);
             slice[slice.len() / 2]
         })
         .collect()
@@ -158,6 +163,27 @@ mod tests {
         assert!((smoothed[10] - 1.0).abs() < 1e-12);
         // Window of 1 is a no-op.
         assert_eq!(moving_median(&series, 1), series);
+    }
+
+    #[test]
+    fn moving_median_survives_nan_samples() {
+        // Regression: the comparator used `partial_cmp(..).unwrap()`, so a
+        // single NaN amplitude (a corrupted capture) panicked the whole
+        // pipeline. With total_cmp, NaN sorts above every finite value and
+        // the surrounding windows still produce finite medians.
+        let mut series = vec![1.0; 21];
+        series[10] = f64::NAN;
+        let smoothed = moving_median(&series, 10);
+        assert_eq!(smoothed.len(), series.len());
+        // Windows where the NaN does not reach the median position stay finite.
+        assert!((smoothed[0] - 1.0).abs() < 1e-12);
+        assert!((smoothed[20] - 1.0).abs() < 1e-12);
+        // Majority-finite windows around the corrupt sample are repaired.
+        assert!((smoothed[10] - 1.0).abs() < 1e-12);
+        // An all-NaN series must not panic either.
+        let all_nan = vec![f64::NAN; 5];
+        let out = moving_median(&all_nan, 3);
+        assert_eq!(out.len(), 5);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use crate::session::{StationId, StationSession};
 use crate::ServeError;
+use splitbeam::fused::TailScratch;
 use splitbeam::model::SplitBeamModel;
-use splitbeam::quantization::{dequantize_bottleneck, QuantizedFeedback};
+use splitbeam::quantization::QuantizedFeedback;
 use splitbeam::wire;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,20 +23,55 @@ pub struct RoundSummary {
     pub batches: usize,
 }
 
-/// The AP-side serving state: model registry, per-station sessions, and the
-/// payloads pending for the current sounding round.
+/// The AP-side serving state: model registry, per-station sessions (each
+/// holding its pending payload slot for the round being collected), and the
+/// per-round scratch arena.
 ///
 /// Ingest and reconstruction are decoupled: [`ApServer::ingest_wire`] decodes
 /// and validates frames as they arrive, [`ApServer::process_round`] coalesces
-/// everything pending into one batched tail inference per model — bit-exact
-/// with [`ApServer::process_round_serial`], which reconstructs station by
-/// station and exists as the reference (and comparison baseline).
+/// everything pending into one **fused dequantize→tail** batched inference per
+/// model — bit-exact with [`ApServer::process_round_serial`], which
+/// reconstructs station by station through the unfused single-payload path and
+/// exists as the reference (and comparison baseline).
+///
+/// All per-round storage (wire decode buffer, batch id list, fused tail
+/// scratch, per-station payload and feedback buffers) is recycled, so a full
+/// steady-state ingest→decode→batched-reconstruct round performs no heap
+/// allocation once every buffer has reached its high-water capacity.
 #[derive(Debug, Clone, Default)]
 pub struct ApServer {
     models: Vec<Arc<SplitBeamModel>>,
     sessions: BTreeMap<StationId, StationSession>,
-    pending: BTreeMap<StationId, QuantizedFeedback>,
+    arena: RoundArena,
     round: u64,
+}
+
+/// Reusable per-round scratch owned by the server.
+#[derive(Debug, Clone)]
+struct RoundArena {
+    /// Wire frames decode into this buffer before validation; on successful
+    /// ingest it is swapped with the station's payload slot, so the two
+    /// buffers circulate without reallocating.
+    decode_buf: QuantizedFeedback,
+    /// Station ids of the batch currently being reconstructed.
+    ids: Vec<StationId>,
+    /// Buffers of the fused batched tail reconstruction.
+    tail: TailScratch,
+}
+
+impl Default for RoundArena {
+    fn default() -> Self {
+        Self {
+            decode_buf: QuantizedFeedback {
+                bits_per_value: 1,
+                min: 0.0,
+                max: 0.0,
+                codes: Vec::new(),
+            },
+            ids: Vec::new(),
+            tail: TailScratch::new(),
+        }
+    }
 }
 
 impl ApServer {
@@ -106,21 +142,35 @@ impl ApServer {
 
     /// Number of payloads waiting for the next `process_round`.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.sessions.values().filter(|s| s.has_pending()).count()
     }
 
     /// Ingests one bit-packed wire frame from station `id` for the current
     /// round, returning the decoded payload size in bytes. A station reporting
     /// twice in one round replaces its pending payload (last wins).
     ///
+    /// The frame decodes into the server's recycled decode buffer, which is
+    /// then swapped with the station's payload slot — steady-state ingest
+    /// allocates nothing.
+    ///
     /// # Errors
     /// [`ServeError::UnknownStation`] for an unassociated id and
     /// [`ServeError::Codec`] when the frame fails to decode, its bit width
     /// disagrees with the session, or the code count does not match the
-    /// station's model bottleneck.
+    /// station's model bottleneck. A failed ingest leaves any previously
+    /// pending payload of the station untouched.
     pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
-        let payload = wire::decode_feedback(frame).map_err(|e| ServeError::Codec(e.to_string()))?;
-        self.ingest_payload(id, payload, frame.len())
+        wire::decode_feedback_into(frame, &mut self.arena.decode_buf)
+            .map_err(|e| ServeError::Codec(e.to_string()))?;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        Self::validate_payload(&self.models, session, &self.arena.decode_buf)?;
+        std::mem::swap(session.payload_slot(), &mut self.arena.decode_buf);
+        session.set_pending(true);
+        session.record_ingest(frame.len());
+        Ok(frame.len())
     }
 
     /// Ingests an already-decoded payload (in-process stations, tests).
@@ -137,6 +187,21 @@ impl ApServer {
             .sessions
             .get_mut(&id)
             .ok_or(ServeError::UnknownStation(id))?;
+        Self::validate_payload(&self.models, session, &payload)?;
+        *session.payload_slot() = payload;
+        session.set_pending(true);
+        session.record_ingest(wire_bytes);
+        Ok(wire_bytes)
+    }
+
+    /// Shared ingest validation: announced quantizer width and bottleneck
+    /// dimension must match the session.
+    fn validate_payload(
+        models: &[Arc<SplitBeamModel>],
+        session: &StationSession,
+        payload: &QuantizedFeedback,
+    ) -> Result<(), ServeError> {
+        let id = session.id();
         if payload.bits_per_value != session.bits_per_value() {
             return Err(ServeError::Codec(format!(
                 "station {id} sent {} bits/value, session announced {}",
@@ -144,55 +209,74 @@ impl ApServer {
                 session.bits_per_value()
             )));
         }
-        let expected = self.models[session.model_key()].bottleneck_dim();
+        let expected = models[session.model_key()].bottleneck_dim();
         if payload.codes.len() != expected {
             return Err(ServeError::Codec(format!(
                 "station {id} sent {} codes, model bottleneck is {expected}",
                 payload.codes.len()
             )));
         }
-        session.record_ingest(wire_bytes);
-        self.pending.insert(id, payload);
-        Ok(wire_bytes)
+        Ok(())
     }
 
     /// Closes the current round: coalesces all pending payloads into **one
-    /// batched tail inference per model**, stores every reconstruction in its
-    /// session, and advances the round counter.
+    /// fused dequantize→tail batched inference per model**
+    /// ([`SplitBeamModel::reconstruct_quantized_batch_iter_into`]), stores
+    /// every reconstruction in its session, and advances the round counter.
+    /// All intermediate storage comes from the server's round arena.
     ///
     /// # Errors
     /// [`ServeError::Model`] when a tail reconstruction fails (the round is
-    /// still consumed).
+    /// still consumed: every pending payload is discarded).
     pub fn process_round(&mut self) -> Result<RoundSummary, ServeError> {
-        let pending = std::mem::take(&mut self.pending);
         let round = self.round;
         self.round += 1;
         let mut served = 0usize;
         let mut batches = 0usize;
-        for key in 0..self.models.len() {
-            let group: Vec<(StationId, &QuantizedFeedback)> = pending
-                .iter()
-                .filter(|(id, _)| self.sessions[id].model_key() == key)
-                .map(|(&id, p)| (id, p))
-                .collect();
-            if group.is_empty() {
+        let Self {
+            models,
+            sessions,
+            arena,
+            ..
+        } = self;
+        let RoundArena { ids, tail, .. } = arena;
+        let kern = mimo_math::kernel::selected();
+        for (key, model) in models.iter().enumerate() {
+            ids.clear();
+            ids.extend(
+                sessions
+                    .values()
+                    .filter(|s| s.has_pending() && s.model_key() == key)
+                    .map(StationSession::id),
+            );
+            if ids.is_empty() {
                 continue;
             }
             batches += 1;
-            let model = Arc::clone(&self.models[key]);
-            let bottlenecks: Vec<Vec<f32>> = group
-                .iter()
-                .map(|(_, p)| dequantize_bottleneck(p))
-                .collect();
-            let refs: Vec<&[f32]> = bottlenecks.iter().map(Vec::as_slice).collect();
-            let flats = model
-                .reconstruct_batch(&refs)
-                .map_err(|e| ServeError::Model(e.to_string()))?;
-            for ((id, _), flat) in group.iter().zip(flats.iter()) {
-                self.sessions
+            let result = model.reconstruct_quantized_batch_iter_into(
+                ids.iter().map(|id| sessions[id].payload()),
+                ids.len(),
+                tail,
+                kern,
+            );
+            let flats = match result {
+                Ok(flats) => flats,
+                Err(e) => {
+                    // Same contract as the historical mem::take: a failed
+                    // round still consumes every pending payload.
+                    for session in sessions.values_mut() {
+                        session.set_pending(false);
+                    }
+                    return Err(ServeError::Model(e.to_string()));
+                }
+            };
+            let width = flats.cols();
+            for (id, flat) in ids.iter().zip(flats.as_slice().chunks_exact(width)) {
+                let session = sessions
                     .get_mut(id)
-                    .expect("pending payload from registered station")
-                    .store_feedback(flat, round);
+                    .expect("pending payload from registered station");
+                session.store_feedback(flat, round);
+                session.set_pending(false);
                 served += 1;
             }
         }
@@ -205,30 +289,43 @@ impl ApServer {
     }
 
     /// Reference path: closes the round reconstructing **one station at a
-    /// time** (no coalescing). Produces bit-identical session state to
-    /// [`ApServer::process_round`]; kept for verification and as the baseline
-    /// the batched path is benchmarked against.
+    /// time** through the unfused dequantize-then-tail path (no coalescing).
+    /// Produces bit-identical session state to [`ApServer::process_round`];
+    /// kept for verification and as the baseline the fused batched path is
+    /// benchmarked against.
     ///
     /// # Errors
     /// [`ServeError::Model`] when a tail reconstruction fails.
     pub fn process_round_serial(&mut self) -> Result<RoundSummary, ServeError> {
-        let pending = std::mem::take(&mut self.pending);
         let round = self.round;
         self.round += 1;
         let mut served = 0usize;
         let mut models_touched = std::collections::BTreeSet::new();
-        for (id, payload) in &pending {
-            let key = self.sessions[id].model_key();
+        let Self {
+            models, sessions, ..
+        } = self;
+        let mut failure = None;
+        for session in sessions.values_mut() {
+            if !session.has_pending() {
+                continue;
+            }
+            session.set_pending(false);
+            if failure.is_some() {
+                // A failed round still consumes the remaining payloads.
+                continue;
+            }
+            let key = session.model_key();
             models_touched.insert(key);
-            let model = Arc::clone(&self.models[key]);
-            let flat = model
-                .reconstruct_quantized(payload)
-                .map_err(|e| ServeError::Model(e.to_string()))?;
-            self.sessions
-                .get_mut(id)
-                .expect("pending payload from registered station")
-                .store_feedback(&flat, round);
-            served += 1;
+            match models[key].reconstruct_quantized(session.payload()) {
+                Ok(flat) => {
+                    session.store_feedback(&flat, round);
+                    served += 1;
+                }
+                Err(e) => failure = Some(ServeError::Model(e.to_string())),
+            }
+        }
+        if let Some(e) = failure {
+            return Err(e);
         }
         Ok(RoundSummary {
             round,
@@ -467,6 +564,40 @@ mod tests {
         server.process_round().unwrap();
         assert!(server.fresh_station_ids(0).is_empty());
         assert_eq!(server.fresh_station_ids(1), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn steady_state_round_recycles_feedback_buffers() {
+        let m = model(8);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        for id in 0..3u64 {
+            server.register_station(id, key, 6).unwrap();
+        }
+        for id in 0..3u64 {
+            server
+                .ingest_wire(id, &station_frame(&m, 70 + id, 6))
+                .unwrap();
+        }
+        server.process_round().unwrap();
+        let ptrs: Vec<*const f32> = (0..3u64)
+            .map(|id| server.feedback_of(id).unwrap().as_ptr())
+            .collect();
+        for round in 0..2u64 {
+            for id in 0..3u64 {
+                let frame = station_frame(&m, 80 + round * 3 + id, 6);
+                server.ingest_wire(id, &frame).unwrap();
+            }
+            server.process_round().unwrap();
+            for (id, &ptr) in ptrs.iter().enumerate() {
+                assert_eq!(
+                    server.feedback_of(id as StationId).unwrap().as_ptr(),
+                    ptr,
+                    "steady-state serving must reuse station {id}'s feedback buffer"
+                );
+            }
+        }
+        assert_eq!(server.pending_count(), 0);
     }
 
     #[test]

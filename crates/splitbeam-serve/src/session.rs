@@ -1,5 +1,7 @@
 //! Per-station serving state.
 
+use splitbeam::quantization::QuantizedFeedback;
+
 /// Over-the-air station identifier (association id in a real AP).
 pub type StationId = u64;
 
@@ -15,6 +17,11 @@ pub struct StationSession {
     id: StationId,
     model_key: usize,
     bits_per_value: u8,
+    /// The payload slot for the current round. The buffer persists across
+    /// rounds (decode-into reuses its `codes` storage); `has_pending` says
+    /// whether it holds a payload for the round being collected.
+    payload: QuantizedFeedback,
+    has_pending: bool,
     last_feedback: Option<Vec<f32>>,
     last_round: Option<u64>,
     payloads_ingested: u64,
@@ -27,11 +34,37 @@ impl StationSession {
             id,
             model_key,
             bits_per_value,
+            payload: QuantizedFeedback {
+                bits_per_value,
+                min: 0.0,
+                max: 0.0,
+                codes: Vec::new(),
+            },
+            has_pending: false,
             last_feedback: None,
             last_round: None,
             payloads_ingested: 0,
             wire_bytes_ingested: 0,
         }
+    }
+
+    /// Whether this station delivered a payload for the round being collected.
+    pub fn has_pending(&self) -> bool {
+        self.has_pending
+    }
+
+    /// The pending payload (meaningful only while [`StationSession::has_pending`]).
+    pub(crate) fn payload(&self) -> &QuantizedFeedback {
+        &self.payload
+    }
+
+    /// Mutable access to the payload slot, for buffer-recycling ingest.
+    pub(crate) fn payload_slot(&mut self) -> &mut QuantizedFeedback {
+        &mut self.payload
+    }
+
+    pub(crate) fn set_pending(&mut self, pending: bool) {
+        self.has_pending = pending;
     }
 
     /// The station id.

@@ -1,0 +1,349 @@
+//! Fused dequantize→tail-inference kernel.
+//!
+//! The AP's per-round hot path used to be: dequantize every payload into a
+//! fresh `Vec<f32>`, stack the vectors into a freshly allocated batch matrix,
+//! then run the tail network layer by layer with intermediate matrices. This
+//! module fuses the chain: payload codes are dequantized straight into one
+//! arena-owned strip (a `batch x bottleneck` block that is reused round after
+//! round — no per-payload heap `Vec`), the first tail layer runs as a single
+//! panel-blocked GEMM over that strip with the bias + activation epilogue in
+//! the same pass, and the remaining tail layers ping-pong between two
+//! reusable matrices.
+//!
+//! **Exactness.** The dequantized strip is computed by
+//! [`dequantize_bottleneck_into`] (bit-identical to the allocating
+//! dequantizer), and the first layer runs through the very
+//! [`neural::Matrix::matmul_bias_act_into_with`] kernel the unfused
+//! per-payload path uses, whose per-element accumulation is independent of
+//! the batch shape under every backend — so a fused batched reconstruction
+//! is bit-identical to dequantize-then-reconstruct, payload by payload, for
+//! both the scalar and the AVX2 backend. The batched-equals-serial property
+//! of the serving layer therefore survives kernel dispatch unchanged.
+
+use crate::model::SplitBeamModel;
+use crate::quantization::{dequantize_bottleneck_into, QuantizedFeedback};
+use crate::SplitBeamError;
+use mimo_math::kernel::{self, Kernel};
+use neural::Matrix;
+
+/// Reusable buffers for one fused batched tail reconstruction: the
+/// one-payload dequantization strip and the two layer-output ping-pong
+/// matrices. Hold one per serving loop; after the first round at the largest
+/// batch size a reconstruction performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct TailScratch {
+    /// Dequantized bottleneck strip for the whole batch (`batch x bottleneck`).
+    strip: Matrix,
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl TailScratch {
+    /// Creates an empty scratch; buffers grow to their high-water marks on use.
+    pub fn new() -> Self {
+        Self {
+            strip: Matrix::zeros(1, 1),
+            ping: Matrix::zeros(1, 1),
+            pong: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Default for TailScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SplitBeamModel {
+    /// **AP side, batched + fused**: reconstructs many quantized payloads with
+    /// the dequantization fused into the first tail-layer GEMM, using the
+    /// runtime-selected kernel backend. Returns the `batch x output_dim`
+    /// matrix held by `scratch` (row `i` is payload `i`'s reconstruction).
+    ///
+    /// Results are bit-identical to
+    /// [`SplitBeamModel::reconstruct_quantized`] applied per payload.
+    ///
+    /// # Errors
+    /// Returns [`SplitBeamError::DimensionMismatch`] when the batch is empty
+    /// or a payload's code count differs from the bottleneck width.
+    pub fn reconstruct_quantized_batch_into<'a>(
+        &self,
+        payloads: &[&QuantizedFeedback],
+        scratch: &'a mut TailScratch,
+    ) -> Result<&'a Matrix, SplitBeamError> {
+        self.reconstruct_quantized_batch_iter_into(
+            payloads.iter().copied(),
+            payloads.len(),
+            scratch,
+            kernel::selected(),
+        )
+    }
+
+    /// Iterator form of [`SplitBeamModel::reconstruct_quantized_batch_into`]
+    /// with an explicit kernel backend — the allocation-free seam the serving
+    /// layer drives (no payload-reference slice needs materializing) and the
+    /// entry point the dispatch-parity tests pin.
+    ///
+    /// `batch` must equal the iterator's length.
+    ///
+    /// # Errors
+    /// Returns [`SplitBeamError::DimensionMismatch`] when the batch is empty,
+    /// the iterator yields fewer than `batch` payloads, or a payload's code
+    /// count differs from the bottleneck width.
+    pub fn reconstruct_quantized_batch_iter_into<'a, 'p, I>(
+        &self,
+        payloads: I,
+        batch: usize,
+        scratch: &'a mut TailScratch,
+        kern: Kernel,
+    ) -> Result<&'a Matrix, SplitBeamError>
+    where
+        I: Iterator<Item = &'p QuantizedFeedback>,
+    {
+        if batch == 0 {
+            return Err(SplitBeamError::DimensionMismatch(
+                "empty fused reconstruction batch".into(),
+            ));
+        }
+        let tail = self.tail();
+        let dim = tail.input_dim();
+        let layers = tail.layers();
+        let first = &layers[0];
+
+        // Dequantize every payload straight into the arena strip (row r is
+        // payload r's bottleneck) — the only materialization of the batch,
+        // in storage that is reused round after round.
+        let mut payloads = payloads;
+        scratch.strip.reshape_zeroed(batch, dim);
+        let mut rows = 0usize;
+        // Chunks drive the zip so it never consumes a payload beyond `batch`
+        // (zip pulls from its first iterator before checking the second).
+        for (strip_row, payload) in scratch
+            .strip
+            .as_mut_slice()
+            .chunks_exact_mut(dim)
+            .zip(&mut payloads)
+        {
+            if payload.codes.len() != dim {
+                return Err(SplitBeamError::DimensionMismatch(format!(
+                    "payload carries {} codes, bottleneck width is {dim}",
+                    payload.codes.len()
+                )));
+            }
+            dequantize_bottleneck_into(payload, strip_row);
+            rows += 1;
+        }
+        if rows != batch || payloads.next().is_some() {
+            return Err(SplitBeamError::DimensionMismatch(format!(
+                "fused batch declared {batch} payloads, iterator yielded {}",
+                if rows != batch {
+                    rows.to_string()
+                } else {
+                    format!("more than {batch}")
+                }
+            )));
+        }
+
+        // First layer: one blocked GEMM over the strip with the bias +
+        // activation epilogue fused — the very kernel the unfused per-payload
+        // path runs, so fused == unfused bit-for-bit under every backend.
+        scratch.strip.matmul_bias_act_into_with(
+            &first.weights,
+            &first.bias,
+            first.activation,
+            &mut scratch.ping,
+            kern,
+        );
+
+        // Remaining tail layers ping-pong between the two scratch matrices.
+        let mut cur = &mut scratch.ping;
+        let mut next = &mut scratch.pong;
+        for layer in &layers[1..] {
+            layer.infer_into_with(cur, next, kern);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        Ok(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompressionLevel, SplitBeamConfig};
+    use crate::quantization::{dequantize_bottleneck, quantize_bottleneck};
+    use mimo_math::kernel::avx2_fma_available;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+    fn model(seed: u64, deeper: bool) -> SplitBeamModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut config = SplitBeamConfig::new(
+            MimoConfig::symmetric(2, Bandwidth::Mhz20),
+            CompressionLevel::OneEighth,
+        );
+        if deeper {
+            config = config.with_extra_tail_layer();
+        }
+        SplitBeamModel::new(config, &mut rng)
+    }
+
+    fn payloads_for(model: &SplitBeamModel, count: usize, bits: u8) -> Vec<QuantizedFeedback> {
+        let dim = model.bottleneck_dim();
+        (0..count)
+            .map(|i| {
+                let values: Vec<f32> = (0..dim)
+                    .map(|j| ((i * dim + j) as f32 * 0.173).sin() * 0.4)
+                    .collect();
+                quantize_bottleneck(&values, bits)
+            })
+            .collect()
+    }
+
+    fn kernels() -> Vec<Kernel> {
+        let mut ks = vec![Kernel::Scalar];
+        if avx2_fma_available() {
+            ks.push(Kernel::Avx2Fma);
+        }
+        ks
+    }
+
+    /// Reference: dequantize then run the tail per payload with the same
+    /// explicit kernel.
+    fn unfused(model: &SplitBeamModel, payload: &QuantizedFeedback, kern: Kernel) -> Vec<f32> {
+        let bottleneck = dequantize_bottleneck(payload);
+        let mut x = Matrix::row_vector(&bottleneck);
+        let mut out = Matrix::zeros(1, 1);
+        for layer in model.tail().layers() {
+            layer.infer_into_with(&x, &mut out, kern);
+            std::mem::swap(&mut x, &mut out);
+        }
+        x.as_slice().to_vec()
+    }
+
+    #[test]
+    fn fused_matches_dequantize_then_matmul_bitwise_per_kernel() {
+        for deeper in [false, true] {
+            let m = model(11, deeper);
+            let payloads = payloads_for(&m, 5, 6);
+            let refs: Vec<&QuantizedFeedback> = payloads.iter().collect();
+            for kern in kernels() {
+                let mut scratch = TailScratch::new();
+                let out = m
+                    .reconstruct_quantized_batch_iter_into(
+                        refs.iter().copied(),
+                        refs.len(),
+                        &mut scratch,
+                        kern,
+                    )
+                    .unwrap();
+                assert_eq!(out.rows(), 5);
+                for (i, payload) in payloads.iter().enumerate() {
+                    let want = unfused(&m, payload, kern);
+                    let got = &out.as_slice()[i * out.cols()..(i + 1) * out.cols()];
+                    assert_eq!(got, &want[..], "kern {kern:?} deeper={deeper} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_dispatch_matches_public_reconstruct_quantized() {
+        // The dispatched entry point must agree bit-for-bit with the
+        // single-payload public path (which dispatches the same backend).
+        let m = model(13, false);
+        let payloads = payloads_for(&m, 3, 12);
+        let refs: Vec<&QuantizedFeedback> = payloads.iter().collect();
+        let mut scratch = TailScratch::new();
+        let out = m
+            .reconstruct_quantized_batch_into(&refs, &mut scratch)
+            .unwrap();
+        for (i, payload) in payloads.iter().enumerate() {
+            let want = m.reconstruct_quantized(payload).unwrap();
+            let got = &out.as_slice()[i * out.cols()..(i + 1) * out.cols()];
+            assert_eq!(got, &want[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn fused_batch_validation() {
+        let m = model(17, false);
+        let mut scratch = TailScratch::new();
+        assert!(matches!(
+            m.reconstruct_quantized_batch_into(&[], &mut scratch),
+            Err(SplitBeamError::DimensionMismatch(_))
+        ));
+        let short = quantize_bottleneck(&[0.5; 3], 8);
+        assert!(matches!(
+            m.reconstruct_quantized_batch_into(&[&short], &mut scratch),
+            Err(SplitBeamError::DimensionMismatch(_))
+        ));
+        // A declared batch smaller or larger than the iterator is an error,
+        // never a silent truncation.
+        let payloads = payloads_for(&m, 3, 8);
+        for declared in [2usize, 5] {
+            assert!(
+                matches!(
+                    m.reconstruct_quantized_batch_iter_into(
+                        payloads.iter(),
+                        declared,
+                        &mut scratch,
+                        Kernel::Scalar,
+                    ),
+                    Err(SplitBeamError::DimensionMismatch(_))
+                ),
+                "declared {declared} vs 3 yielded must error"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_rounds() {
+        let m = model(19, false);
+        let payloads = payloads_for(&m, 4, 8);
+        let refs: Vec<&QuantizedFeedback> = payloads.iter().collect();
+        let mut scratch = TailScratch::new();
+        m.reconstruct_quantized_batch_into(&refs, &mut scratch)
+            .unwrap();
+        let strip_ptr = scratch.strip.as_slice().as_ptr();
+        let ping_ptr = scratch.ping.as_slice().as_ptr();
+        m.reconstruct_quantized_batch_into(&refs, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            scratch.strip.as_slice().as_ptr(),
+            strip_ptr,
+            "strip must be reused"
+        );
+        assert_eq!(
+            scratch.ping.as_slice().as_ptr(),
+            ping_ptr,
+            "layer buffer must be reused"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Fused == dequantize-then-matmul across quantizer widths 1..=16 and
+        /// batch sizes, for every available kernel backend.
+        #[test]
+        fn prop_fused_parity_across_widths(bits in 1u8..=16, batch in 1usize..6, seed in 0u64..100) {
+            let m = model(seed.wrapping_add(29), seed % 2 == 0);
+            let payloads = payloads_for(&m, batch, bits);
+            let refs: Vec<&QuantizedFeedback> = payloads.iter().collect();
+            for kern in kernels() {
+                let mut scratch = TailScratch::new();
+                let out = m.reconstruct_quantized_batch_iter_into(
+                    refs.iter().copied(), batch, &mut scratch, kern,
+                ).unwrap();
+                for (i, payload) in payloads.iter().enumerate() {
+                    let want = unfused(&m, payload, kern);
+                    let got = &out.as_slice()[i * out.cols()..(i + 1) * out.cols()];
+                    prop_assert_eq!(got, &want[..]);
+                }
+            }
+        }
+    }
+}

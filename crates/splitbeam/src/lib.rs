@@ -14,6 +14,8 @@
 //! * [`model`] — the split head/tail model, inference and feedback round trip,
 //! * [`quantization`] — fixed-point quantization of the bottleneck activations
 //!   for over-the-air transport,
+//! * [`fused`] — the fused dequantize→tail kernel and its reusable
+//!   [`TailScratch`] buffers (the AP serving layer's batched hot path),
 //! * [`wire`] — the bit-packed wire format carrying a quantized payload at its
 //!   true per-code width (shares `dot11-bfi`'s packing primitives),
 //! * [`training`] — the supervised H → V training procedure of Section IV-D,
@@ -60,12 +62,14 @@ pub mod airtime;
 pub mod bop;
 pub mod complexity;
 pub mod config;
+pub mod fused;
 pub mod model;
 pub mod quantization;
 pub mod training;
 pub mod wire;
 
 pub use config::{CompressionLevel, SplitBeamConfig};
+pub use fused::TailScratch;
 pub use model::SplitBeamModel;
 
 /// Errors produced by the SplitBeam pipeline.

@@ -102,16 +102,34 @@ pub fn quantize_bottleneck(values: &[f32], bits_per_value: u8) -> QuantizedFeedb
 
 /// Dequantizes a payload back into bottleneck activations.
 ///
+/// Allocating convenience form of [`dequantize_bottleneck_into`]; hot paths
+/// (the single-payload reconstruction and the fused serve path) reuse a
+/// caller-owned buffer instead.
+pub fn dequantize_bottleneck(payload: &QuantizedFeedback) -> Vec<f32> {
+    let mut out = vec![0.0f32; payload.codes.len()];
+    dequantize_bottleneck_into(payload, &mut out);
+    out
+}
+
+/// Dequantizes a payload into a caller-owned buffer (bit-identical to
+/// [`dequantize_bottleneck`], no allocation).
+///
 /// Like the quantizer, the step is computed in f64 so a finite-but-extreme
 /// `[min, max]` range cannot overflow to infinity and turn every value NaN.
-pub fn dequantize_bottleneck(payload: &QuantizedFeedback) -> Vec<f32> {
+///
+/// # Panics
+/// Panics if `out.len() != payload.codes.len()`.
+pub fn dequantize_bottleneck_into(payload: &QuantizedFeedback, out: &mut [f32]) {
+    assert_eq!(
+        out.len(),
+        payload.codes.len(),
+        "dequantize output buffer length mismatch"
+    );
     let levels = f64::from((1u32 << payload.bits_per_value) - 1);
     let step = (f64::from(payload.max) - f64::from(payload.min)) / levels;
-    payload
-        .codes
-        .iter()
-        .map(|&c| (f64::from(payload.min) + f64::from(c) * step) as f32)
-        .collect()
+    for (o, &c) in out.iter_mut().zip(payload.codes.iter()) {
+        *o = (f64::from(payload.min) + f64::from(c) * step) as f32;
+    }
 }
 
 /// Worst-case quantization error for a payload spanning `[min, max]` with the
@@ -164,6 +182,26 @@ mod tests {
         };
         assert!(err(12) < err(6));
         assert!(err(6) < err(3));
+    }
+
+    #[test]
+    fn dequantize_into_matches_allocating_form_and_reuses_buffer() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        for bits in [1u8, 4, 9, 16] {
+            let payload = quantize_bottleneck(&values, bits);
+            let expect = dequantize_bottleneck(&payload);
+            let mut buf = vec![0.0f32; payload.codes.len()];
+            dequantize_bottleneck_into(&payload, &mut buf);
+            assert_eq!(buf, expect, "bits={bits}: _into must be bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dequantize_into_rejects_wrong_buffer_length() {
+        let payload = quantize_bottleneck(&[1.0, 2.0], 8);
+        let mut buf = [0.0f32; 3];
+        dequantize_bottleneck_into(&payload, &mut buf);
     }
 
     #[test]

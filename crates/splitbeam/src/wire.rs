@@ -76,6 +76,29 @@ pub fn encode_feedback(payload: &QuantizedFeedback) -> Result<Vec<u8>, SplitBeam
 /// declares an invalid bit width, carries non-finite range floats, or has
 /// trailing bytes beyond the declared code count.
 pub fn decode_feedback(frame: &[u8]) -> Result<QuantizedFeedback, SplitBeamError> {
+    let mut payload = QuantizedFeedback {
+        bits_per_value: 1,
+        min: 0.0,
+        max: 0.0,
+        codes: Vec::new(),
+    };
+    decode_feedback_into(frame, &mut payload)?;
+    Ok(payload)
+}
+
+/// Decodes a wire frame into a caller-owned payload, reusing its `codes`
+/// buffer (the serving layer's steady-state ingest path — no allocation after
+/// the buffer reaches its high-water capacity).
+///
+/// On error the payload contents are unspecified (but valid memory); callers
+/// must not treat them as a decoded frame.
+///
+/// # Errors
+/// Same contract as [`decode_feedback`].
+pub fn decode_feedback_into(
+    frame: &[u8],
+    payload: &mut QuantizedFeedback,
+) -> Result<(), SplitBeamError> {
     let mut reader = BitReader::new(frame);
     let header_err = || {
         SplitBeamError::DimensionMismatch(format!(
@@ -104,17 +127,18 @@ pub fn decode_feedback(frame: &[u8]) -> Result<QuantizedFeedback, SplitBeamError
             frame.len()
         )));
     }
-    let mut codes = Vec::with_capacity(count);
+    payload.bits_per_value = bits_per_value;
+    payload.min = min;
+    payload.max = max;
+    payload.codes.clear();
+    payload.codes.reserve(count);
     for _ in 0..count {
         // Length was validated above; pull cannot fail.
-        codes.push(reader.pull(u32::from(bits_per_value)).unwrap() as u16);
+        payload
+            .codes
+            .push(reader.pull(u32::from(bits_per_value)).unwrap() as u16);
     }
-    Ok(QuantizedFeedback {
-        bits_per_value,
-        min,
-        max,
-        codes,
-    })
+    Ok(())
 }
 
 /// Exact wire frame length in bytes for `count` codes at `bits_per_value` bits.

@@ -1,0 +1,216 @@
+//! Kernel-dispatch integration tests.
+//!
+//! Verifies the `SPLITBEAM_KERNEL` contract end to end: the environment knob
+//! and the programmatic override steer dispatch, `scalar` reproduces the
+//! pre-SIMD pipeline bit-for-bit (serving layer batched == serial, fused ==
+//! unfused, wire roundtrip), and the SIMD backend stays within documented
+//! tolerance of scalar on the full model inference path.
+//!
+//! The kernel override is process-global, so every test here serializes on
+//! one mutex and restores the default before returning.
+
+use mimo_math::kernel::{avx2_fma_available, selected, set_kernel, Kernel, KernelChoice};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam::fused::TailScratch;
+use splitbeam::model::SplitBeamModel;
+use splitbeam::quantization::QuantizedFeedback;
+use splitbeam::wire;
+use splitbeam_serve::ApServer;
+use std::sync::Mutex;
+use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
+use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the kernel pinned to `choice`, restoring default dispatch
+/// afterwards (also on panic, via a drop guard).
+fn with_kernel<T>(choice: KernelChoice, f: impl FnOnce() -> T) -> T {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel(None);
+        }
+    }
+    let _guard = KERNEL_LOCK.lock().unwrap();
+    let _restore = Restore;
+    set_kernel(Some(choice));
+    f()
+}
+
+fn model(seed: u64) -> SplitBeamModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SplitBeamModel::new(
+        SplitBeamConfig::new(
+            MimoConfig::symmetric(2, Bandwidth::Mhz20),
+            CompressionLevel::OneEighth,
+        ),
+        &mut rng,
+    )
+}
+
+fn station_frames(model: &SplitBeamModel, count: u64, bits: u8) -> Vec<Vec<u8>> {
+    let channel = ChannelModel::new(EnvironmentProfile::e1(), Bandwidth::Mhz20, 2, 1, 1);
+    (0..count)
+        .map(|seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+            let csi: Vec<f32> = channel
+                .sample(&mut rng)
+                .csi_real_vector(0)
+                .into_iter()
+                .map(|v| v as f32)
+                .collect();
+            let payload = model.compress_quantized(&csi, bits).unwrap();
+            wire::encode_feedback(&payload).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn programmatic_override_steers_dispatch() {
+    with_kernel(KernelChoice::Scalar, || {
+        assert_eq!(selected(), Kernel::Scalar);
+        let report = mimo_math::kernel::dispatch_report();
+        assert_eq!(report.requested, "scalar");
+        assert_eq!(report.selected, "scalar");
+    });
+    with_kernel(KernelChoice::Auto, || {
+        let expect = if avx2_fma_available() {
+            Kernel::Avx2Fma
+        } else {
+            Kernel::Scalar
+        };
+        assert_eq!(selected(), expect);
+    });
+}
+
+#[test]
+fn environment_variable_steers_dispatch() {
+    /// Restores the variable this test mutates — including on assertion
+    /// failure — so a CI run forcing `SPLITBEAM_KERNEL=scalar` keeps its
+    /// setting for every test that runs after this one.
+    struct RestoreEnv(Option<String>);
+    impl Drop for RestoreEnv {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(value) => std::env::set_var("SPLITBEAM_KERNEL", value),
+                None => std::env::remove_var("SPLITBEAM_KERNEL"),
+            }
+            set_kernel(None);
+        }
+    }
+    let _guard = KERNEL_LOCK.lock().unwrap();
+    let _restore = RestoreEnv(std::env::var("SPLITBEAM_KERNEL").ok());
+
+    std::env::set_var("SPLITBEAM_KERNEL", "scalar");
+    set_kernel(None); // drop any override and the cached resolution
+    assert_eq!(selected(), Kernel::Scalar);
+    std::env::set_var("SPLITBEAM_KERNEL", "auto");
+    set_kernel(None);
+    assert_eq!(
+        selected() == Kernel::Avx2Fma,
+        avx2_fma_available(),
+        "auto must pick AVX2 exactly when the host supports it"
+    );
+}
+
+/// The PR 2 bit-exactness suite, pinned to the scalar backend: batched
+/// serving, station-at-a-time serving and the fused path must all reproduce
+/// one another bit-for-bit, and the wire codec must round-trip exactly.
+#[test]
+fn scalar_kernel_reproduces_reference_serving_outputs() {
+    let m = model(5);
+    let frames = station_frames(&m, 4, 6);
+    let (batched_feedback, serial_feedback, fused_feedback) =
+        with_kernel(KernelChoice::Scalar, || {
+            let mut batched = ApServer::new();
+            let mut serial = ApServer::new();
+            let bkey = batched.register_model(m.clone());
+            let skey = serial.register_model(m.clone());
+            for (id, frame) in frames.iter().enumerate() {
+                batched.register_station(id as u64, bkey, 6).unwrap();
+                serial.register_station(id as u64, skey, 6).unwrap();
+                batched.ingest_wire(id as u64, frame).unwrap();
+                serial.ingest_wire(id as u64, frame).unwrap();
+            }
+            assert_eq!(
+                batched.process_round().unwrap(),
+                serial.process_round_serial().unwrap()
+            );
+            let batched_feedback: Vec<Vec<f32>> = (0..frames.len() as u64)
+                .map(|id| batched.feedback_of(id).unwrap().to_vec())
+                .collect();
+            let serial_feedback: Vec<Vec<f32>> = (0..frames.len() as u64)
+                .map(|id| serial.feedback_of(id).unwrap().to_vec())
+                .collect();
+
+            // Fused reconstruction straight from the decoded payloads.
+            let payloads: Vec<QuantizedFeedback> = frames
+                .iter()
+                .map(|f| wire::decode_feedback(f).unwrap())
+                .collect();
+            let refs: Vec<&QuantizedFeedback> = payloads.iter().collect();
+            let mut scratch = TailScratch::new();
+            let out = m
+                .reconstruct_quantized_batch_into(&refs, &mut scratch)
+                .unwrap();
+            let fused_feedback: Vec<Vec<f32>> = out
+                .as_slice()
+                .chunks_exact(out.cols())
+                .map(<[f32]>::to_vec)
+                .collect();
+            (batched_feedback, serial_feedback, fused_feedback)
+        });
+    assert_eq!(
+        batched_feedback, serial_feedback,
+        "batched must equal serial"
+    );
+    assert_eq!(batched_feedback, fused_feedback, "fused must equal batched");
+
+    // Wire roundtrip stays exact regardless of kernel.
+    for frame in &frames {
+        let payload = wire::decode_feedback(frame).unwrap();
+        assert_eq!(&wire::encode_feedback(&payload).unwrap(), frame);
+    }
+}
+
+/// Scalar and dispatched (possibly SIMD) kernels agree within the documented
+/// tolerance on the full station→AP inference path, and the serving layer
+/// stays batched==serial bit-exact under the SIMD backend too.
+#[test]
+fn simd_backend_stays_within_tolerance_and_serves_bit_exactly() {
+    let m = model(7);
+    let input: Vec<f32> = (0..448).map(|i| (i as f32 * 0.37).sin() * 0.1).collect();
+    let scalar_out = with_kernel(KernelChoice::Scalar, || m.infer(&input).unwrap());
+    let auto_out = with_kernel(KernelChoice::Auto, || m.infer(&input).unwrap());
+    for (s, a) in scalar_out.iter().zip(auto_out.iter()) {
+        assert!(
+            (s - a).abs() <= 1e-4,
+            "scalar {s} vs dispatched {a} exceeds tolerance"
+        );
+    }
+
+    let frames = station_frames(&m, 3, 8);
+    with_kernel(KernelChoice::Auto, || {
+        let mut batched = ApServer::new();
+        let mut serial = ApServer::new();
+        let bkey = batched.register_model(m.clone());
+        let skey = serial.register_model(m.clone());
+        for (id, frame) in frames.iter().enumerate() {
+            batched.register_station(id as u64, bkey, 8).unwrap();
+            serial.register_station(id as u64, skey, 8).unwrap();
+            batched.ingest_wire(id as u64, frame).unwrap();
+            serial.ingest_wire(id as u64, frame).unwrap();
+        }
+        batched.process_round().unwrap();
+        serial.process_round_serial().unwrap();
+        for id in 0..frames.len() as u64 {
+            assert_eq!(
+                batched.feedback_of(id),
+                serial.feedback_of(id),
+                "station {id}: batched and serial must be bit-exact under SIMD dispatch"
+            );
+        }
+    });
+}
