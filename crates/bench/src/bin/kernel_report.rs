@@ -235,6 +235,7 @@ fn main() {
         bits_per_value: 4,
         drop_every: 0,
         snr_db: 25.0,
+        churn: splitbeam_serve::driver::ChurnConfig::none(),
     };
     let traffic = generate_traffic(&sim, &model, &mut rng);
     let (payloads_per_sec_scalar, bit_exact_scalar) =

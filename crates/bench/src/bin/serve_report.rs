@@ -31,7 +31,7 @@ use splitbeam_bench::report::{kernel_dispatch_value, JsonReport};
 use splitbeam_bench::timing::{measure, num_threads};
 use splitbeam_bench::{env_usize, feedback_identical};
 use splitbeam_serve::driver::{
-    build_server, generate_traffic, link_check, serve_traffic, ServeMode, SimConfig,
+    build_server, generate_traffic, link_check, serve_traffic, ChurnConfig, ServeMode, SimConfig,
 };
 use wifi_phy::ofdm::{Bandwidth, MimoConfig};
 
@@ -63,13 +63,14 @@ fn main() {
          {bottleneck_dim}-wide bottleneck at {bits_per_value} bits/value\n"
     );
 
-    // Clean traffic (no drops) for the timed comparison.
+    // Clean traffic (no drops, no churn) for the timed comparison.
     let sim = SimConfig {
         stations,
         rounds,
         bits_per_value,
         drop_every: 0,
         snr_db: 25.0,
+        churn: ChurnConfig::none(),
     };
     let traffic = generate_traffic(&sim, &model, &mut rng);
     let payloads_per_pass = traffic.total_frames();
@@ -77,11 +78,11 @@ fn main() {
     // Bit-exactness: one pass per mode on fresh servers.
     let mut batched_server = build_server(model.clone(), stations, bits_per_value);
     let mut serial_server = build_server(model.clone(), stations, bits_per_value);
-    let batched_summaries =
+    let batched_outcome =
         serve_traffic(&mut batched_server, &traffic, ServeMode::Batched).expect("batched serving");
-    let serial_summaries =
+    let serial_outcome =
         serve_traffic(&mut serial_server, &traffic, ServeMode::Serial).expect("serial serving");
-    let batched_matches_serial = batched_summaries == serial_summaries
+    let batched_matches_serial = batched_outcome.summaries == serial_outcome.summaries
         && feedback_identical(&batched_server, &serial_server, stations);
 
     // Throughput: reuse one long-lived server per mode (sessions persist, the
@@ -109,7 +110,8 @@ fn main() {
     let wire_vs_legacy = wire_bytes_per_frame as f64 / legacy_bytes_per_frame as f64;
     let airtime_bits = feedback_bits_on_air(bottleneck_dim, bits_per_value);
     let airtime_matches_wire = airtime_bits.div_ceil(8) == wire_bytes_per_frame;
-    let observed_frame = traffic.frames[0][0]
+    let observed_frame = traffic.rounds[0].frames[0]
+        .1
         .as_ref()
         .expect("first frame exists in drop-free traffic");
     assert_eq!(observed_frame.len(), wire_bytes_per_frame);

@@ -226,13 +226,15 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Whether two servers hold bit-identical reconstructed feedback for stations
-/// `0..stations` — the serving layer's bit-exactness verdict.
-pub fn feedback_identical(
-    a: &splitbeam_serve::ApServer,
-    b: &splitbeam_serve::ApServer,
-    stations: usize,
-) -> bool {
+/// Whether two servers (any [`splitbeam_serve::driver::RoundServing`]
+/// implementation: single-shard or sharded) hold bit-identical reconstructed
+/// feedback for stations `0..stations` — the serving layer's bit-exactness
+/// verdict.
+pub fn feedback_identical<A, B>(a: &A, b: &B, stations: usize) -> bool
+where
+    A: splitbeam_serve::driver::RoundServing,
+    B: splitbeam_serve::driver::RoundServing,
+{
     (0..stations as splitbeam_serve::StationId).all(|id| a.feedback_of(id) == b.feedback_of(id))
 }
 

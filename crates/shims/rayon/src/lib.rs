@@ -132,9 +132,94 @@ impl<U> FromParallelVec<U> for Vec<U> {
     }
 }
 
+/// Mutably-borrowing conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by mutable reference.
+    type Item: Send + 'a;
+
+    /// Returns a parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// A parallel iterator over mutable slice elements.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps every element through `f`, preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a mut T) -> U + Sync,
+    {
+        ParMapMut {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIterMut::map`], awaiting a `collect`.
+pub struct ParMapMut<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, U: Send, F: Fn(&'a mut T) -> U + Sync> ParMapMut<'a, T, F> {
+    /// Executes the map and collects results in input order.
+    pub fn collect<C: FromParallelVec<U>>(self) -> C {
+        C::from_ordered_vec(self.run())
+    }
+
+    fn run(self) -> Vec<U> {
+        let n = self.slice.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 {
+            return self.slice.iter_mut().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut pieces: Vec<Vec<U>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk)
+                .map(|part| scope.spawn(move || part.iter_mut().map(f).collect::<Vec<U>>()))
+                .collect();
+            for handle in handles {
+                pieces.push(handle.join().expect("rayon-shim map worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for piece in pieces {
+            out.extend(piece);
+        }
+        out
+    }
+}
+
 /// Common imports, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+    pub use crate::IntoParallelRefMutIterator;
 }
 
 #[cfg(test)]
@@ -159,6 +244,27 @@ mod tests {
     fn empty_slice_maps_to_empty_vec() {
         let input: Vec<u32> = Vec::new();
         let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mut_map_mutates_in_place_and_preserves_order() {
+        let mut input: Vec<u64> = (0..300).collect();
+        let out: Vec<u64> = input
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x * 10
+            })
+            .collect();
+        assert_eq!(input, (1..=300).collect::<Vec<_>>());
+        assert_eq!(out, (1..=300).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_mut_slice_maps_to_empty_vec() {
+        let mut input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter_mut().map(|&mut x| x).collect();
         assert!(out.is_empty());
     }
 }

@@ -42,9 +42,10 @@ impl EndToEndDelay {
         self.head_s + self.airtime_s + self.tail_s
     }
 
-    /// Whether the delay fits a budget.
+    /// Whether the delay fits a budget. The budget is inclusive: a round
+    /// landing exactly on the Eq. 7d 10 ms deadline completes *within* it.
     pub fn within(&self, budget: &DelayBudget) -> bool {
-        self.total_s() < budget.max_delay_s
+        self.total_s() <= budget.max_delay_s
     }
 }
 
@@ -145,5 +146,28 @@ mod tests {
         let d = delay_for(4, Bandwidth::Mhz160, CompressionLevel::OneQuarter);
         let tight = DelayBudget { max_delay_s: 1e-4 };
         assert!(!d.within(&tight));
+    }
+
+    /// Regression test: the budget check used strict `<`, so a round landing
+    /// exactly on the 10 ms deadline was wrongly counted as a violation.
+    #[test]
+    fn budget_boundary_is_inclusive() {
+        let d = EndToEndDelay {
+            head_s: 0.004,
+            airtime_s: 0.004,
+            tail_s: 0.002,
+        };
+        // A budget equal to the total (the "lands exactly on 10 ms" case)
+        // counts as within; one ulp less does not.
+        let exact = DelayBudget {
+            max_delay_s: d.total_s(),
+        };
+        assert!(d.within(&exact), "exactly on the deadline is within budget");
+        assert!(!d.within(&DelayBudget {
+            max_delay_s: d.total_s() * (1.0 - 1e-12),
+        }));
+        assert!(d.within(&DelayBudget {
+            max_delay_s: d.total_s() * (1.0 + 1e-12),
+        }));
     }
 }

@@ -12,9 +12,15 @@
 //!   inference per model at round boundaries (bit-exact with serving each
 //!   station alone), and groups fresh stations into `Nt`-sized MU-MIMO groups
 //!   for the zero-forcing precoder,
+//! * [`shard`] — the [`ShardedApServer`]: partitions sessions across `N`
+//!   shards (deterministic `id % N` mapping), closes every shard's round in
+//!   parallel — bit-exact with the single-shard batched path and the serial
+//!   reference — and owns session lifecycle: capacity caps, idle eviction and
+//!   clean re-registration,
 //! * [`driver`] — a simulated multi-station sounding-round driver: station-side
-//!   compress → quantize → wire-encode traffic generation, AP-side serving in
-//!   batched or station-at-a-time mode, and the end-to-end
+//!   compress → quantize → wire-encode traffic generation (including session
+//!   churn: joins, departures, bursty drops), AP-side serving in batched,
+//!   station-at-a-time or sharded mode, and the end-to-end
 //!   `simulate_mu_mimo_ber` link check over the served feedback.
 //!
 //! # Example: serve two stations for one round
@@ -60,9 +66,11 @@
 pub mod driver;
 pub mod server;
 pub mod session;
+pub mod shard;
 
 pub use server::{ApServer, RoundSummary};
 pub use session::{StationId, StationSession};
+pub use shard::{env_shards, ShardedApServer, ShardedRoundSummary};
 
 /// Errors produced by the serving layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +81,9 @@ pub enum ServeError {
     UnknownModel(usize),
     /// The station id is already registered.
     DuplicateStation(StationId),
+    /// Registration rejected: the server is at its station capacity
+    /// (station id, configured capacity).
+    CapacityExceeded(StationId, usize),
     /// A wire frame failed to decode, or its payload does not match the
     /// station's model.
     Codec(String),
@@ -90,6 +101,9 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownStation(id) => write!(f, "unknown station {id}"),
             ServeError::UnknownModel(key) => write!(f, "unknown model key {key}"),
             ServeError::DuplicateStation(id) => write!(f, "station {id} already registered"),
+            ServeError::CapacityExceeded(id, cap) => {
+                write!(f, "station {id} rejected: server is at capacity {cap}")
+            }
             ServeError::Codec(msg) => write!(f, "wire codec error: {msg}"),
             ServeError::Model(msg) => write!(f, "tail reconstruction error: {msg}"),
             ServeError::NoFeedback(id) => write!(f, "station {id} has no feedback yet"),

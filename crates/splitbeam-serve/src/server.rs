@@ -2,6 +2,7 @@
 
 use crate::session::{StationId, StationSession};
 use crate::ServeError;
+use mimo_math::kernel::Kernel;
 use splitbeam::fused::TailScratch;
 use splitbeam::model::SplitBeamModel;
 use splitbeam::quantization::QuantizedFeedback;
@@ -17,8 +18,14 @@ pub struct RoundSummary {
     pub round: u64,
     /// Stations whose payload was reconstructed this round.
     pub served: usize,
-    /// Registered stations that delivered nothing this round.
+    /// Registered stations that have reported in some earlier round but
+    /// delivered nothing this round — their feedback aged.
     pub stale: usize,
+    /// Registered stations that have never produced feedback: they delivered
+    /// nothing this round *and* have nothing to go stale. Kept apart from
+    /// [`RoundSummary::stale`] so "aged feedback" and "no feedback yet" stay
+    /// distinguishable in serving reports.
+    pub awaiting_first_report: usize,
     /// Batched tail invocations performed (one per model with pending traffic).
     pub batches: usize,
 }
@@ -38,17 +45,20 @@ pub struct RoundSummary {
 /// scratch, per-station payload and feedback buffers) is recycled, so a full
 /// steady-state ingest→decode→batched-reconstruct round performs no heap
 /// allocation once every buffer has reached its high-water capacity.
+///
+/// `ApServer` is the single-shard building block; the multi-core serving
+/// layer ([`crate::shard::ShardedApServer`]) runs the very same per-shard
+/// round-close code over many independent session partitions.
 #[derive(Debug, Clone, Default)]
 pub struct ApServer {
     models: Vec<Arc<SplitBeamModel>>,
-    sessions: BTreeMap<StationId, StationSession>,
-    arena: RoundArena,
+    core: ShardCore,
     round: u64,
 }
 
-/// Reusable per-round scratch owned by the server.
+/// Reusable per-round scratch owned by one shard.
 #[derive(Debug, Clone)]
-struct RoundArena {
+pub(crate) struct RoundArena {
     /// Wire frames decode into this buffer before validation; on successful
     /// ingest it is swapped with the station's payload slot, so the two
     /// buffers circulate without reallocating.
@@ -71,6 +81,333 @@ impl Default for RoundArena {
             ids: Vec::new(),
             tail: TailScratch::new(),
         }
+    }
+}
+
+/// One shard's worth of serving state: a session partition plus its private
+/// round arena. [`ApServer`] owns exactly one; `ShardedApServer` owns `N` and
+/// closes them in parallel. Every round-close code path lives here, so the
+/// single-shard and sharded servers are bit-exact by construction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardCore {
+    pub(crate) sessions: BTreeMap<StationId, StationSession>,
+    pub(crate) arena: RoundArena,
+}
+
+/// What closing one round over one shard did. `error` carries the first
+/// failure (in model-key order) while the counters describe everything that
+/// still happened — a failed batch never blocks the other models' batches.
+#[derive(Debug)]
+pub(crate) struct RoundOutcome {
+    pub(crate) served: usize,
+    pub(crate) stale: usize,
+    pub(crate) awaiting_first_report: usize,
+    pub(crate) batches: usize,
+    pub(crate) error: Option<ServeError>,
+}
+
+impl RoundOutcome {
+    /// Converts the outcome into the public summary, surfacing the first
+    /// error when one occurred (the partial round state is already applied).
+    pub(crate) fn into_summary(self, round: u64) -> Result<RoundSummary, ServeError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(RoundSummary {
+            round,
+            served: self.served,
+            stale: self.stale,
+            awaiting_first_report: self.awaiting_first_report,
+            batches: self.batches,
+        })
+    }
+}
+
+impl ShardCore {
+    /// Registration validation, shared verbatim by the single-shard and
+    /// sharded servers so both report identical errors for identical bad
+    /// input (model key first, then bit width, then duplicate id).
+    pub(crate) fn validate_registration(
+        &self,
+        num_models: usize,
+        id: StationId,
+        model_key: usize,
+        bits_per_value: u8,
+    ) -> Result<(), ServeError> {
+        if model_key >= num_models {
+            return Err(ServeError::UnknownModel(model_key));
+        }
+        if !(1..=16).contains(&bits_per_value) {
+            return Err(ServeError::Codec(format!(
+                "station {id} announced invalid bits_per_value {bits_per_value}"
+            )));
+        }
+        if self.sessions.contains_key(&id) {
+            return Err(ServeError::DuplicateStation(id));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register_station(
+        &mut self,
+        num_models: usize,
+        id: StationId,
+        model_key: usize,
+        bits_per_value: u8,
+        round: u64,
+    ) -> Result<(), ServeError> {
+        self.validate_registration(num_models, id, model_key, bits_per_value)?;
+        self.sessions.insert(
+            id,
+            StationSession::new(id, model_key, bits_per_value, round),
+        );
+        Ok(())
+    }
+
+    pub(crate) fn deregister_station(&mut self, id: StationId) -> Result<(), ServeError> {
+        self.sessions
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ServeError::UnknownStation(id))
+    }
+
+    pub(crate) fn ingest_wire(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        id: StationId,
+        frame: &[u8],
+    ) -> Result<usize, ServeError> {
+        wire::decode_feedback_into(frame, &mut self.arena.decode_buf)
+            .map_err(|e| ServeError::Codec(e.to_string()))?;
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        Self::validate_payload(models, session, &self.arena.decode_buf)?;
+        std::mem::swap(session.payload_slot(), &mut self.arena.decode_buf);
+        session.set_pending(true);
+        session.record_ingest(frame.len());
+        Ok(frame.len())
+    }
+
+    pub(crate) fn ingest_payload(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        id: StationId,
+        payload: QuantizedFeedback,
+        wire_bytes: usize,
+    ) -> Result<usize, ServeError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        Self::validate_payload(models, session, &payload)?;
+        *session.payload_slot() = payload;
+        session.set_pending(true);
+        session.record_ingest(wire_bytes);
+        Ok(wire_bytes)
+    }
+
+    /// Shared ingest validation: announced quantizer width and bottleneck
+    /// dimension must match the session.
+    fn validate_payload(
+        models: &[Arc<SplitBeamModel>],
+        session: &StationSession,
+        payload: &QuantizedFeedback,
+    ) -> Result<(), ServeError> {
+        let id = session.id();
+        if payload.bits_per_value != session.bits_per_value() {
+            return Err(ServeError::Codec(format!(
+                "station {id} sent {} bits/value, session announced {}",
+                payload.bits_per_value,
+                session.bits_per_value()
+            )));
+        }
+        let expected = models[session.model_key()].bottleneck_dim();
+        if payload.codes.len() != expected {
+            return Err(ServeError::Codec(format!(
+                "station {id} sent {} codes, model bottleneck is {expected}",
+                payload.codes.len()
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn pending_count(&self) -> usize {
+        self.sessions.values().filter(|s| s.has_pending()).count()
+    }
+
+    /// Post-round staleness split: stations whose feedback aged this round
+    /// (`stale`) vs stations that have never reported at all
+    /// (`awaiting_first_report`). Stations served this round count as neither.
+    fn staleness(&self, round: u64) -> (usize, usize) {
+        let mut stale = 0usize;
+        let mut awaiting = 0usize;
+        for session in self.sessions.values() {
+            match session.last_round() {
+                Some(r) if r == round => {}
+                Some(_) => stale += 1,
+                None => awaiting += 1,
+            }
+        }
+        (stale, awaiting)
+    }
+
+    /// Closes round `round` over this shard with one fused dequantize→tail
+    /// batched inference per model.
+    ///
+    /// **Partial-round semantics on failure:** a failed batch consumes only
+    /// *its own* pending payloads (they are what failed); every other model's
+    /// batch still runs and stores its reconstructions, and the first error
+    /// (in model-key order) is reported in the outcome. Stations of healthy
+    /// models are never penalized for an unrelated model's failure.
+    pub(crate) fn close_round_batched(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        round: u64,
+        kern: Kernel,
+    ) -> RoundOutcome {
+        let mut served = 0usize;
+        let mut batches = 0usize;
+        let mut first_error = None;
+        let Self { sessions, arena } = self;
+        let RoundArena { ids, tail, .. } = arena;
+        for (key, model) in models.iter().enumerate() {
+            ids.clear();
+            ids.extend(
+                sessions
+                    .values()
+                    .filter(|s| s.has_pending() && s.model_key() == key)
+                    .map(StationSession::id),
+            );
+            if ids.is_empty() {
+                continue;
+            }
+            batches += 1;
+            let result = model.reconstruct_quantized_batch_iter_into(
+                ids.iter().map(|id| sessions[id].payload()),
+                ids.len(),
+                tail,
+                kern,
+            );
+            match result {
+                Ok(flats) => {
+                    let width = flats.cols();
+                    for (id, flat) in ids.iter().zip(flats.as_slice().chunks_exact(width)) {
+                        let session = sessions
+                            .get_mut(id)
+                            .expect("pending payload from registered station");
+                        session.store_feedback(flat, round);
+                        session.set_pending(false);
+                        served += 1;
+                    }
+                }
+                Err(e) => {
+                    // Consume only the failed batch's payloads; other models'
+                    // pending traffic is untouched and still gets its batch.
+                    for id in ids.iter() {
+                        sessions
+                            .get_mut(id)
+                            .expect("pending payload from registered station")
+                            .set_pending(false);
+                    }
+                    if first_error.is_none() {
+                        first_error = Some(ServeError::Model(e.to_string()));
+                    }
+                }
+            }
+        }
+        let (stale, awaiting_first_report) = self.staleness(round);
+        RoundOutcome {
+            served,
+            stale,
+            awaiting_first_report,
+            batches,
+            error: first_error,
+        }
+    }
+
+    /// Closes round `round` reconstructing one station at a time through the
+    /// unfused path. Mirrors [`ShardCore::close_round_batched`]'s partial-round
+    /// semantics exactly, including on failure: each model's payloads are
+    /// reconstructed first and committed only when the *whole* model
+    /// succeeded — a failing payload consumes the failed model's pending
+    /// payloads without storing any of them (just like the failed batch),
+    /// stations bound to other models are served normally, and the first
+    /// error (in model-key order) is reported.
+    pub(crate) fn close_round_serial(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        round: u64,
+    ) -> RoundOutcome {
+        let mut served = 0usize;
+        let mut batches = 0usize;
+        let mut first_error = None;
+        for (key, model) in models.iter().enumerate() {
+            let ids: Vec<StationId> = self
+                .sessions
+                .values()
+                .filter(|s| s.has_pending() && s.model_key() == key)
+                .map(StationSession::id)
+                .collect();
+            if ids.is_empty() {
+                continue;
+            }
+            batches += 1;
+            let mut flats = Vec::with_capacity(ids.len());
+            let mut failure = None;
+            for id in &ids {
+                match model.reconstruct_quantized(self.sessions[id].payload()) {
+                    Ok(flat) => flats.push(flat),
+                    Err(e) => {
+                        failure = Some(ServeError::Model(e.to_string()));
+                        break;
+                    }
+                }
+            }
+            match failure {
+                None => {
+                    for (id, flat) in ids.iter().zip(flats) {
+                        let session = self
+                            .sessions
+                            .get_mut(id)
+                            .expect("pending payload from registered station");
+                        session.store_feedback(&flat, round);
+                        session.set_pending(false);
+                        served += 1;
+                    }
+                }
+                Some(e) => {
+                    for id in &ids {
+                        self.sessions
+                            .get_mut(id)
+                            .expect("pending payload from registered station")
+                            .set_pending(false);
+                    }
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        let (stale, awaiting_first_report) = self.staleness(round);
+        RoundOutcome {
+            served,
+            stale,
+            awaiting_first_report,
+            batches,
+            error: first_error,
+        }
+    }
+
+    /// Evicts every station idle for more than `max_idle_rounds` sounding
+    /// rounds at the just-closed round, returning how many were removed.
+    /// Never-reporting stations are measured from their association round.
+    pub(crate) fn evict_idle(&mut self, closed_round: u64, max_idle_rounds: u64) -> usize {
+        let before = self.sessions.len();
+        self.sessions
+            .retain(|_, s| s.idle_rounds(closed_round) <= max_idle_rounds);
+        before - self.sessions.len()
     }
 }
 
@@ -104,35 +441,32 @@ impl ApServer {
         model_key: usize,
         bits_per_value: u8,
     ) -> Result<(), ServeError> {
-        if model_key >= self.models.len() {
-            return Err(ServeError::UnknownModel(model_key));
-        }
-        if !(1..=16).contains(&bits_per_value) {
-            return Err(ServeError::Codec(format!(
-                "station {id} announced invalid bits_per_value {bits_per_value}"
-            )));
-        }
-        if self.sessions.contains_key(&id) {
-            return Err(ServeError::DuplicateStation(id));
-        }
-        self.sessions
-            .insert(id, StationSession::new(id, model_key, bits_per_value));
-        Ok(())
+        self.core
+            .register_station(self.models.len(), id, model_key, bits_per_value, self.round)
+    }
+
+    /// Removes a station's session (disassociation). The id can be registered
+    /// again afterwards with a completely fresh session.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownStation`] when the id is not registered.
+    pub fn deregister_station(&mut self, id: StationId) -> Result<(), ServeError> {
+        self.core.deregister_station(id)
     }
 
     /// Number of registered stations.
     pub fn num_stations(&self) -> usize {
-        self.sessions.len()
+        self.core.sessions.len()
     }
 
     /// The session of station `id`.
     pub fn session(&self, id: StationId) -> Option<&StationSession> {
-        self.sessions.get(&id)
+        self.core.sessions.get(&id)
     }
 
     /// Iterates over all sessions in station-id order.
     pub fn sessions(&self) -> impl Iterator<Item = &StationSession> {
-        self.sessions.values()
+        self.core.sessions.values()
     }
 
     /// Index of the sounding round currently being collected.
@@ -142,7 +476,7 @@ impl ApServer {
 
     /// Number of payloads waiting for the next `process_round`.
     pub fn pending_count(&self) -> usize {
-        self.sessions.values().filter(|s| s.has_pending()).count()
+        self.core.pending_count()
     }
 
     /// Ingests one bit-packed wire frame from station `id` for the current
@@ -160,17 +494,7 @@ impl ApServer {
     /// station's model bottleneck. A failed ingest leaves any previously
     /// pending payload of the station untouched.
     pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
-        wire::decode_feedback_into(frame, &mut self.arena.decode_buf)
-            .map_err(|e| ServeError::Codec(e.to_string()))?;
-        let session = self
-            .sessions
-            .get_mut(&id)
-            .ok_or(ServeError::UnknownStation(id))?;
-        Self::validate_payload(&self.models, session, &self.arena.decode_buf)?;
-        std::mem::swap(session.payload_slot(), &mut self.arena.decode_buf);
-        session.set_pending(true);
-        session.record_ingest(frame.len());
-        Ok(frame.len())
+        self.core.ingest_wire(&self.models, id, frame)
     }
 
     /// Ingests an already-decoded payload (in-process stations, tests).
@@ -183,40 +507,8 @@ impl ApServer {
         payload: QuantizedFeedback,
         wire_bytes: usize,
     ) -> Result<usize, ServeError> {
-        let session = self
-            .sessions
-            .get_mut(&id)
-            .ok_or(ServeError::UnknownStation(id))?;
-        Self::validate_payload(&self.models, session, &payload)?;
-        *session.payload_slot() = payload;
-        session.set_pending(true);
-        session.record_ingest(wire_bytes);
-        Ok(wire_bytes)
-    }
-
-    /// Shared ingest validation: announced quantizer width and bottleneck
-    /// dimension must match the session.
-    fn validate_payload(
-        models: &[Arc<SplitBeamModel>],
-        session: &StationSession,
-        payload: &QuantizedFeedback,
-    ) -> Result<(), ServeError> {
-        let id = session.id();
-        if payload.bits_per_value != session.bits_per_value() {
-            return Err(ServeError::Codec(format!(
-                "station {id} sent {} bits/value, session announced {}",
-                payload.bits_per_value,
-                session.bits_per_value()
-            )));
-        }
-        let expected = models[session.model_key()].bottleneck_dim();
-        if payload.codes.len() != expected {
-            return Err(ServeError::Codec(format!(
-                "station {id} sent {} codes, model bottleneck is {expected}",
-                payload.codes.len()
-            )));
-        }
-        Ok(())
+        self.core
+            .ingest_payload(&self.models, id, payload, wire_bytes)
     }
 
     /// Closes the current round: coalesces all pending payloads into **one
@@ -226,66 +518,18 @@ impl ApServer {
     /// All intermediate storage comes from the server's round arena.
     ///
     /// # Errors
-    /// [`ServeError::Model`] when a tail reconstruction fails (the round is
-    /// still consumed: every pending payload is discarded).
+    /// [`ServeError::Model`] when a tail reconstruction fails. The round is
+    /// **partial, not voided**: the failed batch's payloads are discarded,
+    /// but every other model's batch still ran and stored its
+    /// reconstructions, and the round counter advanced — the error reports
+    /// the first failed model's reconstruction failure.
     pub fn process_round(&mut self) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let mut served = 0usize;
-        let mut batches = 0usize;
-        let Self {
-            models,
-            sessions,
-            arena,
-            ..
-        } = self;
-        let RoundArena { ids, tail, .. } = arena;
         let kern = mimo_math::kernel::selected();
-        for (key, model) in models.iter().enumerate() {
-            ids.clear();
-            ids.extend(
-                sessions
-                    .values()
-                    .filter(|s| s.has_pending() && s.model_key() == key)
-                    .map(StationSession::id),
-            );
-            if ids.is_empty() {
-                continue;
-            }
-            batches += 1;
-            let result = model.reconstruct_quantized_batch_iter_into(
-                ids.iter().map(|id| sessions[id].payload()),
-                ids.len(),
-                tail,
-                kern,
-            );
-            let flats = match result {
-                Ok(flats) => flats,
-                Err(e) => {
-                    // Same contract as the historical mem::take: a failed
-                    // round still consumes every pending payload.
-                    for session in sessions.values_mut() {
-                        session.set_pending(false);
-                    }
-                    return Err(ServeError::Model(e.to_string()));
-                }
-            };
-            let width = flats.cols();
-            for (id, flat) in ids.iter().zip(flats.as_slice().chunks_exact(width)) {
-                let session = sessions
-                    .get_mut(id)
-                    .expect("pending payload from registered station");
-                session.store_feedback(flat, round);
-                session.set_pending(false);
-                served += 1;
-            }
-        }
-        Ok(RoundSummary {
-            round,
-            served,
-            stale: self.sessions.len() - served,
-            batches,
-        })
+        self.core
+            .close_round_batched(&self.models, round, kern)
+            .into_summary(round)
     }
 
     /// Reference path: closes the round reconstructing **one station at a
@@ -295,50 +539,24 @@ impl ApServer {
     /// benchmarked against.
     ///
     /// # Errors
-    /// [`ServeError::Model`] when a tail reconstruction fails.
+    /// [`ServeError::Model`] when a tail reconstruction fails; the same
+    /// partial-round semantics as [`ApServer::process_round`] apply (only the
+    /// failing model's payloads are consumed unreconstructed).
     pub fn process_round_serial(&mut self) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let mut served = 0usize;
-        let mut models_touched = std::collections::BTreeSet::new();
-        let Self {
-            models, sessions, ..
-        } = self;
-        let mut failure = None;
-        for session in sessions.values_mut() {
-            if !session.has_pending() {
-                continue;
-            }
-            session.set_pending(false);
-            if failure.is_some() {
-                // A failed round still consumes the remaining payloads.
-                continue;
-            }
-            let key = session.model_key();
-            models_touched.insert(key);
-            match models[key].reconstruct_quantized(session.payload()) {
-                Ok(flat) => {
-                    session.store_feedback(&flat, round);
-                    served += 1;
-                }
-                Err(e) => failure = Some(ServeError::Model(e.to_string())),
-            }
-        }
-        if let Some(e) = failure {
-            return Err(e);
-        }
-        Ok(RoundSummary {
-            round,
-            served,
-            stale: self.sessions.len() - served,
-            batches: models_touched.len(),
-        })
+        self.core
+            .close_round_serial(&self.models, round)
+            .into_summary(round)
     }
 
     /// The latest reconstructed feedback of station `id`, in the tail's flat
     /// real-interleaved layout.
     pub fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
-        self.sessions.get(&id).and_then(StationSession::feedback)
+        self.core
+            .sessions
+            .get(&id)
+            .and_then(StationSession::feedback)
     }
 
     /// The latest feedback of station `id` materialized as per-subcarrier
@@ -352,6 +570,7 @@ impl ApServer {
         id: StationId,
     ) -> Result<Vec<mimo_math::CMatrix>, ServeError> {
         let session = self
+            .core
             .sessions
             .get(&id)
             .ok_or(ServeError::UnknownStation(id))?;
@@ -379,7 +598,8 @@ impl ApServer {
     /// relative to the last closed round.
     pub fn fresh_station_ids(&self, max_age: u64) -> Vec<StationId> {
         let now = self.round.saturating_sub(1);
-        self.sessions
+        self.core
+            .sessions
             .values()
             .filter(|s| s.is_fresh(now, max_age))
             .map(StationSession::id)
@@ -398,7 +618,7 @@ impl ApServer {
             let members: Vec<StationId> = fresh
                 .iter()
                 .copied()
-                .filter(|id| self.sessions[id].model_key() == key)
+                .filter(|id| self.core.sessions[id].model_key() == key)
                 .collect();
             groups.extend(members.chunks(per_group).map(<[StationId]>::to_vec));
         }
@@ -462,6 +682,33 @@ mod tests {
     }
 
     #[test]
+    fn deregistration_enables_clean_reregistration() {
+        let m = model(9);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        server.register_station(5, key, 8).unwrap();
+        server.ingest_wire(5, &station_frame(&m, 40, 8)).unwrap();
+        server.process_round().unwrap();
+        assert!(server.feedback_of(5).is_some());
+        assert_eq!(
+            server.deregister_station(77),
+            Err(ServeError::UnknownStation(77))
+        );
+        server.deregister_station(5).unwrap();
+        assert_eq!(server.num_stations(), 0);
+        assert_eq!(
+            server.ingest_wire(5, &station_frame(&m, 41, 8)),
+            Err(ServeError::UnknownStation(5))
+        );
+        // Re-registration starts from a blank session.
+        server.register_station(5, key, 8).unwrap();
+        let session = server.session(5).unwrap();
+        assert!(session.feedback().is_none());
+        assert_eq!(session.payloads_ingested(), 0);
+        assert_eq!(session.joined_round(), 1);
+    }
+
+    #[test]
     fn ingest_validates_width_and_dimension() {
         let m = model(2);
         let mut server = ApServer::new();
@@ -520,6 +767,7 @@ mod tests {
             if round == 1 {
                 assert_eq!(b.served, stations as usize - 1);
                 assert_eq!(b.stale, 1);
+                assert_eq!(b.awaiting_first_report, 0);
             }
             for id in 0..stations {
                 assert_eq!(
@@ -541,13 +789,22 @@ mod tests {
         for id in 0..5u64 {
             server.register_station(id, key, 8).unwrap();
         }
-        // Round 0: stations 0..3 report; 3 and 4 stay silent.
+        // Round 0: stations 0..3 report; 3 and 4 stay silent (and have never
+        // reported, so they await a first report rather than going stale).
         for id in 0..3u64 {
             let frame = station_frame(&m, 50 + id, 8);
             server.ingest_wire(id, &frame).unwrap();
         }
         let summary = server.process_round().unwrap();
-        assert_eq!((summary.served, summary.stale, summary.batches), (3, 2, 1));
+        assert_eq!(
+            (
+                summary.served,
+                summary.stale,
+                summary.awaiting_first_report,
+                summary.batches
+            ),
+            (3, 0, 2, 1)
+        );
         assert_eq!(server.fresh_station_ids(0), vec![0, 1, 2]);
         // Nt = 2, Nss = 1 -> groups of at most two stations.
         let groups = server.mu_mimo_groups(0);
@@ -560,8 +817,13 @@ mod tests {
             server.group_feedback(&[77]),
             Err(ServeError::UnknownStation(77))
         );
-        // One idle round: age grows, freshness window matters.
-        server.process_round().unwrap();
+        // One idle round: the previously-served stations' feedback goes stale,
+        // the never-reporting pair still awaits its first report.
+        let summary = server.process_round().unwrap();
+        assert_eq!(
+            (summary.served, summary.stale, summary.awaiting_first_report),
+            (0, 3, 2)
+        );
         assert!(server.fresh_station_ids(0).is_empty());
         assert_eq!(server.fresh_station_ids(1), vec![0, 1, 2]);
     }
@@ -620,5 +882,80 @@ mod tests {
         server.ingest_wire(1, &station_frame(&m_b, 61, 8)).unwrap();
         let summary = server.process_round().unwrap();
         assert_eq!((summary.served, summary.batches), (2, 2));
+    }
+
+    /// Regression test for the historical error-path bug: a failed batch for
+    /// one model used to consume the pending payloads of *every* station,
+    /// including stations bound to other models whose batch never ran. The
+    /// fixed semantics: the failure is scoped to the failing model's batch,
+    /// every other model's batch still runs and stores its reconstructions —
+    /// and the batched and serial paths agree on the failure path too (the
+    /// failing model's batch is all-or-nothing in both, even for stations of
+    /// that model whose own payload was fine).
+    #[test]
+    fn failed_batch_consumes_only_its_own_model() {
+        let m_a = model(21);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let m_b = SplitBeamModel::new(
+            SplitBeamConfig::new(
+                MimoConfig::symmetric(2, Bandwidth::Mhz20),
+                CompressionLevel::OneQuarter,
+            ),
+            &mut rng,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let m_c = SplitBeamModel::new(
+            SplitBeamConfig::new(
+                MimoConfig::symmetric(2, Bandwidth::Mhz20),
+                CompressionLevel::OneSixteenth,
+            ),
+            &mut rng,
+        );
+        for serial in [false, true] {
+            let mut server = ApServer::new();
+            let key_a = server.register_model(m_a.clone());
+            let key_b = server.register_model(m_b.clone());
+            let key_c = server.register_model(m_c.clone());
+            server.register_station(0, key_a, 8).unwrap();
+            // Model B serves two stations: 1 (valid payload) and 3 (payload
+            // corrupted below). Station 1's id sorts before 3, so a
+            // station-at-a-time pass would reconstruct it before hitting the
+            // failure — the all-or-nothing commit must prevent that.
+            server.register_station(1, key_b, 8).unwrap();
+            server.register_station(2, key_c, 8).unwrap();
+            server.register_station(3, key_b, 8).unwrap();
+            server.ingest_wire(0, &station_frame(&m_a, 60, 8)).unwrap();
+            server.ingest_wire(1, &station_frame(&m_b, 61, 8)).unwrap();
+            server.ingest_wire(2, &station_frame(&m_c, 62, 8)).unwrap();
+            server.ingest_wire(3, &station_frame(&m_b, 63, 8)).unwrap();
+            // Corrupt station 3's validated payload so model B's batch fails
+            // at reconstruction time (validation already passed at ingest).
+            server
+                .core
+                .sessions
+                .get_mut(&3)
+                .unwrap()
+                .payload_slot()
+                .codes
+                .truncate(3);
+            let result = if serial {
+                server.process_round_serial()
+            } else {
+                server.process_round()
+            };
+            assert!(
+                matches!(result, Err(ServeError::Model(_))),
+                "serial={serial}: round must report the failed batch"
+            );
+            // The round advanced and the healthy models were still served.
+            assert_eq!(server.current_round(), 1, "serial={serial}");
+            assert!(server.feedback_of(0).is_some(), "serial={serial}");
+            assert!(server.feedback_of(2).is_some(), "serial={serial}");
+            // The failed model's payloads were all consumed without
+            // reconstruction — including station 1's perfectly valid one.
+            assert!(server.feedback_of(1).is_none(), "serial={serial}");
+            assert!(server.feedback_of(3).is_none(), "serial={serial}");
+            assert_eq!(server.pending_count(), 0, "serial={serial}");
+        }
     }
 }

@@ -17,6 +17,9 @@ pub struct StationSession {
     id: StationId,
     model_key: usize,
     bits_per_value: u8,
+    /// Round the station (re-)associated in — the baseline for idle-eviction
+    /// of stations that never report.
+    joined_round: u64,
     /// The payload slot for the current round. The buffer persists across
     /// rounds (decode-into reuses its `codes` storage); `has_pending` says
     /// whether it holds a payload for the round being collected.
@@ -29,11 +32,17 @@ pub struct StationSession {
 }
 
 impl StationSession {
-    pub(crate) fn new(id: StationId, model_key: usize, bits_per_value: u8) -> Self {
+    pub(crate) fn new(
+        id: StationId,
+        model_key: usize,
+        bits_per_value: u8,
+        joined_round: u64,
+    ) -> Self {
         Self {
             id,
             model_key,
             bits_per_value,
+            joined_round,
             payload: QuantizedFeedback {
                 bits_per_value,
                 min: 0.0,
@@ -80,6 +89,19 @@ impl StationSession {
     /// Quantizer width this station announced at association.
     pub fn bits_per_value(&self) -> u8 {
         self.bits_per_value
+    }
+
+    /// Round the station (re-)associated in.
+    pub fn joined_round(&self) -> u64 {
+        self.joined_round
+    }
+
+    /// Sounding rounds since the station last produced feedback, measured at
+    /// the just-closed round `closed_round`; stations that never reported are
+    /// measured from their association round instead. `0` means the station
+    /// was served this very round (or associated during it).
+    pub fn idle_rounds(&self, closed_round: u64) -> u64 {
+        closed_round.saturating_sub(self.last_round.unwrap_or(self.joined_round))
     }
 
     /// The most recently reconstructed feedback in the tail's flat
@@ -139,7 +161,7 @@ mod tests {
 
     #[test]
     fn age_and_freshness() {
-        let mut s = StationSession::new(9, 0, 8);
+        let mut s = StationSession::new(9, 0, 8, 0);
         assert_eq!(s.age(5), None);
         assert!(!s.is_fresh(5, 100));
         s.store_feedback(&[], 3);
@@ -152,12 +174,25 @@ mod tests {
 
     #[test]
     fn ingest_accounting() {
-        let mut s = StationSession::new(1, 2, 4);
+        let mut s = StationSession::new(1, 2, 4, 0);
         assert_eq!((s.id(), s.model_key(), s.bits_per_value()), (1, 2, 4));
         s.record_ingest(68);
         s.record_ingest(68);
         assert_eq!(s.payloads_ingested(), 2);
         assert_eq!(s.wire_bytes_ingested(), 136);
         assert!(s.feedback().is_none());
+    }
+
+    #[test]
+    fn idle_rounds_measured_from_join_then_last_report() {
+        let mut s = StationSession::new(3, 0, 8, 5);
+        assert_eq!(s.joined_round(), 5);
+        // Never reported: idle counts from the association round.
+        assert_eq!(s.idle_rounds(5), 0);
+        assert_eq!(s.idle_rounds(8), 3);
+        // After a report, idle counts from the last served round.
+        s.store_feedback(&[], 9);
+        assert_eq!(s.idle_rounds(9), 0);
+        assert_eq!(s.idle_rounds(12), 3);
     }
 }

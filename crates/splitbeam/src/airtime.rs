@@ -14,6 +14,15 @@ use wifi_phy::sounding::{sounding_round_airtime, SoundingConfig};
 /// SplitBeam feedback size in bits for an `nt x nr` configuration with `s`
 /// subcarriers at compression `k`, counting `bits_per_value` bits per
 /// (complex) bottleneck value.
+///
+/// The complex value count is derived exactly the way a configured model
+/// derives it: round the *real-interleaved* bottleneck width
+/// `2 * nt * nr * s * k` first, then halve — not the other way around. The
+/// two orders disagree whenever the rounded real width is odd (e.g.
+/// `3x3 x 242` at `K = 1/32` rounds to 136 real values = 68 complex, while
+/// rounding the complex count directly gives 68.0625 → 68 only by luck; at
+/// other operating points they differ by one value), and Fig. 7 must report
+/// the sizes the wire actually carries ([`model_feedback_bits`]).
 pub fn splitbeam_feedback_bits(
     nt: usize,
     nr: usize,
@@ -21,14 +30,20 @@ pub fn splitbeam_feedback_bits(
     k: f64,
     bits_per_value: u8,
 ) -> usize {
-    let bottleneck = ((nt * nr * s) as f64 * k).round().max(1.0) as usize;
-    bottleneck * bits_per_value as usize
+    let real_dim = (((2 * nt * nr * s) as f64 * k).round() as usize).max(1);
+    complex_feedback_bits(real_dim, bits_per_value)
 }
 
 /// Feedback size of a configured model (uses the model's actual bottleneck width).
 pub fn model_feedback_bits(config: &SplitBeamConfig, bits_per_value: u8) -> usize {
-    // bottleneck_dim is in real-interleaved convention; halve for complex values.
-    (config.bottleneck_dim() / 2).max(1) * bits_per_value as usize
+    complex_feedback_bits(config.bottleneck_dim(), bits_per_value)
+}
+
+/// Shared complex-convention accounting: `bottleneck_dim` real-interleaved
+/// values make `bottleneck_dim / 2` complex values (at least one), each
+/// carrying `bits_per_value` bits.
+fn complex_feedback_bits(bottleneck_dim: usize, bits_per_value: u8) -> usize {
+    (bottleneck_dim / 2).max(1) * bits_per_value as usize
 }
 
 /// On-air feedback size in bits for a bottleneck of `bottleneck_dim` (real)
@@ -153,6 +168,50 @@ mod tests {
         // bottleneck 56 reals = 28 complex values -> 28 * 16 bits.
         assert_eq!(model_feedback_bits(&config, 16), 28 * 16);
         assert_eq!(splitbeam_feedback_bits(2, 2, 56, 0.125, 16), 28 * 16);
+    }
+
+    /// Regression test: the analytic Fig. 7 form used to round the complex
+    /// count directly while the model rounds the real-interleaved width and
+    /// halves, so the figure disagreed with actual wire sizes whenever the
+    /// rounded real width was odd. The two paths must now agree for every
+    /// standard compression level, bandwidth and MIMO order (and for odd
+    /// custom ratios that force an odd rounded width).
+    #[test]
+    fn analytic_bits_match_model_bits_across_grid() {
+        let bandwidths = [
+            Bandwidth::Mhz20,
+            Bandwidth::Mhz40,
+            Bandwidth::Mhz80,
+            Bandwidth::Mhz160,
+        ];
+        let mut levels = CompressionLevel::STANDARD.to_vec();
+        // Ratios engineered to produce odd rounded real widths.
+        levels.push(CompressionLevel::Custom(0.123));
+        levels.push(CompressionLevel::Custom(1.0 / 3.0));
+        for &n in &[2usize, 3, 4, 8] {
+            for &bw in &bandwidths {
+                for &level in &levels {
+                    let config = SplitBeamConfig::new(MimoConfig::symmetric(n, bw), level);
+                    let s = config.mimo.subcarriers();
+                    for bits in [8u8, 16] {
+                        assert_eq!(
+                            splitbeam_feedback_bits(n, n, s, level.ratio(), bits),
+                            model_feedback_bits(&config, bits),
+                            "{n}x{n}, {s} subcarriers, {level}, {bits} bits/value"
+                        );
+                    }
+                }
+            }
+        }
+        // An odd rounded real width exercises the halve-after-round order
+        // (448 * 0.123 rounds to 55; the old complex-first rounding gave 28
+        // complex values where the model actually carries 27).
+        let odd = SplitBeamConfig::new(
+            MimoConfig::symmetric(2, Bandwidth::Mhz20),
+            CompressionLevel::Custom(0.123),
+        );
+        assert_eq!(odd.bottleneck_dim() % 2, 1, "test must cover an odd width");
+        assert_eq!(splitbeam_feedback_bits(2, 2, 56, 0.123, 16), 27 * 16);
     }
 
     #[test]

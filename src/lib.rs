@@ -34,9 +34,11 @@ pub mod prelude {
     pub use splitbeam_datasets::generator::{generate_dataset, GeneratorOptions};
     pub use splitbeam_hwsim::accelerator::AcceleratorModel;
     pub use splitbeam_serve::driver::{
-        build_server, generate_traffic, link_check, serve_traffic, ServeMode, SimConfig,
+        build_server, build_sharded_server, generate_traffic, link_check, serve_traffic,
+        ChurnConfig, RoundServing, ServeMode, SimConfig,
     };
     pub use splitbeam_serve::server::ApServer;
+    pub use splitbeam_serve::shard::ShardedApServer;
     pub use wifi_phy::channel::{ChannelModel, ChannelSnapshot, EnvironmentProfile};
     pub use wifi_phy::link::{simulate_mu_mimo_ber, LinkConfig};
     pub use wifi_phy::ofdm::{Bandwidth, MimoConfig};

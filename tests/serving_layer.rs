@@ -57,6 +57,7 @@ fn batched_and_serial_serving_agree_end_to_end() {
         bits_per_value: 4,
         drop_every: 5,
         snr_db: 25.0,
+        ..SimConfig::default()
     };
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let traffic: SimTraffic = generate_traffic(&sim, &model, &mut rng);
@@ -66,13 +67,13 @@ fn batched_and_serial_serving_agree_end_to_end() {
     let b = serve_traffic(&mut batched, &traffic, ServeMode::Batched).unwrap();
     let s = serve_traffic(&mut serial, &traffic, ServeMode::Serial).unwrap();
     assert_eq!(b, s, "round summaries diverged");
-    assert_eq!(b.len(), sim.rounds);
+    assert_eq!(b.summaries.len(), sim.rounds);
     for id in 0..sim.stations as u64 {
         assert_eq!(batched.feedback_of(id), serial.feedback_of(id));
     }
 
     // The dropped reports show up as stale stations somewhere in the run.
-    let total_served: usize = b.iter().map(|r| r.served).sum();
+    let total_served = b.total_served();
     assert_eq!(total_served, traffic.total_frames());
     assert!(total_served < sim.stations * sim.rounds);
 
@@ -91,6 +92,7 @@ fn wire_frames_match_airtime_accounting() {
         bits_per_value: 4,
         drop_every: 0,
         snr_db: 25.0,
+        ..SimConfig::default()
     };
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let traffic = generate_traffic(&sim, &model, &mut rng);
@@ -98,8 +100,11 @@ fn wire_frames_match_airtime_accounting() {
         model.bottleneck_dim(),
         sim.bits_per_value,
     );
-    for frame in traffic.frames.iter().flatten().flatten() {
-        assert_eq!(frame.len(), predicted_bits.div_ceil(8));
+    for round in &traffic.rounds {
+        for (_, frame) in round.frames.iter() {
+            let frame = frame.as_ref().expect("drop-free traffic");
+            assert_eq!(frame.len(), predicted_bits.div_ceil(8));
+        }
     }
     // 4-bit codes on the wire are far below the u16-per-code representation.
     let legacy = wire::legacy_repr_bytes(model.bottleneck_dim());
