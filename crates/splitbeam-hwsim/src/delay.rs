@@ -25,11 +25,17 @@ impl Default for DelayBudget {
     }
 }
 
-/// Breakdown of the end-to-end beamforming report delay.
+/// Breakdown of the end-to-end beamforming report delay:
+/// head compute → medium queueing → over-the-air time → tail compute.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EndToEndDelay {
     /// Station-side head execution time, in seconds.
     pub head_s: f64,
+    /// Time the compressed report spent queueing for the shared medium
+    /// (waiting behind other stations' frames), in seconds. Zero in the
+    /// analytical round-level model, which assumes perfectly scheduled polls;
+    /// the event-driven simulator fills it in from the [`crate::event::SharedMedium`].
+    pub queue_s: f64,
     /// Over-the-air time (sounding protocol + compressed feedback), in seconds.
     pub airtime_s: f64,
     /// AP-side tail execution time, in seconds.
@@ -39,7 +45,7 @@ pub struct EndToEndDelay {
 impl EndToEndDelay {
     /// Total end-to-end delay.
     pub fn total_s(&self) -> f64 {
-        self.head_s + self.airtime_s + self.tail_s
+        self.head_s + self.queue_s + self.airtime_s + self.tail_s
     }
 
     /// Whether the delay fits a budget. The budget is inclusive: a round
@@ -62,6 +68,7 @@ pub fn end_to_end_delay_s(
     let airtime = sounding_round_airtime(sounding, feedback_bits).total_s();
     EndToEndDelay {
         head_s: compute.head_s,
+        queue_s: 0.0,
         airtime_s: airtime,
         tail_s: compute.tail_s,
     }
@@ -81,6 +88,7 @@ pub fn end_to_end_delay_from_config_s(
     let airtime = sounding_round_airtime(sounding, feedback_bits).total_s();
     EndToEndDelay {
         head_s: compute.head_s,
+        queue_s: 0.0,
         airtime_s: airtime,
         tail_s: compute.tail_s,
     }
@@ -131,7 +139,8 @@ mod tests {
     fn delay_components_all_positive_and_sum() {
         let d = delay_for(3, Bandwidth::Mhz80, CompressionLevel::OneEighth);
         assert!(d.head_s > 0.0 && d.airtime_s > 0.0 && d.tail_s > 0.0);
-        assert!((d.total_s() - (d.head_s + d.airtime_s + d.tail_s)).abs() < 1e-15);
+        assert_eq!(d.queue_s, 0.0, "analytical model has no medium queueing");
+        assert!((d.total_s() - (d.head_s + d.queue_s + d.airtime_s + d.tail_s)).abs() < 1e-15);
     }
 
     #[test]
@@ -154,7 +163,8 @@ mod tests {
     fn budget_boundary_is_inclusive() {
         let d = EndToEndDelay {
             head_s: 0.004,
-            airtime_s: 0.004,
+            queue_s: 0.0005,
+            airtime_s: 0.0035,
             tail_s: 0.002,
         };
         // A budget equal to the total (the "lands exactly on 10 ms" case)

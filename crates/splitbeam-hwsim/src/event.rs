@@ -1,0 +1,437 @@
+//! Discrete-event virtual-time core: clock, scheduler, jitter, shared medium.
+//!
+//! The serving stack used to be round-lockstep — every station's feedback
+//! landed "simultaneously" and the delay model was consulted only after the
+//! fact. This module makes time a first-class simulation dimension:
+//!
+//! * a **virtual clock** counted in integer nanoseconds ([`VirtualNs`]) — no
+//!   wall clock anywhere, so runs are bit-reproducible,
+//! * an **event scheduler** ([`EventQueue`]): a binary-heap priority queue
+//!   with deterministic tie-breaking by `(time, station_id, seq)` — two events
+//!   at the same instant pop in station order, two events of one station pop
+//!   in schedule order,
+//! * **seeded jitter** ([`SeededJitter`]): per-event timing noise drawn from a
+//!   deterministic stream (`SPLITBEAM_JITTER_NS` sets the amplitude),
+//! * a **shared medium** ([`SharedMedium`]): feedback frames serialize on the
+//!   air one at a time, each occupying exactly
+//!   [`wifi_phy::sounding::feedback_frame_airtime_s`] — the same per-frame
+//!   primitive the round-level airtime math sums — so concurrent stations
+//!   contend for airtime instead of arriving for free.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wifi_phy::sounding::feedback_frame_airtime_s;
+
+/// Virtual time in integer nanoseconds since simulation start.
+pub type VirtualNs = u64;
+
+/// Converts seconds to virtual nanoseconds (saturating, rounded to nearest).
+pub fn s_to_ns(seconds: f64) -> VirtualNs {
+    if seconds <= 0.0 {
+        return 0;
+    }
+    let ns = (seconds * 1e9).round();
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Converts virtual nanoseconds to seconds.
+pub fn ns_to_s(ns: VirtualNs) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Total order of scheduled events: time first, then station id, then the
+/// scheduler-assigned sequence number. The triple is unique per event, so the
+/// pop order is fully deterministic regardless of heap internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Virtual firing time.
+    pub time_ns: VirtualNs,
+    /// Station the event belongs to (tie-break one).
+    pub station: u64,
+    /// Monotonic schedule counter (tie-break two; unique per queue).
+    pub seq: u64,
+}
+
+/// A deterministic discrete-event scheduler: a binary min-heap over
+/// [`EventKey`]. Payloads need no ordering of their own.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<HeapEntry<T>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct HeapEntry<T> {
+    key: EventKey,
+    payload: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for `station` at `time_ns`, returning the assigned
+    /// key (the sequence number makes it unique).
+    pub fn schedule(&mut self, time_ns: VirtualNs, station: u64, payload: T) -> EventKey {
+        let key = EventKey {
+            time_ns,
+            station,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapEntry { key, payload }));
+        key
+    }
+
+    /// Removes and returns the earliest event (ties broken by station, then
+    /// schedule order).
+    pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.payload))
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<VirtualNs> {
+        self.heap.peek().map(|Reverse(e)| e.key.time_ns)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Deterministic per-event timing noise: uniform draws in `[0, max_ns]` from a
+/// seeded stream. `max_ns == 0` disables jitter (and draws nothing from the
+/// stream, so enabling jitter never perturbs other seeded decisions).
+#[derive(Debug, Clone)]
+pub struct SeededJitter {
+    max_ns: VirtualNs,
+    rng: ChaCha8Rng,
+}
+
+impl SeededJitter {
+    /// Jitter with amplitude `max_ns`, seeded with `seed`.
+    pub fn new(max_ns: VirtualNs, seed: u64) -> Self {
+        Self {
+            max_ns,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// No jitter: every draw is zero.
+    pub fn none() -> Self {
+        Self::new(0, 0)
+    }
+
+    /// Amplitude from the `SPLITBEAM_JITTER_NS` environment variable
+    /// (defaulting to `default_ns` when unset or unparsable), seeded with
+    /// `seed`.
+    pub fn from_env(default_ns: VirtualNs, seed: u64) -> Self {
+        let max_ns = std::env::var("SPLITBEAM_JITTER_NS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(default_ns);
+        Self::new(max_ns, seed)
+    }
+
+    /// The configured amplitude.
+    pub fn max_ns(&self) -> VirtualNs {
+        self.max_ns
+    }
+
+    /// Draws the next jitter value in `[0, max_ns]`.
+    pub fn draw(&mut self) -> VirtualNs {
+        if self.max_ns == 0 {
+            return 0;
+        }
+        self.rng.gen_range(0..=self.max_ns)
+    }
+}
+
+/// What one frame's trip across the shared medium cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediumGrant {
+    /// When the frame started transmitting (>= its ready time).
+    pub start_ns: VirtualNs,
+    /// When the last bit left the air (arrival at the AP).
+    pub end_ns: VirtualNs,
+    /// Time spent queueing behind earlier frames (`start - ready`).
+    pub wait_ns: VirtualNs,
+    /// On-air duration of the frame itself.
+    pub air_ns: VirtualNs,
+}
+
+/// A single shared wireless medium: frames serialize, one at a time, in the
+/// order they are offered. Each frame occupies the air for exactly
+/// [`feedback_frame_airtime_s`] of its payload size — the same per-frame
+/// primitive `wifi_phy::sounding::sounding_round_airtime` sums — so the
+/// *per-bit* cost of medium contention and of the round-level airtime model
+/// can never drift apart. Callers choose what bit count to charge: the
+/// event-driven serving driver feeds the **actual encoded wire frame** size
+/// (header included, byte-rounded — `splitbeam::airtime::feedback_bits_on_air`
+/// rounded up), whereas the analytic Fig. 7 accounting feeds the paper's
+/// headerless `model_feedback_bits` convention.
+///
+/// Offer frames in nondecreasing ready-time order (pop them from an
+/// [`EventQueue`]) for physical FIFO semantics; the model itself only
+/// guarantees that transmissions never overlap.
+#[derive(Debug, Clone)]
+pub struct SharedMedium {
+    /// Feedback data rate in Mbit/s; `None` models an ideal (zero-airtime)
+    /// medium — the lockstep degenerate case.
+    rate_mbps: Option<f64>,
+    busy_until_ns: VirtualNs,
+    frames_carried: u64,
+    total_air_ns: VirtualNs,
+    total_wait_ns: VirtualNs,
+}
+
+impl SharedMedium {
+    /// A medium transmitting feedback at `rate_mbps`.
+    pub fn new(rate_mbps: f64) -> Self {
+        assert!(rate_mbps > 0.0, "medium rate must be positive");
+        Self {
+            rate_mbps: Some(rate_mbps),
+            busy_until_ns: 0,
+            frames_carried: 0,
+            total_air_ns: 0,
+            total_wait_ns: 0,
+        }
+    }
+
+    /// An ideal medium: frames take zero airtime and never queue. This is the
+    /// degenerate case that recovers lockstep serving bit-exactly.
+    pub fn ideal() -> Self {
+        Self {
+            rate_mbps: None,
+            busy_until_ns: 0,
+            frames_carried: 0,
+            total_air_ns: 0,
+            total_wait_ns: 0,
+        }
+    }
+
+    /// Whether this is the zero-airtime ideal medium.
+    pub fn is_ideal(&self) -> bool {
+        self.rate_mbps.is_none()
+    }
+
+    /// On-air duration of one `payload_bits` frame on this medium.
+    pub fn frame_airtime_ns(&self, payload_bits: usize) -> VirtualNs {
+        match self.rate_mbps {
+            Some(rate) => s_to_ns(feedback_frame_airtime_s(payload_bits, rate)),
+            None => 0,
+        }
+    }
+
+    /// Serializes one frame that becomes ready at `ready_ns`: it starts once
+    /// the air is free, occupies it for the frame's airtime, and arrives when
+    /// the last bit lands.
+    pub fn transmit(&mut self, ready_ns: VirtualNs, payload_bits: usize) -> MediumGrant {
+        let air_ns = self.frame_airtime_ns(payload_bits);
+        let start_ns = ready_ns.max(self.busy_until_ns);
+        let end_ns = start_ns.saturating_add(air_ns);
+        self.busy_until_ns = end_ns;
+        self.frames_carried += 1;
+        self.total_air_ns += air_ns;
+        self.total_wait_ns += start_ns - ready_ns;
+        MediumGrant {
+            start_ns,
+            end_ns,
+            wait_ns: start_ns - ready_ns,
+            air_ns,
+        }
+    }
+
+    /// When the medium next becomes idle.
+    pub fn busy_until_ns(&self) -> VirtualNs {
+        self.busy_until_ns
+    }
+
+    /// Frames carried so far.
+    pub fn frames_carried(&self) -> u64 {
+        self.frames_carried
+    }
+
+    /// Cumulative on-air time of all carried frames.
+    pub fn total_air_ns(&self) -> VirtualNs {
+        self.total_air_ns
+    }
+
+    /// Cumulative queueing (medium-wait) time across all carried frames.
+    pub fn total_wait_ns(&self) -> VirtualNs {
+        self.total_wait_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitbeam::airtime::{model_feedback_bits, splitbeam_frame_airtime_s};
+    use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+    use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+    use wifi_phy::sounding::SoundingConfig;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(s_to_ns(0.0), 0);
+        assert_eq!(s_to_ns(-1.0), 0);
+        assert_eq!(s_to_ns(1e-9), 1);
+        assert_eq!(s_to_ns(0.01), 10_000_000);
+        assert!((ns_to_s(10_000_000) - 0.01).abs() < 1e-15);
+        assert_eq!(s_to_ns(f64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn queue_pops_in_time_station_seq_order() {
+        let mut q = EventQueue::new();
+        q.schedule(50, 9, "late");
+        q.schedule(10, 7, "tie-station-7-first-scheduled");
+        q.schedule(10, 7, "tie-station-7-second-scheduled");
+        q.schedule(10, 3, "tie-station-3");
+        q.schedule(5, 11, "earliest");
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(5));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(
+            order,
+            vec![
+                "earliest",
+                "tie-station-3",
+                "tie-station-7-first-scheduled",
+                "tie-station-7-second-scheduled",
+                "late",
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_keys_are_unique_and_monotonic_in_seq() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1, 1, ());
+        let b = q.schedule(1, 1, ());
+        assert!(a.seq < b.seq);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jitter_is_seeded_bounded_and_deterministic() {
+        let mut a = SeededJitter::new(1000, 42);
+        let mut b = SeededJitter::new(1000, 42);
+        let draws: Vec<u64> = (0..64).map(|_| a.draw()).collect();
+        assert!(draws.iter().all(|&d| d <= 1000));
+        assert!(draws.iter().any(|&d| d > 0), "jitter must actually jitter");
+        assert_eq!(draws, (0..64).map(|_| b.draw()).collect::<Vec<_>>());
+        let mut none = SeededJitter::none();
+        assert_eq!((0..8).map(|_| none.draw()).max(), Some(0));
+        assert_eq!(none.max_ns(), 0);
+    }
+
+    #[test]
+    fn medium_serializes_overlapping_frames() {
+        let mut medium = SharedMedium::new(240.0);
+        let bits = 24_000; // 0.1 ms payload at 240 Mbit/s + 60 us overhead
+        let air = medium.frame_airtime_ns(bits);
+        assert_eq!(air, 160_000); // 60 us + 100 us
+                                  // Two frames ready at the same instant: the second queues.
+        let g1 = medium.transmit(1_000, bits);
+        let g2 = medium.transmit(1_000, bits);
+        assert_eq!((g1.start_ns, g1.end_ns, g1.wait_ns), (1_000, 161_000, 0));
+        assert_eq!((g2.start_ns, g2.end_ns), (161_000, 321_000));
+        assert_eq!(g2.wait_ns, 160_000);
+        // A frame ready after the air clears sails through.
+        let g3 = medium.transmit(400_000, bits);
+        assert_eq!((g3.start_ns, g3.wait_ns), (400_000, 0));
+        assert_eq!(medium.frames_carried(), 3);
+        assert_eq!(medium.total_air_ns(), 3 * air);
+        assert_eq!(medium.total_wait_ns(), 160_000);
+        assert_eq!(medium.busy_until_ns(), 560_000);
+    }
+
+    #[test]
+    fn ideal_medium_is_free_and_instant() {
+        let mut medium = SharedMedium::ideal();
+        assert!(medium.is_ideal());
+        for ready in [0u64, 5, 5, 1000] {
+            let g = medium.transmit(ready, 1_000_000);
+            assert_eq!(
+                (g.start_ns, g.end_ns, g.wait_ns, g.air_ns),
+                (ready, ready, 0, 0)
+            );
+        }
+        assert_eq!(medium.total_air_ns(), 0);
+        assert_eq!(medium.total_wait_ns(), 0);
+    }
+
+    /// Satellite consistency test: the medium's per-frame airtime is the same
+    /// shared primitive the round-level airtime model sums, across bandwidths
+    /// × MIMO orders × quantizer widths — the two can never drift.
+    #[test]
+    fn medium_airtime_matches_round_airtime_math_across_grid() {
+        let bandwidths = [
+            Bandwidth::Mhz20,
+            Bandwidth::Mhz40,
+            Bandwidth::Mhz80,
+            Bandwidth::Mhz160,
+        ];
+        for &n in &[2usize, 3, 4] {
+            for &bw in &bandwidths {
+                for bits in [1u8, 4, 8, 16] {
+                    let config = SplitBeamConfig::new(
+                        MimoConfig::symmetric(n, bw),
+                        CompressionLevel::OneEighth,
+                    );
+                    let sounding = SoundingConfig::new(bw, n);
+                    let medium = SharedMedium::new(sounding.feedback_rate_mbps);
+                    let payload_bits = model_feedback_bits(&config, bits);
+                    let via_medium = medium.frame_airtime_ns(payload_bits);
+                    let via_airtime = s_to_ns(splitbeam_frame_airtime_s(&config, &sounding, bits));
+                    assert_eq!(
+                        via_medium, via_airtime,
+                        "{n}x{n} @ {bw:?}, {bits} bits/value"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -12,9 +12,13 @@
 
 pub mod accelerator;
 pub mod delay;
+pub mod event;
 
 pub use accelerator::{AcceleratorModel, LatencyBreakdown};
-pub use delay::{end_to_end_delay_s, DelayBudget};
+pub use delay::{end_to_end_delay_s, DelayBudget, EndToEndDelay};
+pub use event::{
+    ns_to_s, s_to_ns, EventKey, EventQueue, MediumGrant, SeededJitter, SharedMedium, VirtualNs,
+};
 
 #[cfg(test)]
 mod tests {

@@ -17,6 +17,7 @@
 use crate::server::{ApServer, RoundSummary};
 use crate::session::StationId;
 use crate::shard::ShardedApServer;
+use crate::timing::{DeadlinePolicy, FrameStamp};
 use crate::ServeError;
 use rand::Rng;
 use splitbeam::model::SplitBeamModel;
@@ -288,17 +289,45 @@ pub trait RoundServing {
     /// [`ServeError::UnknownStation`] when the id is not registered.
     fn deregister_station(&mut self, id: StationId) -> Result<(), ServeError>;
 
+    /// Whether station `id` currently has a session (used by drivers layered
+    /// on top of a server to mirror its lifecycle, e.g. after idle eviction).
+    fn is_registered(&self, id: StationId) -> bool;
+
     /// Ingests one wire frame for the current round.
     ///
     /// # Errors
     /// Same contract as [`ApServer::ingest_wire`].
     fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError>;
 
+    /// Ingests one wire frame with its virtual-time stamp, so a deadline-aware
+    /// close can classify it against the Eq. 7d budget.
+    ///
+    /// # Errors
+    /// Same contract as [`RoundServing::ingest_wire`].
+    fn ingest_wire_at(
+        &mut self,
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+    ) -> Result<usize, ServeError>;
+
     /// Closes the current round in the requested mode.
     ///
     /// # Errors
     /// [`ServeError::Model`] on reconstruction failure.
     fn close_round(&mut self, mode: ServeMode) -> Result<RoundSummary, ServeError>;
+
+    /// Closes the current round enforcing `policy`: expired reports are
+    /// consumed without reconstruction, late-but-usable reports are served but
+    /// flagged.
+    ///
+    /// # Errors
+    /// Same contract as [`RoundServing::close_round`].
+    fn close_round_deadline(
+        &mut self,
+        mode: ServeMode,
+        policy: DeadlinePolicy,
+    ) -> Result<RoundSummary, ServeError>;
 
     /// Stations evicted by the most recent round close (`0` for servers
     /// without an idle-eviction policy).
@@ -324,14 +353,38 @@ impl RoundServing for ApServer {
         ApServer::deregister_station(self, id)
     }
 
+    fn is_registered(&self, id: StationId) -> bool {
+        self.session(id).is_some()
+    }
+
     fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
         ApServer::ingest_wire(self, id, frame)
+    }
+
+    fn ingest_wire_at(
+        &mut self,
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+    ) -> Result<usize, ServeError> {
+        ApServer::ingest_wire_at(self, id, frame, stamp)
     }
 
     fn close_round(&mut self, mode: ServeMode) -> Result<RoundSummary, ServeError> {
         match mode {
             ServeMode::Batched => self.process_round(),
             ServeMode::Serial => self.process_round_serial(),
+        }
+    }
+
+    fn close_round_deadline(
+        &mut self,
+        mode: ServeMode,
+        policy: DeadlinePolicy,
+    ) -> Result<RoundSummary, ServeError> {
+        match mode {
+            ServeMode::Batched => self.process_round_deadline(policy),
+            ServeMode::Serial => self.process_round_serial_deadline(policy),
         }
     }
 
@@ -354,14 +407,42 @@ impl RoundServing for ShardedApServer {
         ShardedApServer::deregister_station(self, id)
     }
 
+    fn is_registered(&self, id: StationId) -> bool {
+        self.session(id).is_some()
+    }
+
     fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
         ShardedApServer::ingest_wire(self, id, frame)
+    }
+
+    fn ingest_wire_at(
+        &mut self,
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+    ) -> Result<usize, ServeError> {
+        ShardedApServer::ingest_wire_at(self, id, frame, stamp)
     }
 
     fn close_round(&mut self, mode: ServeMode) -> Result<RoundSummary, ServeError> {
         match mode {
             ServeMode::Batched => self.process_round().map(|s| s.as_round_summary()),
             ServeMode::Serial => self.process_round_serial().map(|s| s.as_round_summary()),
+        }
+    }
+
+    fn close_round_deadline(
+        &mut self,
+        mode: ServeMode,
+        policy: DeadlinePolicy,
+    ) -> Result<RoundSummary, ServeError> {
+        match mode {
+            ServeMode::Batched => self
+                .process_round_deadline(policy)
+                .map(|s| s.as_round_summary()),
+            ServeMode::Serial => self
+                .process_round_serial_deadline(policy)
+                .map(|s| s.as_round_summary()),
         }
     }
 

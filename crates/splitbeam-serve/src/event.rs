@@ -1,0 +1,671 @@
+//! The virtual-time, event-driven serving driver.
+//!
+//! [`EventDriver`] wraps any [`RoundServing`] server and replaces the
+//! lockstep "all feedback lands simultaneously" fiction with a discrete-event
+//! simulation on a virtual clock (integer nanoseconds, no wall clock):
+//!
+//! 1. each station sounds on its own cadence and phase within the round,
+//! 2. its head compute time (drawn from the
+//!    [`AcceleratorModel`](splitbeam_hwsim::accelerator::AcceleratorModel))
+//!    plus seeded jitter delays the report,
+//! 3. the report is offered to the **shared medium** through a binary-heap
+//!    event queue with deterministic `(offer time, station, seq)`
+//!    tie-breaking — frames serialize one at a time in physical ready order,
+//!    each charged through the same per-frame airtime primitive the
+//!    round-level airtime model sums, on its **actual encoded wire size**
+//!    (header included) — so a crowded round *queues*,
+//! 4. each granted frame is ingested into the inner server **timestamped**
+//!    with its full head/queue/air/tail breakdown,
+//! 5. the round close enforces the Eq. 7d deadline: the inner server's
+//!    deadline-aware closer classifies every report on-time / late-but-usable
+//!    / past-budget from its stamp.
+//!
+//! The lockstep drivers are recovered as the degenerate case: with zero
+//! jitter, zero compute latency, an ideal medium and zero phase stagger
+//! ([`EventConfig::lockstep`]), every stamp is all-zero, every report is
+//! on-time, and the driver is **bit-exact** with `ApServer` /
+//! `ShardedApServer` serving — the refactor's correctness anchor.
+
+use crate::driver::{RoundServing, ServeMode};
+use crate::server::{ApServer, RoundSummary};
+use crate::session::StationId;
+use crate::shard::ShardedApServer;
+use crate::timing::{DeadlinePolicy, FrameStamp};
+use crate::ServeError;
+use splitbeam::model::SplitBeamModel;
+use splitbeam_hwsim::accelerator::AcceleratorModel;
+use splitbeam_hwsim::delay::DelayBudget;
+use splitbeam_hwsim::event::{s_to_ns, EventQueue, SeededJitter, SharedMedium, VirtualNs};
+use std::collections::BTreeMap;
+
+/// Shape of one event-driven serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// Base sounding interval (round cadence), in seconds. 10 ms per the
+    /// MU-MIMO sounding reference the paper cites.
+    pub interval_s: f64,
+    /// The Eq. 7d end-to-end delay budget enforced at round close.
+    pub budget: DelayBudget,
+    /// Grace window past the budget in which a report is still
+    /// late-but-usable (reconstructed, but flagged). Beyond it the report is
+    /// past-budget and dropped.
+    pub grace_s: f64,
+    /// Maximum per-report timing jitter, in virtual ns (seeded, uniform in
+    /// `[0, max]`). Zero disables jitter.
+    pub jitter_max_ns: VirtualNs,
+    /// Seed of the jitter stream — two runs with the same seed and traffic
+    /// are identical, event for event.
+    pub seed: u64,
+    /// Per-station sounding phase stagger within a round: station `id` sounds
+    /// at `round_start + id * phase_step_ns`. Zero means all stations sound
+    /// together (the lockstep assumption).
+    pub phase_step_ns: VirtualNs,
+    /// Feedback data rate of the shared medium in Mbit/s; `None` models an
+    /// ideal zero-airtime medium (the lockstep degenerate case).
+    pub feedback_rate_mbps: Option<f64>,
+}
+
+impl EventConfig {
+    /// The degenerate lockstep configuration: zero jitter, zero phase
+    /// stagger, ideal medium. Paired with zero compute latency
+    /// (`accel = None` in [`build_event_driver`]), the event driver
+    /// reproduces the legacy lockstep drivers bit-exactly.
+    pub fn lockstep() -> Self {
+        Self {
+            interval_s: 0.01,
+            budget: DelayBudget::default(),
+            grace_s: 0.01,
+            jitter_max_ns: 0,
+            seed: 0,
+            phase_step_ns: 0,
+            feedback_rate_mbps: None,
+        }
+    }
+
+    /// A physically-modeled run: medium rate `rate_mbps`, jitter amplitude
+    /// from the `SPLITBEAM_JITTER_NS` environment variable (default
+    /// `default_jitter_ns`), seeded with `seed`.
+    pub fn realistic(rate_mbps: f64, default_jitter_ns: VirtualNs, seed: u64) -> Self {
+        let jitter = SeededJitter::from_env(default_jitter_ns, seed);
+        Self {
+            interval_s: 0.01,
+            budget: DelayBudget::default(),
+            grace_s: 0.01,
+            jitter_max_ns: jitter.max_ns(),
+            seed,
+            phase_step_ns: 0,
+            feedback_rate_mbps: Some(rate_mbps),
+        }
+    }
+
+    /// The deadline policy this configuration enforces at round close.
+    pub fn policy(&self) -> DeadlinePolicy {
+        DeadlinePolicy::new(&self.budget, self.grace_s)
+    }
+
+    fn interval_ns(&self) -> VirtualNs {
+        s_to_ns(self.interval_s)
+    }
+
+    fn medium(&self) -> SharedMedium {
+        match self.feedback_rate_mbps {
+            Some(rate) => SharedMedium::new(rate),
+            None => SharedMedium::ideal(),
+        }
+    }
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        Self::lockstep()
+    }
+}
+
+/// Head/tail compute latency of one model on the simulated accelerator, in
+/// virtual ns.
+#[derive(Debug, Clone, Copy, Default)]
+struct ModelLatencyNs {
+    head_ns: u64,
+    tail_ns: u64,
+}
+
+/// Per-station event-driving state (model binding and sounding cadence).
+#[derive(Debug, Clone, Copy)]
+struct StationProfile {
+    model_key: usize,
+    /// The station sounds every `cadence`-th round (1 = every round). Its
+    /// round-`r` report carries CSI sounded at the most recent multiple of
+    /// `cadence`, so slow-cadence stations age accordingly.
+    cadence: u64,
+}
+
+/// A report waiting in the event queue for its medium grant: the wire frame
+/// plus the timing legs known at schedule time. The queue is keyed by the
+/// report's *offer* time (when it is ready and polled), so frames contend for
+/// the medium in physical ready order regardless of ingest order.
+#[derive(Debug, Clone)]
+struct PendingOffer {
+    frame: Vec<u8>,
+    /// When the report left head compute (offer minus any poll wait).
+    ready_ns: VirtualNs,
+    head_ns: u64,
+    tail_ns: u64,
+}
+
+/// Discrete-event virtual-clock driver around any [`RoundServing`] server.
+/// Implements [`RoundServing`] itself, so [`crate::driver::serve_traffic`]
+/// can replay identical traffic through it and cross-compare against the
+/// lockstep drivers.
+#[derive(Debug, Clone)]
+pub struct EventDriver<S> {
+    inner: S,
+    cfg: EventConfig,
+    medium: SharedMedium,
+    jitter: SeededJitter,
+    queue: EventQueue<PendingOffer>,
+    latencies: Vec<ModelLatencyNs>,
+    profiles: BTreeMap<StationId, StationProfile>,
+    round: u64,
+    now_ns: VirtualNs,
+    frames_scheduled: u64,
+    /// Stamps of every report delivered by the most recent round close —
+    /// including reports the deadline closer then expired — for
+    /// delay-distribution observers (percentiles must not censor the tail).
+    last_round_stamps: Vec<(StationId, FrameStamp)>,
+}
+
+impl<S: RoundServing> EventDriver<S> {
+    /// Wraps `inner` in a virtual-time event simulation.
+    pub fn over(inner: S, cfg: EventConfig) -> Self {
+        Self {
+            inner,
+            medium: cfg.medium(),
+            jitter: SeededJitter::new(cfg.jitter_max_ns, cfg.seed),
+            queue: EventQueue::new(),
+            latencies: Vec::new(),
+            profiles: BTreeMap::new(),
+            round: 0,
+            now_ns: 0,
+            frames_scheduled: 0,
+            last_round_stamps: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Binds the head/tail compute latency of model `key` (drawn from an
+    /// [`AcceleratorModel`] by the builders). Unbound models run with zero
+    /// compute latency.
+    pub fn bind_model_latency(&mut self, key: usize, head_s: f64, tail_s: f64) {
+        if self.latencies.len() <= key {
+            self.latencies.resize(key + 1, ModelLatencyNs::default());
+        }
+        self.latencies[key] = ModelLatencyNs {
+            head_ns: s_to_ns(head_s),
+            tail_ns: s_to_ns(tail_s),
+        };
+    }
+
+    /// Sets station `id`'s sounding cadence: it sounds every `every_rounds`-th
+    /// round (clamped to at least 1), so its round-`r` report is *timed* from
+    /// the most recent cadence boundary and ages toward the deadline
+    /// accordingly.
+    ///
+    /// This is a **timing** model: the payload bytes still come from the
+    /// traffic's round-`r` frame (the driver replays pre-generated traffic
+    /// verbatim), so the reconstructed feedback content is not itself aged —
+    /// only its deadline classification and delay accounting are. Content
+    /// aging would have to happen in the traffic generator.
+    pub fn set_cadence(&mut self, id: StationId, every_rounds: u64) {
+        if let Some(profile) = self.profiles.get_mut(&id) {
+            profile.cadence = every_rounds.max(1);
+        }
+    }
+
+    /// The wrapped server.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped server.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// The driver configuration.
+    pub fn config(&self) -> &EventConfig {
+        &self.cfg
+    }
+
+    /// The shared-medium model (airtime, queueing and utilization counters).
+    pub fn medium(&self) -> &SharedMedium {
+        &self.medium
+    }
+
+    /// Current virtual time.
+    pub fn virtual_now_ns(&self) -> VirtualNs {
+        self.now_ns
+    }
+
+    /// Index of the round currently being collected.
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Arrivals scheduled so far across the run.
+    pub fn frames_scheduled(&self) -> u64 {
+        self.frames_scheduled
+    }
+
+    /// Arrivals still waiting in the event queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stamps of every report the most recent round close delivered, in
+    /// delivery order — **including** reports the deadline closer then
+    /// consumed as past-budget. This is the uncensored delay distribution:
+    /// percentile observers that only look at served sessions would miss the
+    /// expired tail.
+    pub fn last_round_stamps(&self) -> &[(StationId, FrameStamp)] {
+        &self.last_round_stamps
+    }
+
+    /// Virtual sounding instant of station `id` for the current round: the
+    /// most recent cadence boundary, plus the station's phase offset.
+    fn sound_ns(&self, id: StationId, profile: &StationProfile) -> VirtualNs {
+        let interval = self.cfg.interval_ns();
+        let cadence_round = self.round - self.round % profile.cadence;
+        cadence_round * interval + id * self.cfg.phase_step_ns
+    }
+
+    /// Deadline of the round being collected: its nominal start plus the
+    /// Eq. 7d budget (the closer's grace window extends past it).
+    fn round_deadline_ns(&self) -> VirtualNs {
+        self.round * self.cfg.interval_ns() + s_to_ns(self.cfg.budget.max_delay_s)
+    }
+
+    /// Drains every scheduled report — in deterministic `(offer time,
+    /// station, seq)` order — through the shared medium and into the inner
+    /// server as a timestamped ingest, advancing the virtual clock past the
+    /// last arrival and the round deadline. Popping by offer time is what
+    /// gives the medium physical FIFO semantics: an early-ready frame is
+    /// never charged phantom queueing behind a late-ready one that merely
+    /// ingested first.
+    ///
+    /// A failing ingest (deferred frame validation, a station deregistered
+    /// after scheduling) drops that frame and is reported as the first error
+    /// **after** the drain completes — the queue never carries stale frames
+    /// into the next round.
+    fn deliver_arrivals(&mut self) -> Option<ServeError> {
+        let mut first_error = None;
+        self.last_round_stamps.clear();
+        while let Some((key, offer)) = self.queue.pop() {
+            let grant = self.medium.transmit(key.time_ns, offer.frame.len() * 8);
+            self.now_ns = self.now_ns.max(grant.end_ns);
+            let stamp = FrameStamp {
+                arrival_ns: grant.end_ns,
+                head_ns: offer.head_ns,
+                queue_ns: (key.time_ns - offer.ready_ns) + grant.wait_ns,
+                air_ns: grant.air_ns,
+                tail_ns: offer.tail_ns,
+            };
+            match self.inner.ingest_wire_at(key.station, &offer.frame, stamp) {
+                Ok(_) => self.last_round_stamps.push((key.station, stamp)),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        self.now_ns = self.now_ns.max(self.round_deadline_ns());
+        first_error
+    }
+}
+
+impl<S: RoundServing> RoundServing for EventDriver<S> {
+    fn register_station(
+        &mut self,
+        id: StationId,
+        model_key: usize,
+        bits_per_value: u8,
+    ) -> Result<(), ServeError> {
+        self.inner.register_station(id, model_key, bits_per_value)?;
+        // Re-association (e.g. after idle eviction by the inner server)
+        // keeps a previously configured sounding cadence.
+        let cadence = self.profiles.get(&id).map_or(1, |p| p.cadence);
+        self.profiles
+            .insert(id, StationProfile { model_key, cadence });
+        Ok(())
+    }
+
+    fn deregister_station(&mut self, id: StationId) -> Result<(), ServeError> {
+        self.inner.deregister_station(id)?;
+        self.profiles.remove(&id);
+        Ok(())
+    }
+
+    fn is_registered(&self, id: StationId) -> bool {
+        self.inner.is_registered(id)
+    }
+
+    /// Schedules the frame through virtual time instead of ingesting it
+    /// directly: sounding instant → head compute + jitter → offer to the
+    /// shared medium. Medium contention resolves at round close, in offer
+    /// order; the frame reaches the inner server timestamped. Frame
+    /// validation therefore also surfaces at close, not here.
+    fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
+        if !self.inner.is_registered(id) {
+            return Err(ServeError::UnknownStation(id));
+        }
+        let profile = *self
+            .profiles
+            .get(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        let latency = self
+            .latencies
+            .get(profile.model_key)
+            .copied()
+            .unwrap_or_default();
+        let sound_ns = self.sound_ns(id, &profile);
+        let head_ns = latency.head_ns + self.jitter.draw();
+        // The report is ready `head` after its sounding instant, but cannot
+        // transmit before this round polls the station; a slow-cadence
+        // station's report therefore queues for whole intervals, and that age
+        // counts against the Eq. 7d budget like any other queueing.
+        let ready_ns = sound_ns + head_ns;
+        let poll_ns = self.round * self.cfg.interval_ns() + id * self.cfg.phase_step_ns;
+        let offered_ns = ready_ns.max(poll_ns);
+        self.queue.schedule(
+            offered_ns,
+            id,
+            PendingOffer {
+                frame: frame.to_vec(),
+                ready_ns,
+                head_ns,
+                tail_ns: latency.tail_ns,
+            },
+        );
+        self.frames_scheduled += 1;
+        Ok(frame.len())
+    }
+
+    /// The driver is the stamping authority: an externally supplied stamp is
+    /// ignored and the frame is scheduled through virtual time like any
+    /// other.
+    fn ingest_wire_at(
+        &mut self,
+        id: StationId,
+        frame: &[u8],
+        _stamp: FrameStamp,
+    ) -> Result<usize, ServeError> {
+        self.ingest_wire(id, frame)
+    }
+
+    /// Closes the round **at its Eq. 7d deadline**: delivers every scheduled
+    /// arrival to the inner server timestamped, then runs the inner
+    /// deadline-aware close, which classifies each report on-time /
+    /// late-but-usable / past-budget from its stamp.
+    fn close_round(&mut self, mode: ServeMode) -> Result<RoundSummary, ServeError> {
+        self.close_round_deadline(mode, self.cfg.policy())
+    }
+
+    fn close_round_deadline(
+        &mut self,
+        mode: ServeMode,
+        policy: DeadlinePolicy,
+    ) -> Result<RoundSummary, ServeError> {
+        // The drain never short-circuits: the round always advances and the
+        // inner close always runs, so one bad frame cannot leave stale
+        // arrivals queued for the next round. The first ingest error (it
+        // happened before the close) takes precedence in the result.
+        let ingest_error = self.deliver_arrivals();
+        self.round += 1;
+        let closed = self.inner.close_round_deadline(mode, policy);
+        match ingest_error {
+            Some(e) => Err(e),
+            None => closed,
+        }
+    }
+
+    fn evicted_in_last_round(&self) -> usize {
+        self.inner.evicted_in_last_round()
+    }
+
+    fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
+        self.inner.feedback_of(id)
+    }
+}
+
+/// Computes the model's head/tail latency on `accel` and binds it to `key`;
+/// `None` binds zero compute latency (the lockstep degenerate case).
+fn bind_accel<S: RoundServing>(
+    driver: &mut EventDriver<S>,
+    key: usize,
+    model: &SplitBeamModel,
+    accel: Option<&AcceleratorModel>,
+) {
+    match accel {
+        Some(accel) => {
+            let latency = accel.split_latency_from_config(model.config());
+            driver.bind_model_latency(key, latency.head_s, latency.tail_s);
+        }
+        None => driver.bind_model_latency(key, 0.0, 0.0),
+    }
+}
+
+/// Builds an event driver over a single-shard [`ApServer`] with `model`
+/// registered, stations `0..stations` associated at `bits_per_value` bits,
+/// and the model's compute latency drawn from `accel` (zero when `None`).
+///
+/// # Panics
+/// Panics on invalid `bits_per_value` (registration is infallible otherwise).
+pub fn build_event_driver(
+    model: SplitBeamModel,
+    stations: usize,
+    bits_per_value: u8,
+    cfg: EventConfig,
+    accel: Option<&AcceleratorModel>,
+) -> EventDriver<ApServer> {
+    let mut server = ApServer::new();
+    let key = server.register_model(model.clone());
+    let mut driver = EventDriver::over(server, cfg);
+    bind_accel(&mut driver, key, &model, accel);
+    for id in 0..stations as StationId {
+        driver
+            .register_station(id, key, bits_per_value)
+            .expect("fresh server accepts fleet registration");
+    }
+    driver
+}
+
+/// Builds an event driver over a [`ShardedApServer`] with `num_shards`
+/// shards — the event clock is global, the round close fans out per shard.
+///
+/// # Panics
+/// Panics on invalid `bits_per_value` (registration is infallible otherwise).
+pub fn build_sharded_event_driver(
+    model: SplitBeamModel,
+    stations: usize,
+    bits_per_value: u8,
+    num_shards: usize,
+    cfg: EventConfig,
+    accel: Option<&AcceleratorModel>,
+) -> EventDriver<ShardedApServer> {
+    let mut server = ShardedApServer::new(num_shards);
+    let key = server.register_model(model.clone());
+    let mut driver = EventDriver::over(server, cfg);
+    bind_accel(&mut driver, key, &model, accel);
+    for id in 0..stations as StationId {
+        driver
+            .register_station(id, key, bits_per_value)
+            .expect("fresh server accepts fleet registration");
+    }
+    driver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{build_server, generate_traffic, serve_traffic, SimConfig};
+    use crate::timing::FrameClass;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+    use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+    fn model(seed: u64) -> SplitBeamModel {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        SplitBeamModel::new(
+            SplitBeamConfig::new(
+                MimoConfig::symmetric(2, Bandwidth::Mhz20),
+                CompressionLevel::OneEighth,
+            ),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn lockstep_event_driver_matches_legacy_server() {
+        let m = model(1);
+        let cfg = SimConfig {
+            stations: 5,
+            rounds: 3,
+            bits_per_value: 4,
+            drop_every: 4,
+            ..SimConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let traffic = generate_traffic(&cfg, &m, &mut rng);
+        let mut legacy = build_server(m.clone(), cfg.stations, cfg.bits_per_value);
+        let mut event = build_event_driver(
+            m,
+            cfg.stations,
+            cfg.bits_per_value,
+            EventConfig::lockstep(),
+            None,
+        );
+        let want = serve_traffic(&mut legacy, &traffic, ServeMode::Batched).unwrap();
+        let got = serve_traffic(&mut event, &traffic, ServeMode::Batched).unwrap();
+        assert_eq!(got, want, "zero-delay event serving must equal lockstep");
+        for id in 0..cfg.stations as StationId {
+            assert_eq!(event.feedback_of(id), legacy.feedback_of(id));
+        }
+        for summary in &got.summaries {
+            assert_eq!(summary.late, 0);
+            assert_eq!(summary.expired, 0);
+            assert_eq!(summary.on_time, summary.served);
+            assert_eq!(summary.delay.total_ns(), 0);
+        }
+    }
+
+    #[test]
+    fn medium_contention_produces_queueing_delay() {
+        let m = model(3);
+        let cfg = SimConfig {
+            stations: 6,
+            rounds: 2,
+            bits_per_value: 8,
+            drop_every: 0,
+            ..SimConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let traffic = generate_traffic(&cfg, &m, &mut rng);
+        // Real medium, no jitter, no compute latency: all six stations offer
+        // their frames at the round start and must serialize.
+        let mut event = build_event_driver(
+            m,
+            cfg.stations,
+            cfg.bits_per_value,
+            EventConfig {
+                feedback_rate_mbps: Some(24.0),
+                ..EventConfig::lockstep()
+            },
+            None,
+        );
+        let outcome = serve_traffic(&mut event, &traffic, ServeMode::Batched).unwrap();
+        assert!(event.medium().total_wait_ns() > 0, "stations must contend");
+        assert!(event.medium().total_air_ns() > 0);
+        let round0 = &outcome.summaries[0];
+        assert!(
+            round0.delay.queue_ns > 0,
+            "queueing must surface in summary"
+        );
+        assert!(round0.delay.air_ns > 0);
+        assert_eq!(round0.delay.head_ns, 0, "no compute latency configured");
+        // The last of six serialized frames waited ~5 frame times.
+        assert!(round0.delay.worst_e2e_ns > 5 * event.medium().frame_airtime_ns(0));
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let m = model(5);
+        let cfg = SimConfig {
+            stations: 4,
+            rounds: 3,
+            bits_per_value: 6,
+            drop_every: 5,
+            ..SimConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let traffic = generate_traffic(&cfg, &m, &mut rng);
+        let event_cfg = EventConfig {
+            jitter_max_ns: 800_000,
+            seed: 99,
+            feedback_rate_mbps: Some(24.0),
+            phase_step_ns: 10_000,
+            ..EventConfig::lockstep()
+        };
+        let accel = AcceleratorModel::zynq_200mhz(2, 2);
+        let run = |m: SplitBeamModel| {
+            let mut d =
+                build_event_driver(m, cfg.stations, cfg.bits_per_value, event_cfg, Some(&accel));
+            let outcome = serve_traffic(&mut d, &traffic, ServeMode::Batched).unwrap();
+            (outcome, d.virtual_now_ns(), d.medium().total_wait_ns())
+        };
+        let a = run(m.clone());
+        let b = run(m);
+        assert_eq!(a, b, "same seed must reproduce the run exactly");
+    }
+
+    #[test]
+    fn slow_cadence_station_report_ages_into_lateness() {
+        let m = model(7);
+        let cfg = SimConfig {
+            stations: 2,
+            rounds: 4,
+            bits_per_value: 4,
+            drop_every: 0,
+            ..SimConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let traffic = generate_traffic(&cfg, &m, &mut rng);
+        let mut event = build_event_driver(
+            m,
+            cfg.stations,
+            cfg.bits_per_value,
+            EventConfig::lockstep(),
+            None,
+        );
+        // Station 1 sounds every 4th round: its round-1/2/3 reports carry
+        // round-0 CSI aged by one, two and three full 10 ms intervals.
+        event.set_cadence(1, 4);
+        let outcome = serve_traffic(&mut event, &traffic, ServeMode::Batched).unwrap();
+        // Round 1: the report is exactly one interval old — dead on the
+        // 10 ms Eq. 7d budget, and the boundary is inclusive -> on time.
+        assert_eq!(outcome.summaries[1].on_time, 2);
+        assert_eq!(outcome.summaries[1].delay.worst_e2e_ns, s_to_ns(0.01));
+        // Round 2: two intervals old -> past budget, on the grace edge
+        // (inclusive) -> late-but-usable, served but never counted fresh.
+        assert_eq!(outcome.summaries[2].late, 1);
+        assert_eq!(outcome.summaries[2].on_time, 1);
+        assert_eq!(outcome.summaries[2].served, 2);
+        // Round 3: three intervals old -> past budget and grace -> expired,
+        // consumed without reconstruction.
+        assert_eq!(outcome.summaries[3].expired, 1);
+        assert_eq!(outcome.summaries[3].served, 1);
+        assert_eq!(outcome.summaries[3].on_time, 1);
+        let policy = event.config().policy();
+        assert_eq!(policy.classify(s_to_ns(0.01)), FrameClass::OnTime);
+    }
+}

@@ -21,7 +21,16 @@
 //!   compress → quantize → wire-encode traffic generation (including session
 //!   churn: joins, departures, bursty drops), AP-side serving in batched,
 //!   station-at-a-time or sharded mode, and the end-to-end
-//!   `simulate_mu_mimo_ber` link check over the served feedback.
+//!   `simulate_mu_mimo_ber` link check over the served feedback,
+//! * [`timing`] — virtual-time frame stamps ([`FrameStamp`]) and the Eq. 7d
+//!   [`DeadlinePolicy`] the deadline-aware round closer enforces: every
+//!   report is classified on-time / late-but-usable / past-budget **at round
+//!   close**, from its ingest timestamp,
+//! * [`event`] — the [`EventDriver`]: discrete-event virtual-clock serving on
+//!   top of any [`driver::RoundServing`] server — per-station sounding
+//!   cadences, head/tail compute latencies from the accelerator model, seeded
+//!   jitter and shared-medium contention, with the lockstep drivers
+//!   recoverable bit-exactly as the zero-delay degenerate case.
 //!
 //! # Example: serve two stations for one round
 //!
@@ -64,13 +73,17 @@
 //! ```
 
 pub mod driver;
+pub mod event;
 pub mod server;
 pub mod session;
 pub mod shard;
+pub mod timing;
 
+pub use event::{build_event_driver, EventConfig, EventDriver};
 pub use server::{ApServer, RoundSummary};
 pub use session::{StationId, StationSession};
 pub use shard::{env_shards, ShardedApServer, ShardedRoundSummary};
+pub use timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 
 /// Errors produced by the serving layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,6 +1,7 @@
 //! The sessionized AP feedback server.
 
 use crate::session::{StationId, StationSession};
+use crate::timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 use crate::ServeError;
 use mimo_math::kernel::Kernel;
 use splitbeam::fused::TailScratch;
@@ -16,7 +17,8 @@ use wifi_phy::precoding::BeamformingFeedback;
 pub struct RoundSummary {
     /// Index of the round that was just closed.
     pub round: u64,
-    /// Stations whose payload was reconstructed this round.
+    /// Stations whose payload was reconstructed this round (on-time plus
+    /// late-but-usable).
     pub served: usize,
     /// Registered stations that have reported in some earlier round but
     /// delivered nothing this round — their feedback aged.
@@ -28,6 +30,17 @@ pub struct RoundSummary {
     pub awaiting_first_report: usize,
     /// Batched tail invocations performed (one per model with pending traffic).
     pub batches: usize,
+    /// Served reports whose end-to-end delay fit the Eq. 7d budget
+    /// (inclusive). Untimed lockstep closes count every served report here.
+    pub on_time: usize,
+    /// Served reports past the budget but within the deadline policy's grace
+    /// window — reconstructed, but flagged, never silently fresh.
+    pub late: usize,
+    /// Reports past budget *and* grace: consumed without reconstruction.
+    pub expired: usize,
+    /// Virtual-delay breakdown (head/queue/air/tail) summed over served
+    /// reports. All-zero under untimed lockstep serving.
+    pub delay: RoundDelayStats,
 }
 
 /// The AP-side serving state: model registry, per-station sessions (each
@@ -103,6 +116,10 @@ pub(crate) struct RoundOutcome {
     pub(crate) stale: usize,
     pub(crate) awaiting_first_report: usize,
     pub(crate) batches: usize,
+    pub(crate) on_time: usize,
+    pub(crate) late: usize,
+    pub(crate) expired: usize,
+    pub(crate) delay: RoundDelayStats,
     pub(crate) error: Option<ServeError>,
 }
 
@@ -119,6 +136,10 @@ impl RoundOutcome {
             stale: self.stale,
             awaiting_first_report: self.awaiting_first_report,
             batches: self.batches,
+            on_time: self.on_time,
+            late: self.late,
+            expired: self.expired,
+            delay: self.delay,
         })
     }
 }
@@ -177,6 +198,19 @@ impl ShardCore {
         id: StationId,
         frame: &[u8],
     ) -> Result<usize, ServeError> {
+        self.ingest_wire_at(models, id, frame, FrameStamp::default())
+    }
+
+    /// Timestamped wire ingest: like [`ShardCore::ingest_wire`] but records
+    /// the frame's virtual-time stamp so the deadline-aware round closer can
+    /// classify it against the Eq. 7d budget.
+    pub(crate) fn ingest_wire_at(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+    ) -> Result<usize, ServeError> {
         wire::decode_feedback_into(frame, &mut self.arena.decode_buf)
             .map_err(|e| ServeError::Codec(e.to_string()))?;
         let session = self
@@ -186,6 +220,7 @@ impl ShardCore {
         Self::validate_payload(models, session, &self.arena.decode_buf)?;
         std::mem::swap(session.payload_slot(), &mut self.arena.decode_buf);
         session.set_pending(true);
+        session.set_pending_stamp(stamp);
         session.record_ingest(frame.len());
         Ok(frame.len())
     }
@@ -204,6 +239,7 @@ impl ShardCore {
         Self::validate_payload(models, session, &payload)?;
         *session.payload_slot() = payload;
         session.set_pending(true);
+        session.set_pending_stamp(FrameStamp::default());
         session.record_ingest(wire_bytes);
         Ok(wire_bytes)
     }
@@ -253,8 +289,54 @@ impl ShardCore {
         (stale, awaiting)
     }
 
+    /// Deadline pass shared by the batched and serial closers: consumes every
+    /// pending payload whose end-to-end delay (per its ingest stamp) falls
+    /// past the policy's budget *and* grace window. Expired reports are never
+    /// reconstructed — Eq. 7d is enforced at close, not measured post-hoc.
+    /// Returns the number of expired reports; with no policy nothing expires.
+    fn expire_pending(&mut self, policy: Option<DeadlinePolicy>) -> usize {
+        let Some(policy) = policy else { return 0 };
+        let mut expired = 0usize;
+        for session in self.sessions.values_mut() {
+            if session.has_pending()
+                && policy.classify(session.pending_stamp().total_ns()) == FrameClass::Expired
+            {
+                session.set_pending(false);
+                session.set_pending_stamp(FrameStamp::default());
+                expired += 1;
+            }
+        }
+        expired
+    }
+
+    /// Classifies a served report against the policy and folds it into the
+    /// round accounting, recording the class on the session.
+    fn account_served(
+        session: &mut StationSession,
+        policy: Option<DeadlinePolicy>,
+        on_time: &mut usize,
+        late: &mut usize,
+        delay: &mut RoundDelayStats,
+    ) {
+        let stamp = *session.pending_stamp();
+        let is_late = match policy {
+            Some(p) => p.classify(stamp.total_ns()) == FrameClass::Late,
+            None => false,
+        };
+        if is_late {
+            *late += 1;
+        } else {
+            *on_time += 1;
+        }
+        delay.record(&stamp);
+        session.record_service_class(policy.map(|_| stamp), is_late);
+        session.set_pending_stamp(FrameStamp::default());
+    }
+
     /// Closes round `round` over this shard with one fused dequantize→tail
-    /// batched inference per model.
+    /// batched inference per model. With a [`DeadlinePolicy`], pending
+    /// reports are classified first: expired ones are consumed without
+    /// reconstruction, late-but-usable ones are served but flagged.
     ///
     /// **Partial-round semantics on failure:** a failed batch consumes only
     /// *its own* pending payloads (they are what failed); every other model's
@@ -266,9 +348,14 @@ impl ShardCore {
         models: &[Arc<SplitBeamModel>],
         round: u64,
         kern: Kernel,
+        policy: Option<DeadlinePolicy>,
     ) -> RoundOutcome {
+        let expired = self.expire_pending(policy);
         let mut served = 0usize;
         let mut batches = 0usize;
+        let mut on_time = 0usize;
+        let mut late = 0usize;
+        let mut delay = RoundDelayStats::default();
         let mut first_error = None;
         let Self { sessions, arena } = self;
         let RoundArena { ids, tail, .. } = arena;
@@ -299,6 +386,7 @@ impl ShardCore {
                             .expect("pending payload from registered station");
                         session.store_feedback(flat, round);
                         session.set_pending(false);
+                        Self::account_served(session, policy, &mut on_time, &mut late, &mut delay);
                         served += 1;
                     }
                 }
@@ -306,10 +394,11 @@ impl ShardCore {
                     // Consume only the failed batch's payloads; other models'
                     // pending traffic is untouched and still gets its batch.
                     for id in ids.iter() {
-                        sessions
+                        let session = sessions
                             .get_mut(id)
-                            .expect("pending payload from registered station")
-                            .set_pending(false);
+                            .expect("pending payload from registered station");
+                        session.set_pending(false);
+                        session.set_pending_stamp(FrameStamp::default());
                     }
                     if first_error.is_none() {
                         first_error = Some(ServeError::Model(e.to_string()));
@@ -323,6 +412,10 @@ impl ShardCore {
             stale,
             awaiting_first_report,
             batches,
+            on_time,
+            late,
+            expired,
+            delay,
             error: first_error,
         }
     }
@@ -339,9 +432,14 @@ impl ShardCore {
         &mut self,
         models: &[Arc<SplitBeamModel>],
         round: u64,
+        policy: Option<DeadlinePolicy>,
     ) -> RoundOutcome {
+        let expired = self.expire_pending(policy);
         let mut served = 0usize;
         let mut batches = 0usize;
+        let mut on_time = 0usize;
+        let mut late = 0usize;
+        let mut delay = RoundDelayStats::default();
         let mut first_error = None;
         for (key, model) in models.iter().enumerate() {
             let ids: Vec<StationId> = self
@@ -374,15 +472,18 @@ impl ShardCore {
                             .expect("pending payload from registered station");
                         session.store_feedback(&flat, round);
                         session.set_pending(false);
+                        Self::account_served(session, policy, &mut on_time, &mut late, &mut delay);
                         served += 1;
                     }
                 }
                 Some(e) => {
                     for id in &ids {
-                        self.sessions
+                        let session = self
+                            .sessions
                             .get_mut(id)
-                            .expect("pending payload from registered station")
-                            .set_pending(false);
+                            .expect("pending payload from registered station");
+                        session.set_pending(false);
+                        session.set_pending_stamp(FrameStamp::default());
                     }
                     if first_error.is_none() {
                         first_error = Some(e);
@@ -396,6 +497,10 @@ impl ShardCore {
             stale,
             awaiting_first_report,
             batches,
+            on_time,
+            late,
+            expired,
+            delay,
             error: first_error,
         }
     }
@@ -497,6 +602,23 @@ impl ApServer {
         self.core.ingest_wire(&self.models, id, frame)
     }
 
+    /// Timestamped wire ingest: like [`ApServer::ingest_wire`], but records
+    /// the frame's virtual-time [`FrameStamp`] (arrival plus per-leg delay
+    /// breakdown) on the session, so a subsequent
+    /// [`ApServer::process_round_deadline`] can classify the report against
+    /// the Eq. 7d budget.
+    ///
+    /// # Errors
+    /// Same contract as [`ApServer::ingest_wire`].
+    pub fn ingest_wire_at(
+        &mut self,
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+    ) -> Result<usize, ServeError> {
+        self.core.ingest_wire_at(&self.models, id, frame, stamp)
+    }
+
     /// Ingests an already-decoded payload (in-process stations, tests).
     ///
     /// # Errors
@@ -528,7 +650,30 @@ impl ApServer {
         self.round += 1;
         let kern = mimo_math::kernel::selected();
         self.core
-            .close_round_batched(&self.models, round, kern)
+            .close_round_batched(&self.models, round, kern, None)
+            .into_summary(round)
+    }
+
+    /// Deadline-aware batched round close: every pending report is classified
+    /// against `policy` by its ingest stamp's end-to-end delay — on-time
+    /// (within the Eq. 7d budget, inclusive) and late-but-usable reports are
+    /// reconstructed in the same fused batch, expired reports are consumed
+    /// **without** reconstruction. Untimed frames carry an all-zero stamp and
+    /// always classify on-time, which is how the lockstep drivers remain the
+    /// degenerate case.
+    ///
+    /// # Errors
+    /// Same contract and partial-round semantics as
+    /// [`ApServer::process_round`].
+    pub fn process_round_deadline(
+        &mut self,
+        policy: DeadlinePolicy,
+    ) -> Result<RoundSummary, ServeError> {
+        let round = self.round;
+        self.round += 1;
+        let kern = mimo_math::kernel::selected();
+        self.core
+            .close_round_batched(&self.models, round, kern, Some(policy))
             .into_summary(round)
     }
 
@@ -546,7 +691,25 @@ impl ApServer {
         let round = self.round;
         self.round += 1;
         self.core
-            .close_round_serial(&self.models, round)
+            .close_round_serial(&self.models, round, None)
+            .into_summary(round)
+    }
+
+    /// Deadline-aware serial round close: the station-at-a-time reference for
+    /// [`ApServer::process_round_deadline`], with identical classification
+    /// semantics (expired reports consumed unreconstructed, late reports
+    /// served but flagged).
+    ///
+    /// # Errors
+    /// Same contract as [`ApServer::process_round_serial`].
+    pub fn process_round_serial_deadline(
+        &mut self,
+        policy: DeadlinePolicy,
+    ) -> Result<RoundSummary, ServeError> {
+        let round = self.round;
+        self.round += 1;
+        self.core
+            .close_round_serial(&self.models, round, Some(policy))
             .into_summary(round)
     }
 

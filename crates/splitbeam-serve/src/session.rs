@@ -1,5 +1,6 @@
 //! Per-station serving state.
 
+use crate::timing::FrameStamp;
 use splitbeam::quantization::QuantizedFeedback;
 
 /// Over-the-air station identifier (association id in a real AP).
@@ -25,8 +26,17 @@ pub struct StationSession {
     /// whether it holds a payload for the round being collected.
     payload: QuantizedFeedback,
     has_pending: bool,
+    /// Virtual-time stamp of the pending payload (all-zero for untimed
+    /// lockstep ingest).
+    pending_stamp: FrameStamp,
     last_feedback: Option<Vec<f32>>,
     last_round: Option<u64>,
+    /// Stamp of the report behind `last_feedback`, if it came through the
+    /// timestamped ingest path.
+    last_stamp: Option<FrameStamp>,
+    /// Whether the stored feedback was classified late-but-usable (past the
+    /// Eq. 7d budget but within the grace window) at its round close.
+    last_served_late: bool,
     payloads_ingested: u64,
     wire_bytes_ingested: u64,
 }
@@ -50,8 +60,11 @@ impl StationSession {
                 codes: Vec::new(),
             },
             has_pending: false,
+            pending_stamp: FrameStamp::default(),
             last_feedback: None,
             last_round: None,
+            last_stamp: None,
+            last_served_late: false,
             payloads_ingested: 0,
             wire_bytes_ingested: 0,
         }
@@ -74,6 +87,16 @@ impl StationSession {
 
     pub(crate) fn set_pending(&mut self, pending: bool) {
         self.has_pending = pending;
+    }
+
+    /// The virtual-time stamp of the pending payload (all-zero when the
+    /// payload came through the untimed lockstep ingest path).
+    pub fn pending_stamp(&self) -> &FrameStamp {
+        &self.pending_stamp
+    }
+
+    pub(crate) fn set_pending_stamp(&mut self, stamp: FrameStamp) {
+        self.pending_stamp = stamp;
     }
 
     /// The station id.
@@ -141,6 +164,19 @@ impl StationSession {
         self.wire_bytes_ingested += wire_bytes as u64;
     }
 
+    /// Virtual-time stamp of the stored feedback (`None` when the station has
+    /// no feedback or it came through the untimed lockstep path).
+    pub fn last_stamp(&self) -> Option<&FrameStamp> {
+        self.last_stamp.as_ref()
+    }
+
+    /// Whether the stored feedback was classified late-but-usable at its
+    /// round close (past the Eq. 7d budget but within the grace window).
+    /// Always `false` for on-time reports and for untimed lockstep serving.
+    pub fn served_late(&self) -> bool {
+        self.last_served_late
+    }
+
     /// Stores a reconstruction, reusing the previous round's buffer when one
     /// exists (steady-state serving allocates nothing per station).
     pub(crate) fn store_feedback(&mut self, flat: &[f32], round: u64) {
@@ -152,6 +188,13 @@ impl StationSession {
             None => self.last_feedback = Some(flat.to_vec()),
         }
         self.last_round = Some(round);
+    }
+
+    /// Records how the deadline-aware closer classified the report that was
+    /// just stored: its stamp (when timestamped) and whether it was late.
+    pub(crate) fn record_service_class(&mut self, stamp: Option<FrameStamp>, late: bool) {
+        self.last_stamp = stamp;
+        self.last_served_late = late;
     }
 }
 

@@ -25,6 +25,7 @@
 
 use crate::server::{RoundOutcome, RoundSummary, ShardCore};
 use crate::session::{StationId, StationSession};
+use crate::timing::{DeadlinePolicy, FrameStamp, RoundDelayStats};
 use crate::ServeError;
 use rayon::prelude::*;
 use splitbeam::model::SplitBeamModel;
@@ -47,6 +48,16 @@ pub struct ShardedRoundSummary {
     /// traffic per shard — a sharded round runs more, smaller batches than a
     /// single-shard round).
     pub batches: usize,
+    /// Served reports within the Eq. 7d budget (all of them for untimed
+    /// lockstep closes).
+    pub on_time: usize,
+    /// Served reports past the budget but within the deadline grace window.
+    pub late: usize,
+    /// Reports past budget and grace, consumed without reconstruction.
+    pub expired: usize,
+    /// Virtual-delay breakdown summed over served reports, merged in shard
+    /// order.
+    pub delay: RoundDelayStats,
     /// Shards that had at least one pending payload this round.
     pub shards_with_traffic: usize,
     /// Stations evicted after the close for exceeding the idle budget.
@@ -64,6 +75,10 @@ impl ShardedRoundSummary {
             stale: self.stale,
             awaiting_first_report: self.awaiting_first_report,
             batches: self.batches,
+            on_time: self.on_time,
+            late: self.late,
+            expired: self.expired,
+            delay: self.delay,
         }
     }
 }
@@ -233,6 +248,21 @@ impl ShardedApServer {
         self.shards[shard].ingest_wire(&self.models, id, frame)
     }
 
+    /// Timestamped wire ingest: records the frame's virtual-time stamp on the
+    /// session so a deadline-aware round close can classify it.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedApServer::ingest_wire`].
+    pub fn ingest_wire_at(
+        &mut self,
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+    ) -> Result<usize, ServeError> {
+        let shard = self.shard_of(id);
+        self.shards[shard].ingest_wire_at(&self.models, id, frame, stamp)
+    }
+
     /// Ingests an already-decoded payload (in-process stations, tests).
     ///
     /// # Errors
@@ -263,6 +293,27 @@ impl ShardedApServer {
     /// batch's payloads are consumed), every shard still closes, and the
     /// first error in shard order is returned.
     pub fn process_round(&mut self) -> Result<ShardedRoundSummary, ServeError> {
+        self.process_round_with(None)
+    }
+
+    /// Deadline-aware parallel round close: every shard classifies its
+    /// pending reports against `policy` (expired reports consumed without
+    /// reconstruction, late ones served but flagged) with the same semantics
+    /// as [`crate::server::ApServer::process_round_deadline`].
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedApServer::process_round`].
+    pub fn process_round_deadline(
+        &mut self,
+        policy: DeadlinePolicy,
+    ) -> Result<ShardedRoundSummary, ServeError> {
+        self.process_round_with(Some(policy))
+    }
+
+    fn process_round_with(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<ShardedRoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
         let kern = mimo_math::kernel::selected();
@@ -273,7 +324,7 @@ impl ShardedApServer {
             .par_iter_mut()
             .map(|shard: &mut ShardCore| {
                 let had_traffic = shard.pending_count() > 0;
-                let outcome = shard.close_round_batched(models, round, kern);
+                let outcome = shard.close_round_batched(models, round, kern, policy);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -292,6 +343,25 @@ impl ShardedApServer {
     /// # Errors
     /// Same contract as [`ShardedApServer::process_round`].
     pub fn process_round_serial(&mut self) -> Result<ShardedRoundSummary, ServeError> {
+        self.process_round_serial_with(None)
+    }
+
+    /// Deadline-aware serial reference for
+    /// [`ShardedApServer::process_round_deadline`].
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedApServer::process_round_serial`].
+    pub fn process_round_serial_deadline(
+        &mut self,
+        policy: DeadlinePolicy,
+    ) -> Result<ShardedRoundSummary, ServeError> {
+        self.process_round_serial_with(Some(policy))
+    }
+
+    fn process_round_serial_with(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<ShardedRoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
         let models = &self.models;
@@ -301,7 +371,7 @@ impl ShardedApServer {
             .iter_mut()
             .map(|shard| {
                 let had_traffic = shard.pending_count() > 0;
-                let outcome = shard.close_round_serial(models, round);
+                let outcome = shard.close_round_serial(models, round, policy);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -324,6 +394,10 @@ impl ShardedApServer {
             stale: 0,
             awaiting_first_report: 0,
             batches: 0,
+            on_time: 0,
+            late: 0,
+            expired: 0,
+            delay: RoundDelayStats::default(),
             shards_with_traffic: 0,
             evicted: 0,
         };
@@ -333,6 +407,10 @@ impl ShardedApServer {
             summary.stale += outcome.stale;
             summary.awaiting_first_report += outcome.awaiting_first_report;
             summary.batches += outcome.batches;
+            summary.on_time += outcome.on_time;
+            summary.late += outcome.late;
+            summary.expired += outcome.expired;
+            summary.delay.merge(&outcome.delay);
             summary.shards_with_traffic += usize::from(had_traffic);
             summary.evicted += evicted;
             if first_error.is_none() {

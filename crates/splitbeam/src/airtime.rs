@@ -9,7 +9,7 @@ use crate::config::SplitBeamConfig;
 use crate::quantization::DEFAULT_BITS_PER_VALUE;
 use dot11_bfi::feedback::paper_report_bits;
 use serde::{Deserialize, Serialize};
-use wifi_phy::sounding::{sounding_round_airtime, SoundingConfig};
+use wifi_phy::sounding::{feedback_frame_airtime_s, sounding_round_airtime, SoundingConfig};
 
 /// SplitBeam feedback size in bits for an `nt x nr` configuration with `s`
 /// subcarriers at compression `k`, counting `bits_per_value` bits per
@@ -128,6 +128,26 @@ pub fn splitbeam_sounding_airtime_s(
     sounding_round_airtime(sounding, bits).total_s()
 }
 
+/// On-air duration of **one** station's SplitBeam feedback frame (PHY/MAC
+/// overhead plus the quantized bottleneck payload at the sounding config's
+/// feedback rate), in seconds.
+///
+/// This is the same per-frame primitive
+/// ([`wifi_phy::sounding::feedback_frame_airtime_s`]) that
+/// [`splitbeam_sounding_airtime_s`] sums per polled station, so a shared-medium
+/// model charging this duration per serialized frame can never drift from the
+/// round-level airtime math.
+pub fn splitbeam_frame_airtime_s(
+    config: &SplitBeamConfig,
+    sounding: &SoundingConfig,
+    bits_per_value: u8,
+) -> f64 {
+    feedback_frame_airtime_s(
+        model_feedback_bits(config, bits_per_value),
+        sounding.feedback_rate_mbps,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +258,49 @@ mod tests {
             "average airtime saving {saving}% should be large"
         );
         assert_eq!(average_airtime_saving_percent(&[]), 0.0);
+    }
+
+    /// Satellite consistency test: the per-frame airtime primitive and the
+    /// round-level sounding airtime must agree — `num_stations` copies of the
+    /// frame primitive is exactly the round's feedback component — across
+    /// bandwidths × MIMO orders × quantizer widths. The shared-medium model of
+    /// the event-driven simulator charges the frame primitive per transmission,
+    /// so this pins the two against drifting apart.
+    #[test]
+    fn frame_airtime_matches_round_airtime_across_grid() {
+        let bandwidths = [
+            Bandwidth::Mhz20,
+            Bandwidth::Mhz40,
+            Bandwidth::Mhz80,
+            Bandwidth::Mhz160,
+        ];
+        for &n in &[2usize, 3, 4] {
+            for &bw in &bandwidths {
+                for bits in [1u8, 4, 8, 16] {
+                    let config = SplitBeamConfig::new(
+                        MimoConfig::symmetric(n, bw),
+                        CompressionLevel::OneEighth,
+                    );
+                    let sounding = wifi_phy::sounding::SoundingConfig::new(bw, n);
+                    let frame = splitbeam_frame_airtime_s(&config, &sounding, bits);
+                    let round = wifi_phy::sounding::sounding_round_airtime(
+                        &sounding,
+                        model_feedback_bits(&config, bits),
+                    );
+                    assert!(
+                        (round.feedback_s - n as f64 * frame).abs() < 1e-15,
+                        "{n}x{n} @ {bw:?}, {bits} bits/value"
+                    );
+                    assert!(
+                        (splitbeam_sounding_airtime_s(&config, &sounding, bits)
+                            - (round.protocol_s + n as f64 * frame))
+                            .abs()
+                            < 1e-15,
+                        "{n}x{n} @ {bw:?}, {bits} bits/value: round total must decompose"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -59,7 +59,9 @@ impl SoundingConfig {
 pub struct SoundingAirtime {
     /// Airtime of the fixed protocol frames (NDPA, NDP, polls, SIFS), in seconds.
     pub protocol_s: f64,
-    /// Airtime of the feedback payloads of all stations, in seconds.
+    /// Airtime of the feedback frames of all stations (PHY/MAC overhead plus
+    /// payload — exactly `num_stations` × [`feedback_frame_airtime_s`]), in
+    /// seconds.
     pub feedback_s: f64,
 }
 
@@ -76,6 +78,15 @@ pub fn feedback_payload_airtime_s(payload_bits: usize, rate_mbps: f64) -> f64 {
     payload_bits as f64 / (rate_mbps * 1e6)
 }
 
+/// On-air duration of **one** feedback frame: the PHY/MAC frame overhead plus
+/// the payload at `rate_mbps`. This is the single per-frame airtime primitive:
+/// [`sounding_round_airtime`] sums it per polled station, and the shared-medium
+/// model of the event-driven simulator charges exactly this duration per frame
+/// it serializes — the two can never drift.
+pub fn feedback_frame_airtime_s(payload_bits: usize, rate_mbps: f64) -> f64 {
+    FEEDBACK_FRAME_OVERHEAD_S + feedback_payload_airtime_s(payload_bits, rate_mbps)
+}
+
 /// Computes the airtime of one complete multi-user sounding round in which each
 /// of the `num_stations` stations returns `per_station_feedback_bits` bits.
 pub fn sounding_round_airtime(
@@ -83,17 +94,16 @@ pub fn sounding_round_airtime(
     per_station_feedback_bits: usize,
 ) -> SoundingAirtime {
     let n = config.num_stations.max(1);
-    // NDPA + SIFS + NDP, then for every station: SIFS + (poll for all but the first)
-    // + SIFS + feedback frame.
+    // NDPA + SIFS + NDP, then for every station: SIFS + (poll for all but the
+    // first) + SIFS + feedback frame (the shared per-frame primitive).
     let mut protocol = NDP_ANNOUNCEMENT_S + SIFS_S + NDP_S;
     let mut feedback = 0.0;
     for station in 0..n {
         if station > 0 {
             protocol += SIFS_S + BRP_POLL_S;
         }
-        protocol += SIFS_S + FEEDBACK_FRAME_OVERHEAD_S;
-        feedback +=
-            feedback_payload_airtime_s(per_station_feedback_bits, config.feedback_rate_mbps);
+        protocol += SIFS_S;
+        feedback += feedback_frame_airtime_s(per_station_feedback_bits, config.feedback_rate_mbps);
     }
     SoundingAirtime {
         protocol_s: protocol,
@@ -182,6 +192,36 @@ mod tests {
             sounding_interval_s: 0.01,
         };
         assert!(sounding_round_airtime(&cfg, 100).total_s() > 0.0);
+    }
+
+    /// Satellite consistency test: the round airtime's feedback component must
+    /// decompose exactly into `num_stations` copies of the shared per-frame
+    /// primitive, for every bandwidth × station count × payload width — so the
+    /// round-level math and any per-frame consumer (the event simulator's
+    /// shared-medium model) can never drift.
+    #[test]
+    fn round_feedback_airtime_is_stations_times_frame_airtime() {
+        let bandwidths = [
+            Bandwidth::Mhz20,
+            Bandwidth::Mhz40,
+            Bandwidth::Mhz80,
+            Bandwidth::Mhz160,
+        ];
+        for &bw in &bandwidths {
+            for stations in [1usize, 2, 4, 8] {
+                for bits in [56usize, 1_000, 43_520, 435_456] {
+                    let cfg = SoundingConfig::new(bw, stations);
+                    let round = sounding_round_airtime(&cfg, bits);
+                    let per_frame = feedback_frame_airtime_s(bits, cfg.feedback_rate_mbps);
+                    assert!(
+                        (round.feedback_s - stations as f64 * per_frame).abs() < 1e-15,
+                        "{bw:?}, {stations} stations, {bits} bits"
+                    );
+                    // The frame primitive always includes the PHY/MAC overhead.
+                    assert!(per_frame >= FEEDBACK_FRAME_OVERHEAD_S);
+                }
+            }
+        }
     }
 
     #[test]
