@@ -13,12 +13,14 @@
 pub mod accelerator;
 pub mod delay;
 pub mod event;
+pub mod fault;
 
 pub use accelerator::{AcceleratorModel, LatencyBreakdown};
 pub use delay::{end_to_end_delay_s, DelayBudget, EndToEndDelay};
 pub use event::{
     ns_to_s, s_to_ns, EventKey, EventQueue, MediumGrant, SeededJitter, SharedMedium, VirtualNs,
 };
+pub use fault::{FaultConfig, FaultInjector, FaultStats, FrameFate, GilbertElliott};
 
 #[cfg(test)]
 mod tests {

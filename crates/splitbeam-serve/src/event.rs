@@ -33,9 +33,11 @@ use crate::shard::ShardedApServer;
 use crate::timing::{DeadlinePolicy, FrameStamp};
 use crate::ServeError;
 use splitbeam::model::SplitBeamModel;
+use splitbeam::wire;
 use splitbeam_hwsim::accelerator::AcceleratorModel;
 use splitbeam_hwsim::delay::DelayBudget;
 use splitbeam_hwsim::event::{s_to_ns, EventQueue, SeededJitter, SharedMedium, VirtualNs};
+use splitbeam_hwsim::fault::{FaultConfig, FaultInjector, FaultStats, FrameFate};
 use std::collections::BTreeMap;
 
 /// Shape of one event-driven serving run.
@@ -63,6 +65,17 @@ pub struct EventConfig {
     /// Feedback data rate of the shared medium in Mbit/s; `None` models an
     /// ideal zero-airtime medium (the lockstep degenerate case).
     pub feedback_rate_mbps: Option<f64>,
+    /// Fault model of the medium (loss, corruption, duplication, extra
+    /// delay). [`FaultConfig::none`] — the default — draws nothing from the
+    /// fault RNG, keeping zero-fault runs bit-exact with the PR 5 drivers.
+    pub faults: FaultConfig,
+    /// Maximum station retransmissions per report after a loss or corruption
+    /// (`0` disables retransmission).
+    pub max_retries: u32,
+    /// Base retransmission backoff in virtual ns; attempt `n` backs off
+    /// `backoff << (n - 1)` after the failed transmission ends. A retry that
+    /// cannot land within the Eq. 7d budget plus grace is not attempted.
+    pub retry_backoff_ns: VirtualNs,
 }
 
 impl EventConfig {
@@ -79,6 +92,9 @@ impl EventConfig {
             seed: 0,
             phase_step_ns: 0,
             feedback_rate_mbps: None,
+            faults: FaultConfig::none(),
+            max_retries: 0,
+            retry_backoff_ns: 0,
         }
     }
 
@@ -95,6 +111,9 @@ impl EventConfig {
             seed,
             phase_step_ns: 0,
             feedback_rate_mbps: Some(rate_mbps),
+            faults: FaultConfig::from_env(),
+            max_retries: 2,
+            retry_backoff_ns: 100_000,
         }
     }
 
@@ -150,6 +169,9 @@ struct PendingOffer {
     ready_ns: VirtualNs,
     head_ns: u64,
     tail_ns: u64,
+    /// Transmission attempt: `0` for the first transmission, `n` for the
+    /// `n`-th retransmission after a loss or corruption.
+    attempt: u32,
 }
 
 /// Discrete-event virtual-clock driver around any [`RoundServing`] server.
@@ -168,6 +190,14 @@ pub struct EventDriver<S> {
     round: u64,
     now_ns: VirtualNs,
     frames_scheduled: u64,
+    /// Deterministic medium fault injector (seeded off [`EventConfig::seed`]
+    /// on an independent stream from the jitter). A zero-fault config draws
+    /// nothing, so fault-free runs replay PR 5 behaviour bit-exactly.
+    injector: FaultInjector,
+    /// Frames the injector dropped during the most recent drain.
+    round_lost: usize,
+    /// Retransmissions scheduled during the most recent drain.
+    round_retransmitted: usize,
     /// Stamps of every report delivered by the most recent round close —
     /// including reports the deadline closer then expired — for
     /// delay-distribution observers (percentiles must not censor the tail).
@@ -187,6 +217,9 @@ impl<S: RoundServing> EventDriver<S> {
             round: 0,
             now_ns: 0,
             frames_scheduled: 0,
+            injector: FaultInjector::new(cfg.faults, cfg.seed ^ 0xfa17_1e55_0b5e_55ed),
+            round_lost: 0,
+            round_retransmitted: 0,
             last_round_stamps: Vec::new(),
             cfg,
         }
@@ -256,6 +289,12 @@ impl<S: RoundServing> EventDriver<S> {
         self.frames_scheduled
     }
 
+    /// Cumulative fault-injection accounting (offered, lost, corrupted,
+    /// duplicated, delayed frames) across the run.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
     /// Arrivals still waiting in the event queue.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
@@ -295,31 +334,129 @@ impl<S: RoundServing> EventDriver<S> {
     /// A failing ingest (deferred frame validation, a station deregistered
     /// after scheduling) drops that frame and is reported as the first error
     /// **after** the drain completes — the queue never carries stale frames
-    /// into the next round.
+    /// into the next round. Fault-related rejections — CRC failures,
+    /// suppressed duplicates, quarantined stations — are *expected* under an
+    /// active fault model: they are absorbed into the round accounting and
+    /// the session health machinery rather than surfaced as errors.
+    ///
+    /// Each popped frame passes through the fault injector. A lost or
+    /// corrupted transmission still occupies the medium (its airtime is
+    /// spent); the station then retransmits with exponential backoff — but
+    /// only while the retry's projected end-to-end delay still fits the
+    /// Eq. 7d budget plus grace, because a retry that can only arrive expired
+    /// is wasted airtime.
     fn deliver_arrivals(&mut self) -> Option<ServeError> {
         let mut first_error = None;
         self.last_round_stamps.clear();
+        self.round_lost = 0;
+        self.round_retransmitted = 0;
         while let Some((key, offer)) = self.queue.pop() {
+            let fate = self.injector.frame_fate();
             let grant = self.medium.transmit(key.time_ns, offer.frame.len() * 8);
             self.now_ns = self.now_ns.max(grant.end_ns);
+            let (corrupt, duplicate, extra_delay_ns) = match fate {
+                FrameFate::Lost => {
+                    self.round_lost += 1;
+                    self.schedule_retry(key.station, grant.end_ns, &offer);
+                    continue;
+                }
+                FrameFate::Deliver {
+                    corrupt,
+                    duplicate,
+                    extra_delay_ns,
+                } => (corrupt, duplicate, extra_delay_ns),
+            };
+            let arrival_ns = grant.end_ns + extra_delay_ns;
+            self.now_ns = self.now_ns.max(arrival_ns);
             let stamp = FrameStamp {
-                arrival_ns: grant.end_ns,
+                arrival_ns,
                 head_ns: offer.head_ns,
-                queue_ns: (key.time_ns - offer.ready_ns) + grant.wait_ns,
+                queue_ns: (key.time_ns - offer.ready_ns) + grant.wait_ns + extra_delay_ns,
                 air_ns: grant.air_ns,
                 tail_ns: offer.tail_ns,
             };
-            match self.inner.ingest_wire_at(key.station, &offer.frame, stamp) {
-                Ok(_) => self.last_round_stamps.push((key.station, stamp)),
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
+            if corrupt {
+                let mut damaged = offer.frame.clone();
+                self.injector.corrupt_frame(&mut damaged);
+                match self.inner.ingest_wire_at(key.station, &damaged, stamp) {
+                    // The AP rejected the damaged bytes — CRC mismatch, an
+                    // unrecognizable header (damage to the unprotected
+                    // dispatch byte), or a quarantined station. The frame is
+                    // gone either way; retransmit if the budget allows.
+                    Err(
+                        ServeError::Corrupt(..) | ServeError::Codec(_) | ServeError::Quarantined(_),
+                    ) => {
+                        self.schedule_retry(key.station, arrival_ns, &offer);
+                    }
+                    // Bit flips can cancel each other out and leave the frame
+                    // intact; a surviving frame is a normal delivery.
+                    Ok(_) => self.last_round_stamps.push((key.station, stamp)),
+                    Err(ServeError::DuplicateFrame(..)) => {}
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+                continue;
+            }
+            let deliveries = if duplicate { 2 } else { 1 };
+            for _ in 0..deliveries {
+                match self.inner.ingest_wire_at(key.station, &offer.frame, stamp) {
+                    Ok(_) => self.last_round_stamps.push((key.station, stamp)),
+                    // The AP suppressed a re-delivered sequence number, or the
+                    // station is quarantined — counted, not fatal.
+                    Err(ServeError::DuplicateFrame(..) | ServeError::Quarantined(_)) => {}
+                    Err(ServeError::Corrupt(..)) => {}
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
                     }
                 }
             }
         }
         self.now_ns = self.now_ns.max(self.round_deadline_ns());
         first_error
+    }
+
+    /// Schedules a retransmission of `offer` after a failed transmission that
+    /// ended at `failed_end_ns`, with exponential backoff per attempt —
+    /// unless the retry budget is exhausted or the retry's projected
+    /// end-to-end delay (head, queueing so far, backoff, one more airtime,
+    /// tail) can no longer fit the Eq. 7d budget plus grace, in which case
+    /// the report is given up for this round.
+    fn schedule_retry(
+        &mut self,
+        station: StationId,
+        failed_end_ns: VirtualNs,
+        offer: &PendingOffer,
+    ) {
+        if offer.attempt >= self.cfg.max_retries {
+            return;
+        }
+        let attempt = offer.attempt + 1;
+        let backoff_ns = self
+            .cfg
+            .retry_backoff_ns
+            .saturating_mul(1u64 << (attempt - 1).min(31));
+        let retry_ns = failed_end_ns + backoff_ns;
+        let air_estimate_ns = self.medium.frame_airtime_ns(offer.frame.len() * 8);
+        let projected_ns = offer.head_ns
+            + retry_ns.saturating_sub(offer.ready_ns)
+            + air_estimate_ns
+            + offer.tail_ns;
+        let allowance_ns = s_to_ns(self.cfg.budget.max_delay_s) + s_to_ns(self.cfg.grace_s);
+        if projected_ns > allowance_ns {
+            return;
+        }
+        let mut retry = offer.clone();
+        retry.attempt = attempt;
+        // Sequenced retries get a fresh number so duplicate suppression never
+        // mistakes a retransmission for a replayed frame.
+        wire::set_frame_seq(&mut retry.frame, attempt as u16 + 1);
+        self.queue.schedule(retry_ns, station, retry);
+        self.round_retransmitted += 1;
     }
 }
 
@@ -376,18 +513,28 @@ impl<S: RoundServing> RoundServing for EventDriver<S> {
         let ready_ns = sound_ns + head_ns;
         let poll_ns = self.round * self.cfg.interval_ns() + id * self.cfg.phase_step_ns;
         let offered_ns = ready_ns.max(poll_ns);
+        let mut frame = frame.to_vec();
+        // Under an active fault model every transmission is sequenced (first
+        // attempt = 1), so the AP can suppress injected duplicates and tell
+        // retransmissions apart. Fault-free frames stay byte-verbatim — the
+        // zero-fault path must remain bit-exact with the lockstep drivers.
+        if self.injector.is_active() {
+            wire::set_frame_seq(&mut frame, 1);
+        }
+        let len = frame.len();
         self.queue.schedule(
             offered_ns,
             id,
             PendingOffer {
-                frame: frame.to_vec(),
+                frame,
                 ready_ns,
                 head_ns,
                 tail_ns: latency.tail_ns,
+                attempt: 0,
             },
         );
         self.frames_scheduled += 1;
-        Ok(frame.len())
+        Ok(len)
     }
 
     /// The driver is the stamping authority: an externally supplied stamp is
@@ -424,7 +571,11 @@ impl<S: RoundServing> RoundServing for EventDriver<S> {
         let closed = self.inner.close_round_deadline(mode, policy);
         match ingest_error {
             Some(e) => Err(e),
-            None => closed,
+            None => closed.map(|mut summary| {
+                summary.lost = self.round_lost;
+                summary.retransmitted = self.round_retransmitted;
+                summary
+            }),
         }
     }
 
@@ -626,6 +777,102 @@ mod tests {
         let a = run(m.clone());
         let b = run(m);
         assert_eq!(a, b, "same seed must reproduce the run exactly");
+    }
+
+    #[test]
+    fn lossy_medium_retransmits_and_recovers() {
+        let m = model(9);
+        let cfg = SimConfig {
+            stations: 4,
+            rounds: 6,
+            bits_per_value: 6,
+            drop_every: 0,
+            ..SimConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let traffic = generate_traffic(&cfg, &m, &mut rng);
+        let event_cfg = EventConfig {
+            feedback_rate_mbps: Some(24.0),
+            seed: 77,
+            faults: FaultConfig {
+                loss: 0.3,
+                ..FaultConfig::none()
+            },
+            max_retries: 2,
+            retry_backoff_ns: 50_000,
+            ..EventConfig::lockstep()
+        };
+        let mut event = build_event_driver(m, cfg.stations, cfg.bits_per_value, event_cfg, None);
+        let outcome = serve_traffic(&mut event, &traffic, ServeMode::Batched).unwrap();
+
+        let stats = event.fault_stats();
+        assert!(stats.lost > 0, "a 30% lossy plan must actually drop frames");
+        let lost: usize = outcome.summaries.iter().map(|s| s.lost).sum();
+        let retx: usize = outcome.summaries.iter().map(|s| s.retransmitted).sum();
+        // Loss and retry bookkeeping both happen at medium-grant time, so the
+        // per-round summaries must agree with the injector's own tally.
+        assert_eq!(lost, stats.lost as usize);
+        assert!(retx > 0, "losses within budget must trigger retransmission");
+        assert!(retx <= lost, "every retry is provoked by a failed delivery");
+        // Retries are re-offered to the injector, so the offered count exceeds
+        // the original traffic volume by exactly the retransmissions drained.
+        assert_eq!(stats.offered as usize, traffic.total_frames() + retx);
+        // Bounded retransmission recovers most of the lost frames: far more
+        // reports land than the no-retry expectation of ~70%.
+        let expected_no_retry = traffic.total_frames() as f64 * (1.0 - 0.3);
+        assert!(
+            outcome.total_served() as f64 > expected_no_retry,
+            "served {} vs no-retry expectation {expected_no_retry:.1}",
+            outcome.total_served()
+        );
+        // Same seed, same fault plan: the run replays bit-exactly.
+        let mut replay =
+            build_event_driver(model(9), cfg.stations, cfg.bits_per_value, event_cfg, None);
+        let again = serve_traffic(&mut replay, &traffic, ServeMode::Batched).unwrap();
+        assert_eq!(again, outcome, "fault plans must be replayable");
+        assert_eq!(replay.fault_stats(), stats);
+    }
+
+    #[test]
+    fn hopeless_retries_are_abandoned_within_the_deadline_budget() {
+        let m = model(11);
+        let cfg = SimConfig {
+            stations: 2,
+            rounds: 3,
+            bits_per_value: 4,
+            drop_every: 0,
+            ..SimConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let traffic = generate_traffic(&cfg, &m, &mut rng);
+        // Certain loss with a backoff far beyond the 10 ms round budget: every
+        // frame is lost and no retry can possibly land in time, so the driver
+        // must give up instead of scheduling doomed transmissions.
+        let event_cfg = EventConfig {
+            feedback_rate_mbps: Some(24.0),
+            seed: 13,
+            faults: FaultConfig {
+                loss: 1.0,
+                ..FaultConfig::none()
+            },
+            max_retries: 8,
+            retry_backoff_ns: s_to_ns(0.05),
+            ..EventConfig::lockstep()
+        };
+        let mut event = build_event_driver(m, cfg.stations, cfg.bits_per_value, event_cfg, None);
+        let outcome = serve_traffic(&mut event, &traffic, ServeMode::Batched).unwrap();
+        assert_eq!(
+            outcome.total_served(),
+            0,
+            "nothing can survive certain loss"
+        );
+        let retx: usize = outcome.summaries.iter().map(|s| s.retransmitted).sum();
+        assert_eq!(retx, 0, "retries that cannot meet Eq. 7d must not launch");
+        assert_eq!(
+            event.fault_stats().offered as usize,
+            traffic.total_frames(),
+            "only the original transmissions touch the medium"
+        );
     }
 
     #[test]

@@ -80,8 +80,8 @@ pub mod shard;
 pub mod timing;
 
 pub use event::{build_event_driver, EventConfig, EventDriver};
-pub use server::{ApServer, RoundSummary};
-pub use session::{StationId, StationSession};
+pub use server::{ApServer, HealthPolicy, RoundSummary};
+pub use session::{SessionHealth, StationId, StationSession};
 pub use shard::{env_shards, ShardedApServer, ShardedRoundSummary};
 pub use timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 
@@ -100,6 +100,16 @@ pub enum ServeError {
     /// A wire frame failed to decode, or its payload does not match the
     /// station's model.
     Codec(String),
+    /// A wire frame from this station failed its CRC-32 integrity check: the
+    /// bytes were damaged on the air. The frame is dropped and counted against
+    /// the station's health, never decoded into plausible garbage.
+    Corrupt(StationId, String),
+    /// A sequenced frame re-delivered a sequence number already pending for
+    /// this round (station id, sequence number); the duplicate is suppressed.
+    DuplicateFrame(StationId, u16),
+    /// The station is quarantined after repeated corrupt frames; its traffic
+    /// is rejected until the quarantine expires.
+    Quarantined(StationId),
     /// Tail reconstruction failed.
     Model(String),
     /// A station has no reconstructed feedback yet.
@@ -118,6 +128,13 @@ impl std::fmt::Display for ServeError {
                 write!(f, "station {id} rejected: server is at capacity {cap}")
             }
             ServeError::Codec(msg) => write!(f, "wire codec error: {msg}"),
+            ServeError::Corrupt(id, msg) => {
+                write!(f, "corrupt frame from station {id}: {msg}")
+            }
+            ServeError::DuplicateFrame(id, seq) => {
+                write!(f, "duplicate frame seq {seq} from station {id}")
+            }
+            ServeError::Quarantined(id) => write!(f, "station {id} is quarantined"),
             ServeError::Model(msg) => write!(f, "tail reconstruction error: {msg}"),
             ServeError::NoFeedback(id) => write!(f, "station {id} has no feedback yet"),
             ServeError::Link(msg) => write!(f, "link check error: {msg}"),

@@ -1,6 +1,6 @@
 //! The sessionized AP feedback server.
 
-use crate::session::{StationId, StationSession};
+use crate::session::{SessionHealth, StationId, StationSession};
 use crate::timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 use crate::ServeError;
 use mimo_math::kernel::Kernel;
@@ -41,6 +41,47 @@ pub struct RoundSummary {
     /// Virtual-delay breakdown (head/queue/air/tail) summed over served
     /// reports. All-zero under untimed lockstep serving.
     pub delay: RoundDelayStats,
+    /// Frames the fault-injected medium dropped this round (event-driven
+    /// serving only; always `0` for the lockstep servers).
+    pub lost: usize,
+    /// Frames rejected by the CRC-32 integrity check this round.
+    pub corrupt: usize,
+    /// Station retransmissions that were attempted this round (event-driven
+    /// serving only; always `0` for the lockstep servers).
+    pub retransmitted: usize,
+    /// Stale stations still served from last-known-good feedback this round —
+    /// their age is within the health policy's staleness cap. A subset of
+    /// [`RoundSummary::stale`]; stations past the cap drop out of MU-MIMO
+    /// grouping entirely.
+    pub stale_served: usize,
+}
+
+/// Thresholds of the per-session health state machine (graceful degradation
+/// under a lossy or hostile medium).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive silent rounds before a session is marked
+    /// [`SessionHealth::Degraded`]; `0` disables degradation tracking.
+    pub degrade_after_misses: u32,
+    /// Consecutive corrupt frames before a session is quarantined; `0`
+    /// disables quarantining.
+    pub quarantine_after_corrupt: u32,
+    /// How many rounds a quarantine lasts once triggered.
+    pub quarantine_rounds: u64,
+    /// Maximum feedback age (in rounds) a silent station may be served from
+    /// last-known-good feedback before it drops out of MU-MIMO grouping.
+    pub stale_serve_cap: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            degrade_after_misses: 2,
+            quarantine_after_corrupt: 3,
+            quarantine_rounds: 8,
+            stale_serve_cap: 3,
+        }
+    }
 }
 
 /// The AP-side serving state: model registry, per-station sessions (each
@@ -105,6 +146,11 @@ impl Default for RoundArena {
 pub(crate) struct ShardCore {
     pub(crate) sessions: BTreeMap<StationId, StationSession>,
     pub(crate) arena: RoundArena,
+    /// Health thresholds applied to every session of this shard.
+    pub(crate) health: HealthPolicy,
+    /// Corrupt frames seen since the last round close (reported in the next
+    /// round's summary, then reset).
+    pub(crate) round_corrupt: usize,
 }
 
 /// What closing one round over one shard did. `error` carries the first
@@ -120,6 +166,8 @@ pub(crate) struct RoundOutcome {
     pub(crate) late: usize,
     pub(crate) expired: usize,
     pub(crate) delay: RoundDelayStats,
+    pub(crate) corrupt: usize,
+    pub(crate) stale_served: usize,
     pub(crate) error: Option<ServeError>,
 }
 
@@ -140,6 +188,10 @@ impl RoundOutcome {
             late: self.late,
             expired: self.expired,
             delay: self.delay,
+            lost: 0,
+            corrupt: self.corrupt,
+            retransmitted: 0,
+            stale_served: self.stale_served,
         })
     }
 }
@@ -197,30 +249,60 @@ impl ShardCore {
         models: &[Arc<SplitBeamModel>],
         id: StationId,
         frame: &[u8],
+        round: u64,
     ) -> Result<usize, ServeError> {
-        self.ingest_wire_at(models, id, frame, FrameStamp::default())
+        self.ingest_wire_at(models, id, frame, FrameStamp::default(), round)
     }
 
     /// Timestamped wire ingest: like [`ShardCore::ingest_wire`] but records
     /// the frame's virtual-time stamp so the deadline-aware round closer can
     /// classify it against the Eq. 7d budget.
+    ///
+    /// The fault-tolerant ingest order: session lookup, quarantine gate,
+    /// CRC/decode (a [`ServeError::Corrupt`] rejection feeds the session's
+    /// corrupt streak and can trigger quarantine), duplicate-sequence
+    /// suppression, then payload validation and commit. A failed ingest of
+    /// any kind leaves a previously pending payload untouched.
     pub(crate) fn ingest_wire_at(
         &mut self,
         models: &[Arc<SplitBeamModel>],
         id: StationId,
         frame: &[u8],
         stamp: FrameStamp,
+        round: u64,
     ) -> Result<usize, ServeError> {
-        wire::decode_feedback_into(frame, &mut self.arena.decode_buf)
-            .map_err(|e| ServeError::Codec(e.to_string()))?;
-        let session = self
-            .sessions
+        let Self {
+            sessions,
+            arena,
+            health,
+            round_corrupt,
+        } = self;
+        let session = sessions
             .get_mut(&id)
             .ok_or(ServeError::UnknownStation(id))?;
-        Self::validate_payload(models, session, &self.arena.decode_buf)?;
-        std::mem::swap(session.payload_slot(), &mut self.arena.decode_buf);
+        if session.is_quarantined(round) {
+            return Err(ServeError::Quarantined(id));
+        }
+        if let Err(e) = wire::decode_feedback_into(frame, &mut arena.decode_buf) {
+            return Err(match e {
+                splitbeam::SplitBeamError::CorruptFrame(msg) => {
+                    *round_corrupt += 1;
+                    session.note_corrupt(round, health);
+                    ServeError::Corrupt(id, msg)
+                }
+                other => ServeError::Codec(other.to_string()),
+            });
+        }
+        let seq = wire::frame_seq(frame);
+        if seq != 0 && session.has_pending() && session.pending_seq() == seq {
+            return Err(ServeError::DuplicateFrame(id, seq));
+        }
+        Self::validate_payload(models, session, &arena.decode_buf)?;
+        std::mem::swap(session.payload_slot(), &mut arena.decode_buf);
         session.set_pending(true);
         session.set_pending_stamp(stamp);
+        session.set_pending_seq(seq);
+        session.note_clean_ingest();
         session.record_ingest(frame.len());
         Ok(frame.len())
     }
@@ -231,15 +313,21 @@ impl ShardCore {
         id: StationId,
         payload: QuantizedFeedback,
         wire_bytes: usize,
+        round: u64,
     ) -> Result<usize, ServeError> {
         let session = self
             .sessions
             .get_mut(&id)
             .ok_or(ServeError::UnknownStation(id))?;
+        if session.is_quarantined(round) {
+            return Err(ServeError::Quarantined(id));
+        }
         Self::validate_payload(models, session, &payload)?;
         *session.payload_slot() = payload;
         session.set_pending(true);
         session.set_pending_stamp(FrameStamp::default());
+        session.set_pending_seq(0);
+        session.note_clean_ingest();
         session.record_ingest(wire_bytes);
         Ok(wire_bytes)
     }
@@ -273,20 +361,33 @@ impl ShardCore {
         self.sessions.values().filter(|s| s.has_pending()).count()
     }
 
-    /// Post-round staleness split: stations whose feedback aged this round
-    /// (`stale`) vs stations that have never reported at all
-    /// (`awaiting_first_report`). Stations served this round count as neither.
-    fn staleness(&self, round: u64) -> (usize, usize) {
+    /// Post-round health pass. Splits unserved stations into `stale`
+    /// (feedback aged this round) vs `awaiting_first_report` (never reported);
+    /// stations served this round count as neither. Of the stale stations,
+    /// those whose feedback age is still within the policy's staleness cap are
+    /// counted `stale_served` — the AP keeps representing them with
+    /// last-known-good feedback; past the cap they drop out of MU-MIMO
+    /// grouping. Every session's health state machine advances here.
+    fn health_pass(&mut self, round: u64) -> (usize, usize, usize) {
         let mut stale = 0usize;
         let mut awaiting = 0usize;
-        for session in self.sessions.values() {
+        let mut stale_served = 0usize;
+        let policy = self.health;
+        for session in self.sessions.values_mut() {
+            let mut reported = false;
             match session.last_round() {
-                Some(r) if r == round => {}
-                Some(_) => stale += 1,
+                Some(r) if r == round => reported = true,
+                Some(r) => {
+                    stale += 1;
+                    if round.saturating_sub(r) <= policy.stale_serve_cap {
+                        stale_served += 1;
+                    }
+                }
                 None => awaiting += 1,
             }
+            session.close_health(round, &policy, reported);
         }
-        (stale, awaiting)
+        (stale, awaiting, stale_served)
     }
 
     /// Deadline pass shared by the batched and serial closers: consumes every
@@ -357,7 +458,9 @@ impl ShardCore {
         let mut late = 0usize;
         let mut delay = RoundDelayStats::default();
         let mut first_error = None;
-        let Self { sessions, arena } = self;
+        let Self {
+            sessions, arena, ..
+        } = self;
         let RoundArena { ids, tail, .. } = arena;
         for (key, model) in models.iter().enumerate() {
             ids.clear();
@@ -406,7 +509,7 @@ impl ShardCore {
                 }
             }
         }
-        let (stale, awaiting_first_report) = self.staleness(round);
+        let (stale, awaiting_first_report, stale_served) = self.health_pass(round);
         RoundOutcome {
             served,
             stale,
@@ -416,6 +519,8 @@ impl ShardCore {
             late,
             expired,
             delay,
+            corrupt: std::mem::take(&mut self.round_corrupt),
+            stale_served,
             error: first_error,
         }
     }
@@ -491,7 +596,7 @@ impl ShardCore {
                 }
             }
         }
-        let (stale, awaiting_first_report) = self.staleness(round);
+        let (stale, awaiting_first_report, stale_served) = self.health_pass(round);
         RoundOutcome {
             served,
             stale,
@@ -501,6 +606,8 @@ impl ShardCore {
             late,
             expired,
             delay,
+            corrupt: std::mem::take(&mut self.round_corrupt),
+            stale_served,
             error: first_error,
         }
     }
@@ -593,13 +700,16 @@ impl ApServer {
     /// allocates nothing.
     ///
     /// # Errors
-    /// [`ServeError::UnknownStation`] for an unassociated id and
-    /// [`ServeError::Codec`] when the frame fails to decode, its bit width
-    /// disagrees with the session, or the code count does not match the
-    /// station's model bottleneck. A failed ingest leaves any previously
-    /// pending payload of the station untouched.
+    /// [`ServeError::UnknownStation`] for an unassociated id,
+    /// [`ServeError::Quarantined`] while the station is quarantined,
+    /// [`ServeError::Corrupt`] when the frame fails its CRC-32 check,
+    /// [`ServeError::DuplicateFrame`] when a sequenced frame re-delivers the
+    /// pending sequence number, and [`ServeError::Codec`] when the frame fails
+    /// to decode, its bit width disagrees with the session, or the code count
+    /// does not match the station's model bottleneck. A failed ingest leaves
+    /// any previously pending payload of the station untouched.
     pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
-        self.core.ingest_wire(&self.models, id, frame)
+        self.core.ingest_wire(&self.models, id, frame, self.round)
     }
 
     /// Timestamped wire ingest: like [`ApServer::ingest_wire`], but records
@@ -616,7 +726,8 @@ impl ApServer {
         frame: &[u8],
         stamp: FrameStamp,
     ) -> Result<usize, ServeError> {
-        self.core.ingest_wire_at(&self.models, id, frame, stamp)
+        self.core
+            .ingest_wire_at(&self.models, id, frame, stamp, self.round)
     }
 
     /// Ingests an already-decoded payload (in-process stations, tests).
@@ -630,7 +741,17 @@ impl ApServer {
         wire_bytes: usize,
     ) -> Result<usize, ServeError> {
         self.core
-            .ingest_payload(&self.models, id, payload, wire_bytes)
+            .ingest_payload(&self.models, id, payload, wire_bytes, self.round)
+    }
+
+    /// The health thresholds applied to every session.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.core.health
+    }
+
+    /// Replaces the health thresholds (takes effect from the next ingest).
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.core.health = policy;
     }
 
     /// Closes the current round: coalesces all pending payloads into **one
@@ -758,13 +879,14 @@ impl ApServer {
     }
 
     /// Stations (id order) whose feedback is at most `max_age` rounds old,
-    /// relative to the last closed round.
+    /// relative to the last closed round. Quarantined stations are excluded —
+    /// their link is not trusted, so they never enter a precoding group.
     pub fn fresh_station_ids(&self, max_age: u64) -> Vec<StationId> {
         let now = self.round.saturating_sub(1);
         self.core
             .sessions
             .values()
-            .filter(|s| s.is_fresh(now, max_age))
+            .filter(|s| s.is_fresh(now, max_age) && s.health() != SessionHealth::Quarantined)
             .map(StationSession::id)
             .collect()
     }
@@ -900,6 +1022,121 @@ mod tests {
         server.ingest_wire(7, &frame).unwrap();
         assert_eq!(server.pending_count(), 1);
         assert_eq!(server.session(7).unwrap().payloads_ingested(), 2);
+    }
+
+    #[test]
+    fn corrupt_frames_feed_health_and_quarantine() {
+        let m = model(11);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        server.register_station(0, key, 8).unwrap();
+        let good = station_frame(&m, 90, 8);
+        let mut bad = good.clone();
+        bad[20] ^= 0x10; // damage a payload byte; the CRC must catch it
+        let policy = server.health_policy();
+        assert_eq!(policy.quarantine_after_corrupt, 3);
+
+        // Two corrupt frames: rejected and counted, station still accepted.
+        for _ in 0..2 {
+            assert!(matches!(
+                server.ingest_wire(0, &bad),
+                Err(ServeError::Corrupt(0, _))
+            ));
+        }
+        assert_eq!(server.session(0).unwrap().corrupt_streak(), 2);
+        // The third crosses the threshold: quarantined for 8 rounds.
+        assert!(matches!(
+            server.ingest_wire(0, &bad),
+            Err(ServeError::Corrupt(0, _))
+        ));
+        let session = server.session(0).unwrap();
+        assert_eq!(session.health(), SessionHealth::Quarantined);
+        assert_eq!(session.quarantined_until(), Some(policy.quarantine_rounds));
+        // Even a pristine frame is rejected while quarantined.
+        assert_eq!(
+            server.ingest_wire(0, &good),
+            Err(ServeError::Quarantined(0))
+        );
+        // The close reports the corrupt frames and keeps the station out of
+        // MU-MIMO grouping.
+        let summary = server.process_round().unwrap();
+        assert_eq!(summary.corrupt, 3);
+        assert_eq!(summary.served, 0);
+        assert!(server.fresh_station_ids(u64::MAX).is_empty());
+        // Quarantine expires after `quarantine_rounds` closes; the station
+        // then reports normally again.
+        for _ in 1..policy.quarantine_rounds {
+            assert_eq!(
+                server.ingest_wire(0, &good),
+                Err(ServeError::Quarantined(0))
+            );
+            server.process_round().unwrap();
+        }
+        assert_eq!(server.current_round(), policy.quarantine_rounds);
+        server.ingest_wire(0, &good).unwrap();
+        let summary = server.process_round().unwrap();
+        assert_eq!((summary.served, summary.corrupt), (1, 0));
+        assert_eq!(server.session(0).unwrap().health(), SessionHealth::Healthy);
+        assert_eq!(server.fresh_station_ids(0), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_sequenced_frames_are_suppressed() {
+        let m = model(13);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        server.register_station(4, key, 8).unwrap();
+        let frame = station_frame(&m, 91, 8);
+        let payload = {
+            let mut buf = splitbeam::quantization::quantize_bottleneck(&[0.0; 1], 8);
+            splitbeam::wire::decode_feedback_into(&frame, &mut buf).unwrap();
+            buf
+        };
+        let seq5 = splitbeam::wire::encode_feedback_with_seq(&payload, 5).unwrap();
+        let seq6 = splitbeam::wire::encode_feedback_with_seq(&payload, 6).unwrap();
+
+        server.ingest_wire(4, &seq5).unwrap();
+        // Re-delivery of the pending sequence number is suppressed.
+        assert_eq!(
+            server.ingest_wire(4, &seq5),
+            Err(ServeError::DuplicateFrame(4, 5))
+        );
+        assert_eq!(server.session(4).unwrap().payloads_ingested(), 1);
+        // A different sequence number replaces the pending payload.
+        server.ingest_wire(4, &seq6).unwrap();
+        assert_eq!(server.session(4).unwrap().payloads_ingested(), 2);
+        // Unsequenced (seq 0) frames keep last-wins semantics.
+        server.ingest_wire(4, &frame).unwrap();
+        server.ingest_wire(4, &frame).unwrap();
+        assert_eq!(server.session(4).unwrap().payloads_ingested(), 4);
+        assert_eq!(server.pending_count(), 1);
+    }
+
+    #[test]
+    fn silent_stations_are_stale_served_up_to_the_cap() {
+        let m = model(17);
+        let mut server = ApServer::new();
+        let key = server.register_model(m.clone());
+        server.register_station(0, key, 8).unwrap();
+        server.ingest_wire(0, &station_frame(&m, 92, 8)).unwrap();
+        let summary = server.process_round().unwrap();
+        assert_eq!((summary.served, summary.stale_served), (1, 0));
+        let cap = server.health_policy().stale_serve_cap;
+        // While within the staleness cap the silent station is still carried
+        // by last-known-good feedback...
+        for age in 1..=cap {
+            let summary = server.process_round().unwrap();
+            assert_eq!(
+                (summary.stale, summary.stale_served),
+                (1, 1),
+                "age {age} within cap {cap}"
+            );
+        }
+        // ...then it falls out.
+        let summary = server.process_round().unwrap();
+        assert_eq!((summary.stale, summary.stale_served), (1, 0));
+        // Two consecutive misses degraded the session long ago.
+        assert_eq!(server.session(0).unwrap().health(), SessionHealth::Degraded);
     }
 
     #[test]

@@ -1,10 +1,31 @@
 //! Per-station serving state.
 
+use crate::server::HealthPolicy;
 use crate::timing::FrameStamp;
 use splitbeam::quantization::QuantizedFeedback;
 
 /// Over-the-air station identifier (association id in a real AP).
 pub type StationId = u64;
+
+/// Per-session link-health state, driven by ingest outcomes and round closes.
+///
+/// The AP degrades gracefully instead of failing hard: a station whose reports
+/// keep missing their round is **Degraded** (served from last-known-good
+/// feedback up to the staleness cap), and a station whose frames keep arriving
+/// corrupt is **Quarantined** (its traffic rejected for a fixed number of
+/// rounds, and it is excluded from MU-MIMO grouping until it recovers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionHealth {
+    /// Reports are arriving and decoding normally.
+    #[default]
+    Healthy,
+    /// Recent rounds closed without a usable report from this station; the AP
+    /// serves last-known-good feedback while the staleness cap allows.
+    Degraded,
+    /// Repeated corrupt frames: traffic is rejected until the quarantine
+    /// expires, and the station does not join precoding groups.
+    Quarantined,
+}
 
 /// The AP's per-station serving state: which model reconstructs this station's
 /// payloads, how wide its quantizer is, and the freshest reconstructed `V̂`.
@@ -39,6 +60,15 @@ pub struct StationSession {
     last_served_late: bool,
     payloads_ingested: u64,
     wire_bytes_ingested: u64,
+    /// Sequence number of the pending payload (`0` = unsequenced/last-wins).
+    pending_seq: u16,
+    /// Consecutive closed rounds without a usable report from this station.
+    miss_streak: u32,
+    /// Consecutive corrupt frames received from this station.
+    corrupt_streak: u32,
+    /// While `Some(r)`, traffic is rejected for every round `< r`.
+    quarantined_until_round: Option<u64>,
+    health: SessionHealth,
 }
 
 impl StationSession {
@@ -67,6 +97,11 @@ impl StationSession {
             last_served_late: false,
             payloads_ingested: 0,
             wire_bytes_ingested: 0,
+            pending_seq: 0,
+            miss_streak: 0,
+            corrupt_streak: 0,
+            quarantined_until_round: None,
+            health: SessionHealth::Healthy,
         }
     }
 
@@ -196,6 +231,95 @@ impl StationSession {
         self.last_stamp = stamp;
         self.last_served_late = late;
     }
+
+    /// Sequence number of the pending payload (`0` = unsequenced: a later
+    /// frame simply replaces the pending one, the pre-sequencing behaviour).
+    pub fn pending_seq(&self) -> u16 {
+        self.pending_seq
+    }
+
+    pub(crate) fn set_pending_seq(&mut self, seq: u16) {
+        self.pending_seq = seq;
+    }
+
+    /// Current link-health state of this session.
+    pub fn health(&self) -> SessionHealth {
+        self.health
+    }
+
+    /// Round the quarantine expires at (`None` when not quarantined).
+    pub fn quarantined_until(&self) -> Option<u64> {
+        self.quarantined_until_round
+    }
+
+    /// Whether ingest must be rejected for `round`.
+    pub(crate) fn is_quarantined(&self, round: u64) -> bool {
+        self.quarantined_until_round
+            .is_some_and(|until| round < until)
+    }
+
+    /// Consecutive closed rounds without a usable report.
+    pub fn miss_streak(&self) -> u32 {
+        self.miss_streak
+    }
+
+    /// Consecutive corrupt frames received.
+    pub fn corrupt_streak(&self) -> u32 {
+        self.corrupt_streak
+    }
+
+    /// Records one corrupt frame at ingest time. Returns `true` when the
+    /// corrupt streak just crossed the policy's quarantine threshold and the
+    /// station entered quarantine (until `round + quarantine_rounds`).
+    pub(crate) fn note_corrupt(&mut self, round: u64, policy: &HealthPolicy) -> bool {
+        self.corrupt_streak += 1;
+        if policy.quarantine_after_corrupt != 0
+            && self.corrupt_streak >= policy.quarantine_after_corrupt
+            && self.quarantined_until_round.is_none()
+        {
+            self.quarantined_until_round = Some(round + policy.quarantine_rounds.max(1));
+            self.health = SessionHealth::Quarantined;
+            self.corrupt_streak = 0;
+            return true;
+        }
+        false
+    }
+
+    /// Records one cleanly decoded frame: the corrupt streak resets.
+    pub(crate) fn note_clean_ingest(&mut self) {
+        self.corrupt_streak = 0;
+    }
+
+    /// Advances the health state machine at the close of `closed_round`.
+    /// `reported` is whether the station contributed a usable report this
+    /// round (served fresh, not stale/expired).
+    pub(crate) fn close_health(
+        &mut self,
+        closed_round: u64,
+        policy: &HealthPolicy,
+        reported: bool,
+    ) {
+        if reported {
+            self.miss_streak = 0;
+        } else {
+            self.miss_streak = self.miss_streak.saturating_add(1);
+        }
+        if let Some(until) = self.quarantined_until_round {
+            if closed_round + 1 < until {
+                // Still serving the quarantine through the next round.
+                self.health = SessionHealth::Quarantined;
+                return;
+            }
+            self.quarantined_until_round = None;
+        }
+        self.health = if policy.degrade_after_misses != 0
+            && self.miss_streak >= policy.degrade_after_misses
+        {
+            SessionHealth::Degraded
+        } else {
+            SessionHealth::Healthy
+        };
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +348,41 @@ mod tests {
         assert_eq!(s.payloads_ingested(), 2);
         assert_eq!(s.wire_bytes_ingested(), 136);
         assert!(s.feedback().is_none());
+    }
+
+    #[test]
+    fn health_machine_degrades_and_quarantines() {
+        let policy = HealthPolicy::default();
+        let mut s = StationSession::new(7, 0, 4, 0);
+        assert_eq!(s.health(), SessionHealth::Healthy);
+        // One silent round is tolerated, two degrade.
+        s.close_health(0, &policy, false);
+        assert_eq!(s.health(), SessionHealth::Healthy);
+        s.close_health(1, &policy, false);
+        assert_eq!(s.health(), SessionHealth::Degraded);
+        assert_eq!(s.miss_streak(), 2);
+        // A good round recovers immediately.
+        s.close_health(2, &policy, true);
+        assert_eq!(s.health(), SessionHealth::Healthy);
+        // Corrupt frames quarantine once the streak crosses the threshold.
+        assert!(!s.note_corrupt(3, &policy));
+        assert!(!s.note_corrupt(3, &policy));
+        assert!(s.note_corrupt(3, &policy));
+        assert_eq!(s.health(), SessionHealth::Quarantined);
+        assert_eq!(s.quarantined_until(), Some(3 + policy.quarantine_rounds));
+        assert!(s.is_quarantined(3));
+        assert!(s.is_quarantined(3 + policy.quarantine_rounds - 1));
+        assert!(!s.is_quarantined(3 + policy.quarantine_rounds));
+        // Health stays quarantined through closes until the expiry round...
+        s.close_health(3, &policy, false);
+        assert_eq!(s.health(), SessionHealth::Quarantined);
+        // ...then falls back to degraded (the misses kept accumulating).
+        s.close_health(3 + policy.quarantine_rounds - 1, &policy, false);
+        assert_eq!(s.health(), SessionHealth::Degraded);
+        // A clean ingest resets the corrupt streak.
+        assert!(!s.note_corrupt(20, &policy));
+        s.note_clean_ingest();
+        assert_eq!(s.corrupt_streak(), 0);
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub struct ShardedRoundSummary {
     /// Virtual-delay breakdown summed over served reports, merged in shard
     /// order.
     pub delay: RoundDelayStats,
+    /// Frames the fault-injected medium dropped this round (event-driven
+    /// serving only; always `0` for lockstep closes).
+    pub lost: usize,
+    /// Frames rejected by the CRC-32 integrity check across all shards.
+    pub corrupt: usize,
+    /// Station retransmissions attempted this round (event-driven serving
+    /// only).
+    pub retransmitted: usize,
+    /// Stale stations still served from last-known-good feedback (within the
+    /// health policy's staleness cap), summed across shards.
+    pub stale_served: usize,
     /// Shards that had at least one pending payload this round.
     pub shards_with_traffic: usize,
     /// Stations evicted after the close for exceeding the idle budget.
@@ -79,6 +90,10 @@ impl ShardedRoundSummary {
             late: self.late,
             expired: self.expired,
             delay: self.delay,
+            lost: self.lost,
+            corrupt: self.corrupt,
+            retransmitted: self.retransmitted,
+            stale_served: self.stale_served,
         }
     }
 }
@@ -245,7 +260,7 @@ impl ShardedApServer {
     /// Same contract as [`crate::server::ApServer::ingest_wire`].
     pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
         let shard = self.shard_of(id);
-        self.shards[shard].ingest_wire(&self.models, id, frame)
+        self.shards[shard].ingest_wire(&self.models, id, frame, self.round)
     }
 
     /// Timestamped wire ingest: records the frame's virtual-time stamp on the
@@ -260,7 +275,7 @@ impl ShardedApServer {
         stamp: FrameStamp,
     ) -> Result<usize, ServeError> {
         let shard = self.shard_of(id);
-        self.shards[shard].ingest_wire_at(&self.models, id, frame, stamp)
+        self.shards[shard].ingest_wire_at(&self.models, id, frame, stamp, self.round)
     }
 
     /// Ingests an already-decoded payload (in-process stations, tests).
@@ -274,7 +289,20 @@ impl ShardedApServer {
         wire_bytes: usize,
     ) -> Result<usize, ServeError> {
         let shard = self.shard_of(id);
-        self.shards[shard].ingest_payload(&self.models, id, payload, wire_bytes)
+        self.shards[shard].ingest_payload(&self.models, id, payload, wire_bytes, self.round)
+    }
+
+    /// The health thresholds applied to every session.
+    pub fn health_policy(&self) -> crate::server::HealthPolicy {
+        self.shards[0].health
+    }
+
+    /// Replaces the health thresholds on every shard (takes effect from the
+    /// next ingest).
+    pub fn set_health_policy(&mut self, policy: crate::server::HealthPolicy) {
+        for shard in &mut self.shards {
+            shard.health = policy;
+        }
     }
 
     /// Closes the current round: every shard runs its fused batched round
@@ -398,6 +426,10 @@ impl ShardedApServer {
             late: 0,
             expired: 0,
             delay: RoundDelayStats::default(),
+            lost: 0,
+            corrupt: 0,
+            retransmitted: 0,
+            stale_served: 0,
             shards_with_traffic: 0,
             evicted: 0,
         };
@@ -411,6 +443,8 @@ impl ShardedApServer {
             summary.late += outcome.late;
             summary.expired += outcome.expired;
             summary.delay.merge(&outcome.delay);
+            summary.corrupt += outcome.corrupt;
+            summary.stale_served += outcome.stale_served;
             summary.shards_with_traffic += usize::from(had_traffic);
             summary.evicted += evicted;
             if first_error.is_none() {
@@ -443,11 +477,14 @@ impl ShardedApServer {
 
     /// Stations (ascending id order, merged across shards) whose feedback is
     /// at most `max_age` rounds old, relative to the last closed round.
+    /// Quarantined stations are excluded, matching the single-shard server.
     pub fn fresh_station_ids(&self, max_age: u64) -> Vec<StationId> {
         let now = self.round.saturating_sub(1);
         let mut ids: Vec<StationId> = self
             .sessions()
-            .filter(|s| s.is_fresh(now, max_age))
+            .filter(|s| {
+                s.is_fresh(now, max_age) && s.health() != crate::session::SessionHealth::Quarantined
+            })
             .map(StationSession::id)
             .collect();
         ids.sort_unstable();

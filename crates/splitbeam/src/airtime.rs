@@ -47,13 +47,14 @@ fn complex_feedback_bits(bottleneck_dim: usize, bits_per_value: u8) -> usize {
 }
 
 /// On-air feedback size in bits for a bottleneck of `bottleneck_dim` (real)
-/// values: the bit-packed codes plus the fixed wire-frame header the codec in
-/// [`crate::wire`] emits. This is the number the airtime model should use when
-/// it must match actual transmitted bytes: `8 * encoded_len == ` this value
-/// rounded up to a whole byte.
+/// values: the bit-packed codes plus the fixed v2 wire-frame header and CRC-32
+/// trailer the codec in [`crate::wire`] emits. This is the number the airtime
+/// model should use when it must match actual transmitted bytes:
+/// `8 * encoded_len == ` this value rounded up to a whole byte.
 pub fn feedback_bits_on_air(bottleneck_dim: usize, bits_per_value: u8) -> usize {
     crate::wire::WIRE_HEADER_BITS
         + crate::quantization::feedback_bits(bottleneck_dim, bits_per_value)
+        + crate::wire::WIRE_TRAILER_BITS
 }
 
 /// The Fig. 7 quantity: SplitBeam feedback size as a percentage of the 802.11

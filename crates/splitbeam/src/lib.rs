@@ -80,6 +80,9 @@ pub enum SplitBeamError {
     /// The heuristic BOP search exhausted every candidate without satisfying
     /// the constraints.
     ConstraintsUnsatisfiable(String),
+    /// A wire frame failed its CRC-32 integrity check: the bytes were damaged
+    /// in flight and must not be decoded into plausible garbage.
+    CorruptFrame(String),
 }
 
 impl std::fmt::Display for SplitBeamError {
@@ -92,6 +95,7 @@ impl std::fmt::Display for SplitBeamError {
                     "bottleneck optimization constraints unsatisfiable: {msg}"
                 )
             }
+            SplitBeamError::CorruptFrame(msg) => write!(f, "corrupt wire frame: {msg}"),
         }
     }
 }
@@ -110,5 +114,6 @@ mod tests {
         assert!(
             format!("{}", SplitBeamError::ConstraintsUnsatisfiable("BER".into())).contains("BER")
         );
+        assert!(format!("{}", SplitBeamError::CorruptFrame("CRC".into())).contains("corrupt"));
     }
 }

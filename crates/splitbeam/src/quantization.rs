@@ -29,10 +29,14 @@ pub struct QuantizedFeedback {
 
 impl QuantizedFeedback {
     /// Size of the payload in bits as carried by the wire codec: the codes at
-    /// their true bit width plus the frame header (bits-per-value field, code
-    /// count, and the two 32-bit range floats — [`crate::wire::WIRE_HEADER_BITS`]).
+    /// their true bit width plus the v2 frame header (version, bits-per-value,
+    /// sequence number, code count, and the two 32-bit range floats —
+    /// [`crate::wire::WIRE_HEADER_BITS`]) and the CRC-32 trailer
+    /// ([`crate::wire::WIRE_TRAILER_BITS`]).
     pub fn size_bits(&self) -> usize {
-        self.codes.len() * self.bits_per_value as usize + crate::wire::WIRE_HEADER_BITS
+        self.codes.len() * self.bits_per_value as usize
+            + crate::wire::WIRE_HEADER_BITS
+            + crate::wire::WIRE_TRAILER_BITS
     }
 
     /// Size of the payload in bytes when bit-packed by [`crate::wire::encode_feedback`]
@@ -217,21 +221,32 @@ mod tests {
     fn empty_payload_roundtrips() {
         let payload = quantize_bottleneck(&[], 8);
         assert!(dequantize_bottleneck(&payload).is_empty());
-        assert_eq!(payload.size_bits(), crate::wire::WIRE_HEADER_BITS);
-        assert_eq!(payload.wire_bytes(), crate::wire::WIRE_HEADER_BYTES);
+        assert_eq!(
+            payload.size_bits(),
+            crate::wire::WIRE_HEADER_BITS + crate::wire::WIRE_TRAILER_BITS
+        );
+        assert_eq!(
+            payload.wire_bytes(),
+            crate::wire::WIRE_HEADER_BYTES + crate::wire::WIRE_TRAILER_BYTES
+        );
     }
 
     #[test]
     fn size_accounting() {
         let values = vec![0.0f32; 56];
         let payload = quantize_bottleneck(&values, 16);
-        assert_eq!(payload.size_bits(), 56 * 16 + crate::wire::WIRE_HEADER_BITS);
+        assert_eq!(
+            payload.size_bits(),
+            56 * 16 + crate::wire::WIRE_HEADER_BITS + crate::wire::WIRE_TRAILER_BITS
+        );
         assert_eq!(feedback_bits(56, 16), 896);
         // A 4-bit payload's codes really occupy 4 bits each on the wire.
         let narrow = quantize_bottleneck(&values, 4);
         assert_eq!(
             narrow.wire_bytes(),
-            crate::wire::WIRE_HEADER_BYTES + (56 * 4usize).div_ceil(8)
+            crate::wire::WIRE_HEADER_BYTES
+                + (56 * 4usize).div_ceil(8)
+                + crate::wire::WIRE_TRAILER_BYTES
         );
     }
 

@@ -74,8 +74,10 @@ fn lockstep_event_serving_matches_legacy_end_to_end() {
 }
 
 /// Deadline-accounting invariants that hold for *any* jitter amplitude,
-/// medium rate and accelerator latency — CI re-runs this with
-/// `SPLITBEAM_JITTER_NS` set to a disruptive value.
+/// medium rate, accelerator latency — and, since PR 6, any fault plan
+/// ([`EventConfig::realistic`] reads `SPLITBEAM_LOSS`/`SPLITBEAM_CORRUPT`/
+/// `SPLITBEAM_DUP` too). CI re-runs this with disruptive jitter and again
+/// with a disruptive loss+corruption+jitter mix.
 #[test]
 fn timed_serving_invariants_hold_under_any_jitter() {
     let model = small_model(3);
@@ -101,11 +103,27 @@ fn timed_serving_invariants_hold_under_any_jitter() {
 
     let served: usize = outcome.summaries.iter().map(|s| s.served).sum();
     let expired: usize = outcome.summaries.iter().map(|s| s.expired).sum();
+    let lost: usize = outcome.summaries.iter().map(|s| s.lost).sum();
+    let corrupt: usize = outcome.summaries.iter().map(|s| s.corrupt).sum();
+    let retransmitted: usize = outcome.summaries.iter().map(|s| s.retransmitted).sum();
+    let stats = event.fault_stats();
     assert_eq!(
-        served + expired,
-        traffic.total_frames(),
-        "every transmitted frame is either served or expired"
+        stats.lost as usize, lost,
+        "summaries must match the injector"
     );
+    if lost == 0 && corrupt == 0 {
+        assert_eq!(
+            served + expired,
+            traffic.total_frames(),
+            "on a reliable medium every transmitted frame is served or expired"
+        );
+    } else {
+        assert!(served + expired <= traffic.total_frames());
+        assert!(
+            served + expired + lost + corrupt >= traffic.total_frames(),
+            "every missing frame must be accounted to a lost or corrupt delivery"
+        );
+    }
     for summary in &outcome.summaries {
         assert_eq!(
             summary.on_time + summary.late,
@@ -120,10 +138,11 @@ fn timed_serving_invariants_hold_under_any_jitter() {
             assert!(summary.delay.worst_e2e_ns > 0);
         }
     }
-    // The medium actually serialized the fleet's frames.
+    // The medium actually serialized the fleet's frames — every transmission
+    // is charged airtime, including lost/corrupt ones and every retry.
     assert_eq!(
         event.medium().frames_carried(),
-        traffic.total_frames() as u64
+        (traffic.total_frames() + retransmitted) as u64
     );
     assert!(event.medium().total_air_ns() > 0);
 

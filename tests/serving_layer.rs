@@ -106,11 +106,12 @@ fn wire_frames_match_airtime_accounting() {
             assert_eq!(frame.len(), predicted_bits.div_ceil(8));
         }
     }
-    // 4-bit codes on the wire are far below the u16-per-code representation.
+    // 4-bit codes on the wire are far below the u16-per-code representation,
+    // even with the v2 versioned header and CRC-32 trailer on every frame.
     let legacy = wire::legacy_repr_bytes(model.bottleneck_dim());
     let actual = wire::encoded_len(model.bottleneck_dim(), sim.bits_per_value);
     assert!(
-        (actual as f64) < 0.35 * legacy as f64,
+        (actual as f64) < 0.4 * legacy as f64,
         "{actual} B on the wire vs {legacy} B legacy"
     );
 }
