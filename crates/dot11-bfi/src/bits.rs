@@ -27,8 +27,12 @@ impl BitWriter {
     }
 
     /// Appends the `bits` least significant bits of `value`, MSB first.
+    ///
+    /// # Panics
+    /// When `bits > 32` — the request is malformed in every build, and a
+    /// silent shift-overflow in release would corrupt the wire stream.
     pub fn push(&mut self, value: u32, bits: u32) {
-        debug_assert!(bits <= 32);
+        assert!(bits <= 32, "BitWriter::push of {bits} bits (max 32)");
         let mut remaining = bits;
         while remaining > 0 {
             let take = (8 - self.filled).min(remaining);
@@ -78,8 +82,13 @@ impl<'a> BitReader<'a> {
     /// Bits are consumed in byte-sized chunks (at most `ceil(bits / 8) + 1`
     /// iterations), not one at a time — this is on the AP's per-frame decode
     /// hot path.
+    ///
+    /// # Panics
+    /// When `bits > 32` — enforced in release builds too, since a
+    /// shift-overflow here would silently mis-decode frames on the AP's
+    /// ingest path.
     pub fn pull(&mut self, bits: u32) -> Option<u32> {
-        debug_assert!(bits <= 32);
+        assert!(bits <= 32, "BitReader::pull of {bits} bits (max 32)");
         if self.bit_pos + bits as usize > self.data.len() * 8 {
             return None;
         }

@@ -216,6 +216,35 @@ impl<'a, T: Send, U: Send, F: Fn(&'a mut T) -> U + Sync> ParMapMut<'a, T, F> {
     }
 }
 
+/// A fork-join scope handed to the closure of [`scope`], mirroring
+/// `rayon::Scope`. Tasks spawned on it may borrow from the enclosing
+/// environment (`'env`) and are guaranteed to finish before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` as a scoped task running on its own thread. The closure
+    /// receives the scope again so it can spawn nested tasks, like rayon's.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Structured fork-join region, mirroring `rayon::scope`: all tasks spawned
+/// on the scope complete before the call returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|inner| f(&Scope { inner }))
+}
+
 /// Common imports, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
@@ -259,6 +288,26 @@ mod tests {
             .collect();
         assert_eq!(input, (1..=300).collect::<Vec<_>>());
         assert_eq!(out, (1..=300).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    // Nested spawn, as rayon allows.
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+            "done"
+        });
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
     }
 
     #[test]

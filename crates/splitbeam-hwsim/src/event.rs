@@ -187,6 +187,55 @@ impl SeededJitter {
     }
 }
 
+/// Deterministic periodic watermark generator for streaming micro-batch
+/// serving: a virtual-time tick every `step_ns`, starting at `next_ns`.
+///
+/// The streaming server closes a shard's micro-batch when a watermark passes
+/// the Eq. 7d service deadline of the shard's oldest pending frame. Watermarks
+/// are pure virtual-time arithmetic — no wall clock, no jitter — so the same
+/// event trace always produces the same watermark sequence, which is what
+/// keeps streaming runs bit-reproducible and lets the single-watermark
+/// degenerate case collapse back to lockstep round closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatermarkClock {
+    next_ns: VirtualNs,
+    step_ns: VirtualNs,
+}
+
+impl WatermarkClock {
+    /// A clock whose first watermark fires at `start_ns` and every `step_ns`
+    /// after (step clamped to at least 1 ns so the clock always advances).
+    pub fn new(start_ns: VirtualNs, step_ns: VirtualNs) -> Self {
+        Self {
+            next_ns: start_ns,
+            step_ns: step_ns.max(1),
+        }
+    }
+
+    /// The next watermark instant that has not fired yet.
+    pub fn next_ns(&self) -> VirtualNs {
+        self.next_ns
+    }
+
+    /// The configured step.
+    pub fn step_ns(&self) -> VirtualNs {
+        self.step_ns
+    }
+
+    /// Fires the next watermark if it is due at `now_ns` (inclusive),
+    /// advancing the clock by one step. Call in a loop to drain every due
+    /// watermark one at a time — each fired watermark is returned exactly
+    /// once, in order, even when `now_ns` jumps several steps ahead.
+    pub fn pop_due(&mut self, now_ns: VirtualNs) -> Option<VirtualNs> {
+        if self.next_ns > now_ns {
+            return None;
+        }
+        let fired = self.next_ns;
+        self.next_ns = self.next_ns.saturating_add(self.step_ns);
+        Some(fired)
+    }
+}
+
 /// What one frame's trip across the shared medium cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MediumGrant {
@@ -365,6 +414,25 @@ mod tests {
         let mut none = SeededJitter::none();
         assert_eq!((0..8).map(|_| none.draw()).max(), Some(0));
         assert_eq!(none.max_ns(), 0);
+    }
+
+    #[test]
+    fn watermark_clock_fires_each_tick_exactly_once_in_order() {
+        let mut clock = WatermarkClock::new(100, 50);
+        assert_eq!(clock.next_ns(), 100);
+        assert_eq!(clock.pop_due(99), None);
+        // Due boundary is inclusive.
+        assert_eq!(clock.pop_due(100), Some(100));
+        assert_eq!(clock.pop_due(100), None);
+        // A jump several steps ahead drains one watermark per call, in order.
+        let fired: Vec<VirtualNs> = std::iter::from_fn(|| clock.pop_due(260)).collect();
+        assert_eq!(fired, vec![150, 200, 250]);
+        assert_eq!(clock.next_ns(), 300);
+        // Zero step is clamped so the clock still advances.
+        let mut degenerate = WatermarkClock::new(0, 0);
+        assert_eq!(degenerate.step_ns(), 1);
+        assert_eq!(degenerate.pop_due(0), Some(0));
+        assert_eq!(degenerate.pop_due(0), None);
     }
 
     #[test]

@@ -265,6 +265,11 @@ pub enum ServeMode {
     Batched,
     /// Reference: one tail inference per station (sequential across shards).
     Serial,
+    /// Streaming: no round barrier — frames queue on per-shard rings and
+    /// shards micro-close on deadline watermarks; the round close only
+    /// flushes what watermarks have not already served. With no intermediate
+    /// watermark fired this degenerates bit-exactly to [`ServeMode::Batched`].
+    Streaming,
 }
 
 /// Anything that can replay driver traffic: the single-shard [`ApServer`]
@@ -339,6 +344,40 @@ pub trait RoundServing {
     fn feedback_of(&self, id: StationId) -> Option<&[f32]>;
 }
 
+/// The streaming extension of [`RoundServing`]: servers whose ingest can
+/// enqueue onto bounded per-shard rings and whose rounds can close through
+/// watermark-driven micro-batches instead of a global barrier. Implemented by
+/// both server flavors, so the event-driven driver can run every flavor in
+/// streaming mode through one code path.
+pub trait StreamServing: RoundServing {
+    /// Switches between lockstep and streaming ingest. Only toggle while
+    /// quiescent (no frames queued or pending).
+    fn set_streaming(&mut self, on: bool);
+
+    /// One watermark tick at virtual time `watermark_ns` with tick period
+    /// `step_ns`: commits frames that have arrived by the watermark and
+    /// micro-closes each shard whose oldest pending frame's service deadline
+    /// (per `policy`, default [`DeadlinePolicy::eq7d`]) falls before the next
+    /// watermark.
+    fn advance_watermark(
+        &mut self,
+        watermark_ns: u64,
+        step_ns: u64,
+        policy: Option<DeadlinePolicy>,
+    );
+
+    /// Closes the current round in streaming mode: flushes queued frames,
+    /// serves whatever the watermarks have not already micro-closed, and
+    /// folds the micro-batch accounting into one round summary.
+    ///
+    /// # Errors
+    /// Same contract as [`RoundServing::close_round`].
+    fn finalize_stream_round(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<RoundSummary, ServeError>;
+}
+
 impl RoundServing for ApServer {
     fn register_station(
         &mut self,
@@ -374,6 +413,7 @@ impl RoundServing for ApServer {
         match mode {
             ServeMode::Batched => self.process_round(),
             ServeMode::Serial => self.process_round_serial(),
+            ServeMode::Streaming => self.process_round_streaming(None),
         }
     }
 
@@ -385,11 +425,34 @@ impl RoundServing for ApServer {
         match mode {
             ServeMode::Batched => self.process_round_deadline(policy),
             ServeMode::Serial => self.process_round_serial_deadline(policy),
+            ServeMode::Streaming => self.process_round_streaming(Some(policy)),
         }
     }
 
     fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
         ApServer::feedback_of(self, id)
+    }
+}
+
+impl StreamServing for ApServer {
+    fn set_streaming(&mut self, on: bool) {
+        ApServer::set_streaming(self, on);
+    }
+
+    fn advance_watermark(
+        &mut self,
+        watermark_ns: u64,
+        step_ns: u64,
+        policy: Option<DeadlinePolicy>,
+    ) {
+        ApServer::advance_watermark(self, watermark_ns, step_ns, policy);
+    }
+
+    fn finalize_stream_round(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<RoundSummary, ServeError> {
+        self.process_round_streaming(policy)
     }
 }
 
@@ -428,6 +491,9 @@ impl RoundServing for ShardedApServer {
         match mode {
             ServeMode::Batched => self.process_round().map(|s| s.as_round_summary()),
             ServeMode::Serial => self.process_round_serial().map(|s| s.as_round_summary()),
+            ServeMode::Streaming => {
+                ShardedApServer::finalize_stream_round(self, None).map(|s| s.as_round_summary())
+            }
         }
     }
 
@@ -443,6 +509,8 @@ impl RoundServing for ShardedApServer {
             ServeMode::Serial => self
                 .process_round_serial_deadline(policy)
                 .map(|s| s.as_round_summary()),
+            ServeMode::Streaming => ShardedApServer::finalize_stream_round(self, Some(policy))
+                .map(|s| s.as_round_summary()),
         }
     }
 
@@ -452,6 +520,28 @@ impl RoundServing for ShardedApServer {
 
     fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
         ShardedApServer::feedback_of(self, id)
+    }
+}
+
+impl StreamServing for ShardedApServer {
+    fn set_streaming(&mut self, on: bool) {
+        ShardedApServer::set_streaming(self, on);
+    }
+
+    fn advance_watermark(
+        &mut self,
+        watermark_ns: u64,
+        step_ns: u64,
+        policy: Option<DeadlinePolicy>,
+    ) {
+        ShardedApServer::advance_watermark(self, watermark_ns, step_ns, policy);
+    }
+
+    fn finalize_stream_round(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<RoundSummary, ServeError> {
+        ShardedApServer::finalize_stream_round(self, policy).map(|s| s.as_round_summary())
     }
 }
 

@@ -26,7 +26,7 @@
 //! on-time, and the driver is **bit-exact** with `ApServer` /
 //! `ShardedApServer` serving — the refactor's correctness anchor.
 
-use crate::driver::{RoundServing, ServeMode};
+use crate::driver::{RoundServing, ServeMode, StreamServing};
 use crate::server::{ApServer, RoundSummary};
 use crate::session::StationId;
 use crate::shard::ShardedApServer;
@@ -36,7 +36,9 @@ use splitbeam::model::SplitBeamModel;
 use splitbeam::wire;
 use splitbeam_hwsim::accelerator::AcceleratorModel;
 use splitbeam_hwsim::delay::DelayBudget;
-use splitbeam_hwsim::event::{s_to_ns, EventQueue, SeededJitter, SharedMedium, VirtualNs};
+use splitbeam_hwsim::event::{
+    s_to_ns, EventQueue, SeededJitter, SharedMedium, VirtualNs, WatermarkClock,
+};
 use splitbeam_hwsim::fault::{FaultConfig, FaultInjector, FaultStats, FrameFate};
 use std::collections::BTreeMap;
 
@@ -76,6 +78,16 @@ pub struct EventConfig {
     /// `backoff << (n - 1)` after the failed transmission ends. A retry that
     /// cannot land within the Eq. 7d budget plus grace is not attempted.
     pub retry_backoff_ns: VirtualNs,
+    /// Serve through streaming micro-batch closes instead of the round
+    /// barrier: arrivals enqueue on the inner server's per-shard rings, the
+    /// drain fires deadline watermarks, and the round close only flushes what
+    /// the watermarks have not already served. Equivalent to closing every
+    /// round with [`ServeMode::Streaming`].
+    pub streaming: bool,
+    /// Watermark cadence in virtual ns for streaming closes; `0` means one
+    /// watermark per sounding interval (the coarsest — and degenerate —
+    /// cadence).
+    pub watermark_ns: VirtualNs,
 }
 
 impl EventConfig {
@@ -95,6 +107,8 @@ impl EventConfig {
             faults: FaultConfig::none(),
             max_retries: 0,
             retry_backoff_ns: 0,
+            streaming: false,
+            watermark_ns: 0,
         }
     }
 
@@ -114,6 +128,8 @@ impl EventConfig {
             faults: FaultConfig::from_env(),
             max_retries: 2,
             retry_backoff_ns: 100_000,
+            streaming: streaming_from_env(),
+            watermark_ns: watermark_ns_from_env(),
         }
     }
 
@@ -124,6 +140,16 @@ impl EventConfig {
 
     fn interval_ns(&self) -> VirtualNs {
         s_to_ns(self.interval_s)
+    }
+
+    /// Effective watermark cadence: the configured `watermark_ns`, or one
+    /// watermark per sounding interval when unset.
+    fn watermark_step_ns(&self) -> VirtualNs {
+        if self.watermark_ns > 0 {
+            self.watermark_ns
+        } else {
+            self.interval_ns()
+        }
     }
 
     fn medium(&self) -> SharedMedium {
@@ -138,6 +164,26 @@ impl Default for EventConfig {
     fn default() -> Self {
         Self::lockstep()
     }
+}
+
+/// `SPLITBEAM_STREAMING` truthiness: `1` or `true` (case-insensitive) enables
+/// streaming micro-batch serving in [`EventConfig::realistic`].
+fn streaming_from_env() -> bool {
+    std::env::var("SPLITBEAM_STREAMING")
+        .map(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "1" || v == "true"
+        })
+        .unwrap_or(false)
+}
+
+/// `SPLITBEAM_WATERMARK_NS`: watermark cadence in virtual ns (`0`/unset means
+/// one watermark per sounding interval).
+fn watermark_ns_from_env() -> VirtualNs {
+    std::env::var("SPLITBEAM_WATERMARK_NS")
+        .ok()
+        .and_then(|v| v.trim().parse::<VirtualNs>().ok())
+        .unwrap_or(0)
 }
 
 /// Head/tail compute latency of one model on the simulated accelerator, in
@@ -204,9 +250,14 @@ pub struct EventDriver<S> {
     last_round_stamps: Vec<(StationId, FrameStamp)>,
 }
 
-impl<S: RoundServing> EventDriver<S> {
-    /// Wraps `inner` in a virtual-time event simulation.
-    pub fn over(inner: S, cfg: EventConfig) -> Self {
+impl<S: StreamServing> EventDriver<S> {
+    /// Wraps `inner` in a virtual-time event simulation. With
+    /// [`EventConfig::streaming`] set, the inner server is switched to
+    /// streaming ingest immediately.
+    pub fn over(mut inner: S, cfg: EventConfig) -> Self {
+        if cfg.streaming {
+            inner.set_streaming(true);
+        }
         Self {
             inner,
             medium: cfg.medium(),
@@ -345,12 +396,30 @@ impl<S: RoundServing> EventDriver<S> {
     /// only while the retry's projected end-to-end delay still fits the
     /// Eq. 7d budget plus grace, because a retry that can only arrive expired
     /// is wasted airtime.
-    fn deliver_arrivals(&mut self) -> Option<ServeError> {
+    /// With `watermarks` set, the drain interleaves deadline watermarks into
+    /// the event order: before each popped event, every watermark at or
+    /// before that event's offer time fires into the inner server
+    /// ([`StreamServing::advance_watermark`]) so shards micro-close
+    /// mid-round; after the drain, the remaining watermarks up to the round
+    /// deadline fire. Watermark times are derived purely from the virtual
+    /// clock, so streaming drains are exactly as deterministic and replayable
+    /// as barrier drains.
+    fn deliver_arrivals(
+        &mut self,
+        watermarks: Option<(WatermarkClock, DeadlinePolicy)>,
+    ) -> Option<ServeError> {
         let mut first_error = None;
         self.last_round_stamps.clear();
         self.round_lost = 0;
         self.round_retransmitted = 0;
+        let mut watermarks = watermarks;
         while let Some((key, offer)) = self.queue.pop() {
+            if let Some((clock, policy)) = watermarks.as_mut() {
+                let step = clock.step_ns();
+                while let Some(mark) = clock.pop_due(key.time_ns) {
+                    self.inner.advance_watermark(mark, step, Some(*policy));
+                }
+            }
             let fate = self.injector.frame_fate();
             let grant = self.medium.transmit(key.time_ns, offer.frame.len() * 8);
             self.now_ns = self.now_ns.max(grant.end_ns);
@@ -416,7 +485,14 @@ impl<S: RoundServing> EventDriver<S> {
                 }
             }
         }
-        self.now_ns = self.now_ns.max(self.round_deadline_ns());
+        let deadline_ns = self.round_deadline_ns();
+        if let Some((clock, policy)) = watermarks.as_mut() {
+            let step = clock.step_ns();
+            while let Some(mark) = clock.pop_due(deadline_ns) {
+                self.inner.advance_watermark(mark, step, Some(*policy));
+            }
+        }
+        self.now_ns = self.now_ns.max(deadline_ns);
         first_error
     }
 
@@ -460,7 +536,7 @@ impl<S: RoundServing> EventDriver<S> {
     }
 }
 
-impl<S: RoundServing> RoundServing for EventDriver<S> {
+impl<S: StreamServing> RoundServing for EventDriver<S> {
     fn register_station(
         &mut self,
         id: StationId,
@@ -566,9 +642,19 @@ impl<S: RoundServing> RoundServing for EventDriver<S> {
         // inner close always runs, so one bad frame cannot leave stale
         // arrivals queued for the next round. The first ingest error (it
         // happened before the close) takes precedence in the result.
-        let ingest_error = self.deliver_arrivals();
+        let streaming = mode == ServeMode::Streaming || self.cfg.streaming;
+        let watermarks = streaming.then(|| {
+            let step = self.cfg.watermark_step_ns();
+            let start = self.round * self.cfg.interval_ns();
+            (WatermarkClock::new(start + step, step), policy)
+        });
+        let ingest_error = self.deliver_arrivals(watermarks);
         self.round += 1;
-        let closed = self.inner.close_round_deadline(mode, policy);
+        let closed = if streaming {
+            self.inner.finalize_stream_round(Some(policy))
+        } else {
+            self.inner.close_round_deadline(mode, policy)
+        };
         match ingest_error {
             Some(e) => Err(e),
             None => closed.map(|mut summary| {
@@ -590,7 +676,7 @@ impl<S: RoundServing> RoundServing for EventDriver<S> {
 
 /// Computes the model's head/tail latency on `accel` and binds it to `key`;
 /// `None` binds zero compute latency (the lockstep degenerate case).
-fn bind_accel<S: RoundServing>(
+fn bind_accel<S: StreamServing>(
     driver: &mut EventDriver<S>,
     key: usize,
     model: &SplitBeamModel,

@@ -74,15 +74,18 @@
 
 pub mod driver;
 pub mod event;
+pub mod ring;
 pub mod server;
 pub mod session;
 pub mod shard;
 pub mod timing;
 
+pub use driver::StreamServing;
 pub use event::{build_event_driver, EventConfig, EventDriver};
+pub use ring::Ring;
 pub use server::{ApServer, HealthPolicy, RoundSummary};
 pub use session::{SessionHealth, StationId, StationSession};
-pub use shard::{env_shards, ShardedApServer, ShardedRoundSummary};
+pub use shard::{env_shards, ShardRoundStats, ShardedApServer, ShardedRoundSummary};
 pub use timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 
 /// Errors produced by the serving layer.
@@ -110,6 +113,10 @@ pub enum ServeError {
     /// The station is quarantined after repeated corrupt frames; its traffic
     /// is rejected until the quarantine expires.
     Quarantined(StationId),
+    /// Streaming ingest rejected a frame because the shard's bounded ring is
+    /// full (station id, ring capacity). The frame is dropped at the ingest
+    /// edge instead of silently overwriting queued feedback.
+    Backpressure(StationId, usize),
     /// Tail reconstruction failed.
     Model(String),
     /// A station has no reconstructed feedback yet.
@@ -135,6 +142,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "duplicate frame seq {seq} from station {id}")
             }
             ServeError::Quarantined(id) => write!(f, "station {id} is quarantined"),
+            ServeError::Backpressure(id, cap) => {
+                write!(f, "station {id} stream ring is full (capacity {cap})")
+            }
             ServeError::Model(msg) => write!(f, "tail reconstruction error: {msg}"),
             ServeError::NoFeedback(id) => write!(f, "station {id} has no feedback yet"),
             ServeError::Link(msg) => write!(f, "link check error: {msg}"),

@@ -1,5 +1,6 @@
 //! The sessionized AP feedback server.
 
+use crate::ring::Ring;
 use crate::session::{SessionHealth, StationId, StationSession};
 use crate::timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 use crate::ServeError;
@@ -108,6 +109,13 @@ pub struct ApServer {
     models: Vec<Arc<SplitBeamModel>>,
     core: ShardCore,
     round: u64,
+    /// When set, wire ingest routes through the shard's streaming ring and
+    /// rounds close via watermark-driven micro-batches.
+    streaming: bool,
+    /// Micro-closes of the last streaming round (0 for barrier rounds).
+    /// Observability only: deliberately not part of [`RoundSummary`], so the
+    /// degenerate streaming round stays bit-identical to the barrier close.
+    last_micro_closes: usize,
 }
 
 /// Reusable per-round scratch owned by one shard.
@@ -138,6 +146,94 @@ impl Default for RoundArena {
     }
 }
 
+/// Default capacity of a shard's streaming ingest ring.
+pub(crate) const DEFAULT_STREAM_CAPACITY: usize = 256;
+
+/// One decoded frame queued in a shard's streaming ring, awaiting its
+/// watermark commit.
+#[derive(Debug)]
+pub(crate) struct StreamFrame {
+    pub(crate) id: StationId,
+    pub(crate) payload: QuantizedFeedback,
+    pub(crate) stamp: FrameStamp,
+    pub(crate) seq: u16,
+}
+
+/// Counters accumulated across a round's micro-batch closes, folded into the
+/// round outcome at finalize. Health/staleness accounting deliberately does
+/// NOT live here — it runs exactly once per round, at finalize, so streaming
+/// never emits phantom `awaiting_first_report`/`stale` counts per micro-batch.
+#[derive(Debug, Default)]
+pub(crate) struct MicroAccum {
+    served: usize,
+    batches: usize,
+    micro_closes: usize,
+    on_time: usize,
+    late: usize,
+    expired: usize,
+    delay: RoundDelayStats,
+    error: Option<ServeError>,
+}
+
+impl MicroAccum {
+    fn fold(&mut self, pass: ServePass) {
+        self.served += pass.served;
+        self.batches += pass.batches;
+        self.on_time += pass.on_time;
+        self.late += pass.late;
+        self.expired += pass.expired;
+        self.delay.merge(&pass.delay);
+        if self.error.is_none() {
+            self.error = pass.error;
+        }
+    }
+}
+
+/// One shard's streaming state: the bounded lock-free ingest ring, a
+/// one-frame stash for FIFO head-gated commits, a freelist of recycled
+/// payload buffers (steady-state streaming ingest allocates nothing), and
+/// the micro-batch accumulator.
+#[derive(Debug)]
+pub(crate) struct StreamLane {
+    ring: Ring<StreamFrame>,
+    /// The first not-yet-due frame popped by a commit pass; commits are
+    /// FIFO head-gated, so nothing behind it commits either.
+    stash: Option<StreamFrame>,
+    free: Vec<QuantizedFeedback>,
+    acc: MicroAccum,
+}
+
+impl StreamLane {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ring: Ring::with_capacity(capacity),
+            stash: None,
+            free: Vec::new(),
+            acc: MicroAccum::default(),
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.ring.len() + usize::from(self.stash.is_some())
+    }
+}
+
+impl Default for StreamLane {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_STREAM_CAPACITY)
+    }
+}
+
+impl Clone for StreamLane {
+    /// Cloning a serving core clones the lane *empty* (same capacity): the
+    /// ring is a synchronization structure, not data to duplicate. Servers
+    /// are only cloned quiescent (between rounds), where the lane holds
+    /// nothing anyway.
+    fn clone(&self) -> Self {
+        Self::with_capacity(self.ring.capacity())
+    }
+}
+
 /// One shard's worth of serving state: a session partition plus its private
 /// round arena. [`ApServer`] owns exactly one; `ShardedApServer` owns `N` and
 /// closes them in parallel. Every round-close code path lives here, so the
@@ -151,6 +247,13 @@ pub(crate) struct ShardCore {
     /// Corrupt frames seen since the last round close (reported in the next
     /// round's summary, then reset).
     pub(crate) round_corrupt: usize,
+    /// Streaming micro-batch state (ring, stash, freelist, accumulator).
+    pub(crate) lane: StreamLane,
+    /// Artificial close lag injected into this shard's serving path (bench
+    /// stall model). Barrier closes pay the *maximum* stall across shards —
+    /// the whole round waits on the slowest shard — while streaming closes
+    /// pay only the shard's own stall.
+    pub(crate) stall_ns: u64,
 }
 
 /// What closing one round over one shard did. `error` carries the first
@@ -168,7 +271,25 @@ pub(crate) struct RoundOutcome {
     pub(crate) delay: RoundDelayStats,
     pub(crate) corrupt: usize,
     pub(crate) stale_served: usize,
+    /// Watermark-triggered micro-batch closes that fired during the round
+    /// (streaming only; `0` for barrier closes). Not part of the public
+    /// summary — the bit-exactness anchor compares summaries across modes.
+    pub(crate) micro_closes: usize,
     pub(crate) error: Option<ServeError>,
+}
+
+/// What one serving pass (a barrier close's serve step, or one streaming
+/// micro-batch close) did. Health/staleness accounting is *not* here — it
+/// belongs to the once-per-round finalize.
+#[derive(Debug, Default)]
+pub(crate) struct ServePass {
+    served: usize,
+    batches: usize,
+    on_time: usize,
+    late: usize,
+    expired: usize,
+    delay: RoundDelayStats,
+    error: Option<ServeError>,
 }
 
 impl RoundOutcome {
@@ -276,6 +397,7 @@ impl ShardCore {
             arena,
             health,
             round_corrupt,
+            ..
         } = self;
         let session = sessions
             .get_mut(&id)
@@ -391,16 +513,18 @@ impl ShardCore {
     }
 
     /// Deadline pass shared by the batched and serial closers: consumes every
-    /// pending payload whose end-to-end delay (per its ingest stamp) falls
-    /// past the policy's budget *and* grace window. Expired reports are never
-    /// reconstructed — Eq. 7d is enforced at close, not measured post-hoc.
-    /// Returns the number of expired reports; with no policy nothing expires.
-    fn expire_pending(&mut self, policy: Option<DeadlinePolicy>) -> usize {
+    /// pending payload whose end-to-end delay (per its ingest stamp, plus
+    /// `lag_ns` of close lag when a shard is stalled) falls past the policy's
+    /// budget *and* grace window. Expired reports are never reconstructed —
+    /// Eq. 7d is enforced at close, not measured post-hoc. Returns the number
+    /// of expired reports; with no policy nothing expires.
+    fn expire_pending(&mut self, policy: Option<DeadlinePolicy>, lag_ns: u64) -> usize {
         let Some(policy) = policy else { return 0 };
         let mut expired = 0usize;
         for session in self.sessions.values_mut() {
             if session.has_pending()
-                && policy.classify(session.pending_stamp().total_ns()) == FrameClass::Expired
+                && policy.classify(session.pending_stamp().total_ns().saturating_add(lag_ns))
+                    == FrameClass::Expired
             {
                 session.set_pending(false);
                 session.set_pending_stamp(FrameStamp::default());
@@ -411,15 +535,19 @@ impl ShardCore {
     }
 
     /// Classifies a served report against the policy and folds it into the
-    /// round accounting, recording the class on the session.
+    /// round accounting, recording the class on the session. `lag_ns` is the
+    /// close lag of a stalled shard: it counts as additional queueing, so a
+    /// report held past its budget by a slow close is classified (and
+    /// recorded) late — identity at `lag_ns == 0`.
     fn account_served(
         session: &mut StationSession,
         policy: Option<DeadlinePolicy>,
+        lag_ns: u64,
         on_time: &mut usize,
         late: &mut usize,
         delay: &mut RoundDelayStats,
     ) {
-        let stamp = *session.pending_stamp();
+        let stamp = session.pending_stamp().with_extra_queue(lag_ns);
         let is_late = match policy {
             Some(p) => p.classify(stamp.total_ns()) == FrameClass::Late,
             None => false,
@@ -450,8 +578,26 @@ impl ShardCore {
         round: u64,
         kern: Kernel,
         policy: Option<DeadlinePolicy>,
+        lag_ns: u64,
     ) -> RoundOutcome {
-        let expired = self.expire_pending(policy);
+        let pass = self.serve_pending_batched(models, round, kern, policy, lag_ns);
+        self.finish_round(round, pass, 0)
+    }
+
+    /// The serve step shared by the barrier close and streaming micro-batch
+    /// closes: expires over-budget pending reports, then runs one fused
+    /// dequantize→tail batched inference per model with pending traffic.
+    /// Performs **no** health/staleness accounting — that happens once per
+    /// round, in [`ShardCore::finish_round`].
+    fn serve_pending_batched(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        round: u64,
+        kern: Kernel,
+        policy: Option<DeadlinePolicy>,
+        lag_ns: u64,
+    ) -> ServePass {
+        let expired = self.expire_pending(policy, lag_ns);
         let mut served = 0usize;
         let mut batches = 0usize;
         let mut on_time = 0usize;
@@ -489,7 +635,14 @@ impl ShardCore {
                             .expect("pending payload from registered station");
                         session.store_feedback(flat, round);
                         session.set_pending(false);
-                        Self::account_served(session, policy, &mut on_time, &mut late, &mut delay);
+                        Self::account_served(
+                            session,
+                            policy,
+                            lag_ns,
+                            &mut on_time,
+                            &mut late,
+                            &mut delay,
+                        );
                         served += 1;
                     }
                 }
@@ -509,19 +662,34 @@ impl ShardCore {
                 }
             }
         }
-        let (stale, awaiting_first_report, stale_served) = self.health_pass(round);
-        RoundOutcome {
+        ServePass {
             served,
-            stale,
-            awaiting_first_report,
             batches,
             on_time,
             late,
             expired,
             delay,
+            error: first_error,
+        }
+    }
+
+    /// The once-per-round tail of every close path: health/staleness pass,
+    /// corrupt-counter harvest, and outcome assembly.
+    fn finish_round(&mut self, round: u64, pass: ServePass, micro_closes: usize) -> RoundOutcome {
+        let (stale, awaiting_first_report, stale_served) = self.health_pass(round);
+        RoundOutcome {
+            served: pass.served,
+            stale,
+            awaiting_first_report,
+            batches: pass.batches,
+            on_time: pass.on_time,
+            late: pass.late,
+            expired: pass.expired,
+            delay: pass.delay,
             corrupt: std::mem::take(&mut self.round_corrupt),
             stale_served,
-            error: first_error,
+            micro_closes,
+            error: pass.error,
         }
     }
 
@@ -538,8 +706,23 @@ impl ShardCore {
         models: &[Arc<SplitBeamModel>],
         round: u64,
         policy: Option<DeadlinePolicy>,
+        lag_ns: u64,
     ) -> RoundOutcome {
-        let expired = self.expire_pending(policy);
+        let pass = self.serve_pending_serial(models, round, policy, lag_ns);
+        self.finish_round(round, pass, 0)
+    }
+
+    /// Serial analog of [`ShardCore::serve_pending_batched`]: one unfused
+    /// reconstruction per station, committed all-or-nothing per model. No
+    /// health accounting.
+    fn serve_pending_serial(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        round: u64,
+        policy: Option<DeadlinePolicy>,
+        lag_ns: u64,
+    ) -> ServePass {
+        let expired = self.expire_pending(policy, lag_ns);
         let mut served = 0usize;
         let mut batches = 0usize;
         let mut on_time = 0usize;
@@ -577,7 +760,14 @@ impl ShardCore {
                             .expect("pending payload from registered station");
                         session.store_feedback(&flat, round);
                         session.set_pending(false);
-                        Self::account_served(session, policy, &mut on_time, &mut late, &mut delay);
+                        Self::account_served(
+                            session,
+                            policy,
+                            lag_ns,
+                            &mut on_time,
+                            &mut late,
+                            &mut delay,
+                        );
                         served += 1;
                     }
                 }
@@ -596,20 +786,209 @@ impl ShardCore {
                 }
             }
         }
-        let (stale, awaiting_first_report, stale_served) = self.health_pass(round);
-        RoundOutcome {
+        ServePass {
             served,
-            stale,
-            awaiting_first_report,
             batches,
             on_time,
             late,
             expired,
             delay,
-            corrupt: std::mem::take(&mut self.round_corrupt),
-            stale_served,
             error: first_error,
         }
+    }
+
+    /// Streaming ingest: validates the frame exactly like
+    /// [`ShardCore::ingest_wire_at`] but enqueues it onto the shard's bounded
+    /// lock-free ring instead of committing straight into the session. The
+    /// frame only becomes pending when a watermark later commits it
+    /// ([`ShardCore::commit_due`]); a full ring rejects the frame with
+    /// [`ServeError::Backpressure`] without touching session state.
+    ///
+    /// Duplicate suppression mirrors the lockstep path's window: a sequence
+    /// number is suppressed while the station still has that frame in flight
+    /// (queued on the ring) or pending (committed, not yet served) — the same
+    /// frames that `ingest_wire_at` would reject are rejected here.
+    pub(crate) fn stream_ingest(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        id: StationId,
+        frame: &[u8],
+        stamp: FrameStamp,
+        round: u64,
+    ) -> Result<usize, ServeError> {
+        let Self {
+            sessions,
+            arena,
+            health,
+            round_corrupt,
+            lane,
+            ..
+        } = self;
+        let session = sessions
+            .get_mut(&id)
+            .ok_or(ServeError::UnknownStation(id))?;
+        if session.is_quarantined(round) {
+            return Err(ServeError::Quarantined(id));
+        }
+        if let Err(e) = wire::decode_feedback_into(frame, &mut arena.decode_buf) {
+            return Err(match e {
+                splitbeam::SplitBeamError::CorruptFrame(msg) => {
+                    *round_corrupt += 1;
+                    session.note_corrupt(round, health);
+                    ServeError::Corrupt(id, msg)
+                }
+                other => ServeError::Codec(other.to_string()),
+            });
+        }
+        let seq = wire::frame_seq(frame);
+        if seq != 0
+            && session.pending_seq() == seq
+            && (session.stream_inflight() > 0 || session.has_pending())
+        {
+            return Err(ServeError::DuplicateFrame(id, seq));
+        }
+        Self::validate_payload(models, session, &arena.decode_buf)?;
+        // Move the decoded payload into a recycled buffer so ingest stays
+        // allocation-free in steady state (mirrors the lockstep swap).
+        let mut payload = lane.free.pop().unwrap_or_else(|| QuantizedFeedback {
+            bits_per_value: 1,
+            min: 0.0,
+            max: 0.0,
+            codes: Vec::new(),
+        });
+        std::mem::swap(&mut payload, &mut arena.decode_buf);
+        match lane.ring.push(StreamFrame {
+            id,
+            payload,
+            stamp,
+            seq,
+        }) {
+            Ok(()) => {
+                session.set_pending_seq(seq);
+                session.inc_stream_inflight();
+                session.note_clean_ingest();
+                session.record_ingest(frame.len());
+                Ok(frame.len())
+            }
+            Err(rejected) => {
+                let cap = lane.ring.capacity();
+                lane.free.push(rejected.payload);
+                Err(ServeError::Backpressure(id, cap))
+            }
+        }
+    }
+
+    /// Commits every queued frame whose arrival stamp is at or before
+    /// `watermark_ns` into its session, in ingest (FIFO) order — so a station
+    /// reporting twice keeps last-wins semantics identical to lockstep
+    /// ingest. Stops at the first frame still ahead of the watermark (head-
+    /// gated: later frames wait even if individually due, preserving order).
+    fn commit_due(&mut self, watermark_ns: u64) {
+        loop {
+            let frame = match self.lane.stash.take() {
+                Some(f) => f,
+                None => match self.lane.ring.pop() {
+                    Some(f) => f,
+                    None => break,
+                },
+            };
+            if frame.stamp.arrival_ns > watermark_ns {
+                self.lane.stash = Some(frame);
+                break;
+            }
+            let StreamFrame {
+                id,
+                mut payload,
+                stamp,
+                seq,
+            } = frame;
+            match self.sessions.get_mut(&id) {
+                Some(session) => {
+                    std::mem::swap(session.payload_slot(), &mut payload);
+                    session.set_pending(true);
+                    session.set_pending_stamp(stamp);
+                    session.set_pending_seq(seq);
+                    session.dec_stream_inflight();
+                    self.lane.free.push(payload);
+                }
+                // Station deregistered with frames still in flight: drop the
+                // frame, recycle its buffer.
+                None => self.lane.free.push(payload),
+            }
+        }
+    }
+
+    /// One watermark tick: commits due frames, then micro-closes this shard's
+    /// pending batch iff the oldest pending frame's Eq. 7d service deadline
+    /// falls before the *next* watermark — i.e. this is the last watermark at
+    /// which that frame can still be served within budget. Each shard decides
+    /// independently; no cross-shard barrier.
+    pub(crate) fn advance_watermark(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        round: u64,
+        kern: Kernel,
+        watermark_ns: u64,
+        step_ns: u64,
+        policy: Option<DeadlinePolicy>,
+    ) {
+        self.commit_due(watermark_ns);
+        let trigger = policy.unwrap_or_else(DeadlinePolicy::eq7d);
+        let oldest_deadline = self
+            .sessions
+            .values()
+            .filter(|s| s.has_pending())
+            .map(|s| trigger.service_deadline_ns(s.pending_stamp()))
+            .min();
+        if let Some(deadline) = oldest_deadline {
+            if deadline <= watermark_ns.saturating_add(step_ns) {
+                let pass = self.serve_pending_batched(models, round, kern, policy, self.stall_ns);
+                self.lane.acc.fold(pass);
+                self.lane.acc.micro_closes += 1;
+            }
+        }
+    }
+
+    /// Streaming round close: commits everything still queued, serves any
+    /// remaining pending batch, folds in the round's accumulated micro-batch
+    /// summaries, and runs the once-per-round health pass. Equivalent to
+    /// [`ShardCore::close_round_batched`] when no intermediate watermark
+    /// fired (the whole round serves as one batch).
+    pub(crate) fn finalize_stream_round(
+        &mut self,
+        models: &[Arc<SplitBeamModel>],
+        round: u64,
+        kern: Kernel,
+        policy: Option<DeadlinePolicy>,
+    ) -> RoundOutcome {
+        self.commit_due(u64::MAX);
+        let tail = self.serve_pending_batched(models, round, kern, policy, self.stall_ns);
+        let mut acc = std::mem::take(&mut self.lane.acc);
+        acc.fold(tail);
+        let micro_closes = acc.micro_closes;
+        let pass = ServePass {
+            served: acc.served,
+            batches: acc.batches,
+            on_time: acc.on_time,
+            late: acc.late,
+            expired: acc.expired,
+            delay: acc.delay,
+            error: acc.error,
+        };
+        self.finish_round(round, pass, micro_closes)
+    }
+
+    /// Whether this shard saw any traffic this round — streaming analog of
+    /// the barrier path's `pending_count() > 0` check, which must also count
+    /// frames already served by micro-closes and frames still queued on the
+    /// ring.
+    pub(crate) fn round_had_traffic(&self) -> bool {
+        self.pending_count() > 0
+            || self.lane.queued() > 0
+            || self.lane.acc.batches > 0
+            || self.lane.acc.served > 0
+            || self.lane.acc.expired > 0
+            || self.lane.acc.error.is_some()
     }
 
     /// Evicts every station idle for more than `max_idle_rounds` sounding
@@ -709,6 +1088,15 @@ impl ApServer {
     /// does not match the station's model bottleneck. A failed ingest leaves
     /// any previously pending payload of the station untouched.
     pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
+        if self.streaming {
+            return self.core.stream_ingest(
+                &self.models,
+                id,
+                frame,
+                FrameStamp::default(),
+                self.round,
+            );
+        }
         self.core.ingest_wire(&self.models, id, frame, self.round)
     }
 
@@ -726,6 +1114,11 @@ impl ApServer {
         frame: &[u8],
         stamp: FrameStamp,
     ) -> Result<usize, ServeError> {
+        if self.streaming {
+            return self
+                .core
+                .stream_ingest(&self.models, id, frame, stamp, self.round);
+        }
         self.core
             .ingest_wire_at(&self.models, id, frame, stamp, self.round)
     }
@@ -770,8 +1163,9 @@ impl ApServer {
         let round = self.round;
         self.round += 1;
         let kern = mimo_math::kernel::selected();
+        let lag = self.core.stall_ns;
         self.core
-            .close_round_batched(&self.models, round, kern, None)
+            .close_round_batched(&self.models, round, kern, None, lag)
             .into_summary(round)
     }
 
@@ -793,8 +1187,9 @@ impl ApServer {
         let round = self.round;
         self.round += 1;
         let kern = mimo_math::kernel::selected();
+        let lag = self.core.stall_ns;
         self.core
-            .close_round_batched(&self.models, round, kern, Some(policy))
+            .close_round_batched(&self.models, round, kern, Some(policy), lag)
             .into_summary(round)
     }
 
@@ -811,8 +1206,9 @@ impl ApServer {
     pub fn process_round_serial(&mut self) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
+        let lag = self.core.stall_ns;
         self.core
-            .close_round_serial(&self.models, round, None)
+            .close_round_serial(&self.models, round, None, lag)
             .into_summary(round)
     }
 
@@ -829,9 +1225,90 @@ impl ApServer {
     ) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
+        let lag = self.core.stall_ns;
         self.core
-            .close_round_serial(&self.models, round, Some(policy))
+            .close_round_serial(&self.models, round, Some(policy), lag)
             .into_summary(round)
+    }
+
+    /// Switches between lockstep and streaming ingest. In streaming mode,
+    /// [`ApServer::ingest_wire`]/[`ApServer::ingest_wire_at`] enqueue frames
+    /// onto the bounded per-server ring and commits happen on watermarks
+    /// ([`ApServer::advance_watermark`]); the round still closes through
+    /// [`ApServer::process_round_streaming`]. Only toggle while quiescent (no
+    /// frames queued or pending).
+    pub fn set_streaming(&mut self, on: bool) {
+        self.streaming = on;
+    }
+
+    /// Whether streaming ingest is active.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Sets this server's artificial close lag (a stalled-shard model): every
+    /// close pays `ns` of additional queueing delay when classifying served
+    /// and expired reports. Identity at 0.
+    pub fn set_stall_ns(&mut self, ns: u64) {
+        self.core.stall_ns = ns;
+    }
+
+    /// Replaces the streaming ingest ring with one of `capacity` slots
+    /// (rounded up to a power of two, minimum 2). Only call while quiescent:
+    /// any queued frames are dropped.
+    pub fn set_stream_capacity(&mut self, capacity: usize) {
+        self.core.lane = StreamLane::with_capacity(capacity);
+    }
+
+    /// One watermark tick at virtual time `watermark_ns` with tick period
+    /// `step_ns`: commits every queued frame that has arrived by the
+    /// watermark, then micro-closes the pending batch iff the oldest pending
+    /// frame's Eq. 7d service deadline (per `policy`, default
+    /// [`DeadlinePolicy::eq7d`]) falls before the next watermark. Micro-batch
+    /// accounting accumulates into the round summary produced by
+    /// [`ApServer::process_round_streaming`].
+    pub fn advance_watermark(
+        &mut self,
+        watermark_ns: u64,
+        step_ns: u64,
+        policy: Option<DeadlinePolicy>,
+    ) {
+        let round = self.round;
+        let kern = mimo_math::kernel::selected();
+        self.core
+            .advance_watermark(&self.models, round, kern, watermark_ns, step_ns, policy);
+    }
+
+    /// Closes the current round in streaming mode: commits everything still
+    /// queued on the ring, serves any remaining pending batch, folds in the
+    /// micro-batches already closed by watermarks this round, runs the
+    /// once-per-round health pass and advances the round counter.
+    ///
+    /// With no intermediate watermark fired this is equivalent to
+    /// [`ApServer::process_round`] (everything serves as one batch), which is
+    /// how the lockstep drivers remain the bit-exact degenerate case.
+    ///
+    /// # Errors
+    /// Same contract and partial-round semantics as
+    /// [`ApServer::process_round`].
+    pub fn process_round_streaming(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<RoundSummary, ServeError> {
+        let round = self.round;
+        self.round += 1;
+        let kern = mimo_math::kernel::selected();
+        let outcome = self
+            .core
+            .finalize_stream_round(&self.models, round, kern, policy);
+        self.last_micro_closes = outcome.micro_closes;
+        outcome.into_summary(round)
+    }
+
+    /// How many watermark-triggered micro-batch closes the most recent
+    /// streaming round performed (barrier rounds leave it untouched).
+    pub fn last_micro_closes(&self) -> usize {
+        self.last_micro_closes
     }
 
     /// The latest reconstructed feedback of station `id`, in the tail's flat

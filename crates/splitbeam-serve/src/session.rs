@@ -62,6 +62,11 @@ pub struct StationSession {
     wire_bytes_ingested: u64,
     /// Sequence number of the pending payload (`0` = unsequenced/last-wins).
     pending_seq: u16,
+    /// Frames from this station accepted by streaming ingest but still queued
+    /// in the shard's ring (not yet committed to the payload slot). Keeps the
+    /// duplicate-suppression window identical between barrier and streaming
+    /// ingest while frames are in flight.
+    stream_inflight: u32,
     /// Consecutive closed rounds without a usable report from this station.
     miss_streak: u32,
     /// Consecutive corrupt frames received from this station.
@@ -98,6 +103,7 @@ impl StationSession {
             payloads_ingested: 0,
             wire_bytes_ingested: 0,
             pending_seq: 0,
+            stream_inflight: 0,
             miss_streak: 0,
             corrupt_streak: 0,
             quarantined_until_round: None,
@@ -240,6 +246,20 @@ impl StationSession {
 
     pub(crate) fn set_pending_seq(&mut self, seq: u16) {
         self.pending_seq = seq;
+    }
+
+    /// Frames accepted by streaming ingest but still queued in the shard's
+    /// ring, awaiting their watermark commit.
+    pub fn stream_inflight(&self) -> u32 {
+        self.stream_inflight
+    }
+
+    pub(crate) fn inc_stream_inflight(&mut self) {
+        self.stream_inflight = self.stream_inflight.saturating_add(1);
+    }
+
+    pub(crate) fn dec_stream_inflight(&mut self) {
+        self.stream_inflight = self.stream_inflight.saturating_sub(1);
     }
 
     /// Current link-health state of this session.

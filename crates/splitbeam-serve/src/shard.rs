@@ -98,6 +98,26 @@ impl ShardedRoundSummary {
     }
 }
 
+/// Per-shard slice of the last round close, recorded in shard order. This is
+/// how stall-isolation is observed: a deliberately slow shard shows up here
+/// with depressed `on_time` while every other shard's numbers are untouched
+/// under streaming closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardRoundStats {
+    /// Stations this shard served.
+    pub served: usize,
+    /// Served reports within the Eq. 7d budget.
+    pub on_time: usize,
+    /// Served reports past budget but within grace.
+    pub late: usize,
+    /// Reports consumed unreconstructed past budget and grace.
+    pub expired: usize,
+    /// Batched tail invocations this shard ran.
+    pub batches: usize,
+    /// Watermark-triggered micro-batch closes (0 for barrier rounds).
+    pub micro_closes: usize,
+}
+
 /// A multi-core AP serving layer: `N` session shards closed in parallel per
 /// sounding round, with capacity caps and idle eviction. See the module docs
 /// for the exactness argument.
@@ -110,6 +130,13 @@ pub struct ShardedApServer {
     capacity: Option<usize>,
     stations: usize,
     last_evicted: usize,
+    /// When set, wire ingest enqueues onto each shard's bounded ring and
+    /// rounds close via watermark-driven micro-batches
+    /// ([`ShardedApServer::advance_watermark`] /
+    /// [`ShardedApServer::finalize_stream_round`]).
+    streaming: bool,
+    /// Per-shard stats of the last round close, in shard order.
+    last_shard_stats: Vec<ShardRoundStats>,
 }
 
 impl ShardedApServer {
@@ -125,6 +152,8 @@ impl ShardedApServer {
             capacity: None,
             stations: 0,
             last_evicted: 0,
+            streaming: false,
+            last_shard_stats: Vec::new(),
         }
     }
 
@@ -260,6 +289,15 @@ impl ShardedApServer {
     /// Same contract as [`crate::server::ApServer::ingest_wire`].
     pub fn ingest_wire(&mut self, id: StationId, frame: &[u8]) -> Result<usize, ServeError> {
         let shard = self.shard_of(id);
+        if self.streaming {
+            return self.shards[shard].stream_ingest(
+                &self.models,
+                id,
+                frame,
+                FrameStamp::default(),
+                self.round,
+            );
+        }
         self.shards[shard].ingest_wire(&self.models, id, frame, self.round)
     }
 
@@ -275,6 +313,9 @@ impl ShardedApServer {
         stamp: FrameStamp,
     ) -> Result<usize, ServeError> {
         let shard = self.shard_of(id);
+        if self.streaming {
+            return self.shards[shard].stream_ingest(&self.models, id, frame, stamp, self.round);
+        }
         self.shards[shard].ingest_wire_at(&self.models, id, frame, stamp, self.round)
     }
 
@@ -347,12 +388,17 @@ impl ShardedApServer {
         let kern = mimo_math::kernel::selected();
         let models = &self.models;
         let max_idle = self.max_idle_rounds;
+        // The barrier couples every shard to the slowest one: the whole round
+        // close waits for the most stalled shard, so every shard's reports pay
+        // that worst-case close lag. (Streaming closes pay only their own
+        // shard's stall — that asymmetry is the point of the refactor.)
+        let barrier_lag = self.barrier_lag_ns();
         let results: Vec<(RoundOutcome, usize, bool)> = self
             .shards
             .par_iter_mut()
             .map(|shard: &mut ShardCore| {
                 let had_traffic = shard.pending_count() > 0;
-                let outcome = shard.close_round_batched(models, round, kern, policy);
+                let outcome = shard.close_round_batched(models, round, kern, policy, barrier_lag);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -394,12 +440,13 @@ impl ShardedApServer {
         self.round += 1;
         let models = &self.models;
         let max_idle = self.max_idle_rounds;
+        let barrier_lag = self.barrier_lag_ns();
         let results: Vec<(RoundOutcome, usize, bool)> = self
             .shards
             .iter_mut()
             .map(|shard| {
                 let had_traffic = shard.pending_count() > 0;
-                let outcome = shard.close_round_serial(models, round, policy);
+                let outcome = shard.close_round_serial(models, round, policy, barrier_lag);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -408,6 +455,12 @@ impl ShardedApServer {
             })
             .collect();
         self.merge_round(round, results)
+    }
+
+    /// The close lag every shard pays under the round barrier: the maximum
+    /// stall across all shards (the barrier waits for the slowest).
+    fn barrier_lag_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.stall_ns).max().unwrap_or(0)
     }
 
     /// Deterministic merge of the per-shard outcomes, in shard order.
@@ -434,7 +487,16 @@ impl ShardedApServer {
             evicted: 0,
         };
         let mut first_error = None;
+        self.last_shard_stats.clear();
         for (outcome, evicted, had_traffic) in results {
+            self.last_shard_stats.push(ShardRoundStats {
+                served: outcome.served,
+                on_time: outcome.on_time,
+                late: outcome.late,
+                expired: outcome.expired,
+                batches: outcome.batches,
+                micro_closes: outcome.micro_closes,
+            });
             summary.served += outcome.served;
             summary.stale += outcome.stale;
             summary.awaiting_first_report += outcome.awaiting_first_report;
@@ -464,6 +526,91 @@ impl ShardedApServer {
     /// serving loop observes eviction counts without the sharded summary.
     pub fn evicted_in_last_round(&self) -> usize {
         self.last_evicted
+    }
+
+    /// Per-shard stats of the most recent round close, in shard order (empty
+    /// before the first close).
+    pub fn shard_round_stats(&self) -> &[ShardRoundStats] {
+        &self.last_shard_stats
+    }
+
+    /// Switches between lockstep and streaming ingest across all shards.
+    /// Only toggle while quiescent (no frames queued or pending).
+    pub fn set_streaming(&mut self, on: bool) {
+        self.streaming = on;
+    }
+
+    /// Whether streaming ingest is active.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Sets shard `shard`'s artificial close lag (stalled-shard model).
+    /// Under barrier closes **every** shard's reports pay the maximum stall
+    /// (the barrier waits for the slowest shard); under streaming closes each
+    /// shard pays only its own.
+    ///
+    /// # Panics
+    /// When `shard` is out of range.
+    pub fn set_shard_stall_ns(&mut self, shard: usize, ns: u64) {
+        self.shards[shard].stall_ns = ns;
+    }
+
+    /// One watermark tick at virtual time `watermark_ns` with tick period
+    /// `step_ns`: every shard commits its due frames and micro-closes its
+    /// pending batch iff its own oldest pending frame's Eq. 7d service
+    /// deadline falls before the next watermark — **independently of every
+    /// other shard** (no barrier). Shards advance serially in shard order,
+    /// which keeps the close deterministic.
+    pub fn advance_watermark(
+        &mut self,
+        watermark_ns: u64,
+        step_ns: u64,
+        policy: Option<DeadlinePolicy>,
+    ) {
+        let round = self.round;
+        let kern = mimo_math::kernel::selected();
+        let models = &self.models;
+        for shard in &mut self.shards {
+            shard.advance_watermark(models, round, kern, watermark_ns, step_ns, policy);
+        }
+    }
+
+    /// Streaming round close: every shard (in parallel) commits its remaining
+    /// queued frames, serves any remaining pending batch with its **own**
+    /// stall as close lag, folds in its accumulated micro-batch summaries,
+    /// and runs the once-per-round health pass; then eviction and the
+    /// deterministic shard-order merge proceed exactly as in
+    /// [`ShardedApServer::process_round`].
+    ///
+    /// With no intermediate watermark fired and no stalls this is bit-exact
+    /// with [`ShardedApServer::process_round`].
+    ///
+    /// # Errors
+    /// Same contract as [`ShardedApServer::process_round`].
+    pub fn finalize_stream_round(
+        &mut self,
+        policy: Option<DeadlinePolicy>,
+    ) -> Result<ShardedRoundSummary, ServeError> {
+        let round = self.round;
+        self.round += 1;
+        let kern = mimo_math::kernel::selected();
+        let models = &self.models;
+        let max_idle = self.max_idle_rounds;
+        let results: Vec<(RoundOutcome, usize, bool)> = self
+            .shards
+            .par_iter_mut()
+            .map(|shard: &mut ShardCore| {
+                let had_traffic = shard.round_had_traffic();
+                let outcome = shard.finalize_stream_round(models, round, kern, policy);
+                let evicted = match max_idle {
+                    Some(budget) => shard.evict_idle(round, budget),
+                    None => 0,
+                };
+                (outcome, evicted, had_traffic)
+            })
+            .collect();
+        self.merge_round(round, results)
     }
 
     /// The latest reconstructed feedback of station `id`, in the tail's flat

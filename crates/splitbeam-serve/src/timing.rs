@@ -39,6 +39,25 @@ impl FrameStamp {
         self.head_ns + self.queue_ns + self.air_ns + self.tail_ns
     }
 
+    /// Virtual time the report's sounding was born: arrival minus every leg
+    /// that already happened (head, queue, air). Retransmissions inflate the
+    /// queue leg by exactly their extra arrival delay, so the birth instant is
+    /// stable across delivery attempts — the streaming watermark closer keys
+    /// its per-frame deadline off this.
+    pub fn birth_ns(&self) -> VirtualNs {
+        self.arrival_ns
+            .saturating_sub(self.head_ns + self.queue_ns + self.air_ns)
+    }
+
+    /// The stamp with `extra` nanoseconds of additional queueing (e.g. a
+    /// stalled shard sitting on the frame before serving it). Identity at 0.
+    pub fn with_extra_queue(&self, extra: u64) -> Self {
+        Self {
+            queue_ns: self.queue_ns + extra,
+            ..*self
+        }
+    }
+
     /// The stamp as a floating-point [`EndToEndDelay`] breakdown.
     pub fn to_delay(&self) -> EndToEndDelay {
         EndToEndDelay {
@@ -103,6 +122,14 @@ impl DeadlinePolicy {
         } else {
             FrameClass::Expired
         }
+    }
+
+    /// Absolute virtual instant by which a stamped report must be *served* to
+    /// stay within the Eq. 7d budget: its sounding birth plus the budget. The
+    /// streaming closer fires a micro-batch when its watermark can no longer
+    /// wait past the oldest pending frame's service deadline.
+    pub fn service_deadline_ns(&self, stamp: &FrameStamp) -> VirtualNs {
+        stamp.birth_ns().saturating_add(self.budget_ns)
     }
 }
 
@@ -205,6 +232,52 @@ mod tests {
         assert_eq!(policy.grace_ns, 10_000_000);
         assert_eq!(policy.classify(10_000_000), FrameClass::OnTime);
         assert_eq!(policy.classify(20_000_001), FrameClass::Expired);
+    }
+
+    /// `birth_ns` is invariant across retransmissions: a retry delivers later
+    /// but the extra wait lands in the queue leg, so arrival − legs is stable.
+    #[test]
+    fn birth_is_stable_across_retransmissions() {
+        let first = FrameStamp {
+            arrival_ns: 6_000_000,
+            head_ns: 1_000_000,
+            queue_ns: 2_000_000,
+            air_ns: 500_000,
+            tail_ns: 100_000,
+        };
+        let retry = FrameStamp {
+            arrival_ns: 9_500_000,
+            queue_ns: first.queue_ns + 3_500_000,
+            ..first
+        };
+        assert_eq!(first.birth_ns(), 2_500_000);
+        assert_eq!(retry.birth_ns(), first.birth_ns());
+        // Underflow saturates instead of wrapping.
+        let degenerate = FrameStamp {
+            arrival_ns: 1,
+            head_ns: 5,
+            ..FrameStamp::default()
+        };
+        assert_eq!(degenerate.birth_ns(), 0);
+    }
+
+    #[test]
+    fn extra_queue_shifts_total_and_deadline_classification() {
+        let policy = DeadlinePolicy::eq7d();
+        let stamp = FrameStamp {
+            arrival_ns: 4_000_000,
+            head_ns: 2_000_000,
+            queue_ns: 1_000_000,
+            air_ns: 1_000_000,
+            tail_ns: 500_000,
+        };
+        assert_eq!(stamp.with_extra_queue(0), stamp);
+        let lagged = stamp.with_extra_queue(7_000_000);
+        assert_eq!(lagged.total_ns(), stamp.total_ns() + 7_000_000);
+        assert_eq!(policy.classify(stamp.total_ns()), FrameClass::OnTime);
+        assert_eq!(policy.classify(lagged.total_ns()), FrameClass::Late);
+        // Service deadline: birth (arrival − past legs) + budget.
+        assert_eq!(policy.service_deadline_ns(&stamp), 10_000_000);
     }
 
     #[test]
