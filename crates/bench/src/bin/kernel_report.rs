@@ -32,8 +32,8 @@ use splitbeam::config::{CompressionLevel, SplitBeamConfig};
 use splitbeam::fused::TailScratch;
 use splitbeam::model::SplitBeamModel;
 use splitbeam::quantization::{dequantize_bottleneck, quantize_bottleneck, QuantizedFeedback};
-use splitbeam_bench::report::{kernel_dispatch_value, object, JsonReport, JsonValue};
-use splitbeam_bench::timing::{measure, measure_pair, num_threads};
+use splitbeam_bench::report::{kernel_dispatch_value, object, tune_value, JsonReport, JsonValue};
+use splitbeam_bench::timing::{gb_per_s, gflop_per_s, measure, measure_pair, num_threads};
 use splitbeam_bench::{env_usize, feedback_identical};
 use splitbeam_serve::driver::{
     build_server, generate_traffic, serve_traffic, ServeMode, SimConfig,
@@ -43,12 +43,16 @@ use wifi_phy::ofdm::{Bandwidth, MimoConfig};
 /// The PR index this report seeds.
 const PR_INDEX: u32 = 3;
 
-/// One scalar-vs-SIMD kernel comparison.
+/// One scalar-vs-SIMD kernel comparison, with the bytes moved and FLOPs
+/// executed per op so the report can state effective GB/s and GFLOP/s
+/// alongside ns/op.
 struct KernelBench {
     name: &'static str,
     unit: &'static str,
     scalar_ns: f64,
     simd_ns: f64,
+    bytes_per_op: usize,
+    flops_per_op: usize,
 }
 
 impl KernelBench {
@@ -63,6 +67,24 @@ impl KernelBench {
             ("scalar_ns_per_op", self.scalar_ns.into()),
             ("simd_ns_per_op", self.simd_ns.into()),
             ("simd_speedup_vs_scalar", self.speedup().into()),
+            ("bytes_per_op", self.bytes_per_op.into()),
+            ("flops_per_op", self.flops_per_op.into()),
+            (
+                "simd_gb_per_s",
+                gb_per_s(self.bytes_per_op, self.simd_ns).into(),
+            ),
+            (
+                "simd_gflop_per_s",
+                gflop_per_s(self.flops_per_op, self.simd_ns).into(),
+            ),
+            (
+                "scalar_gb_per_s",
+                gb_per_s(self.bytes_per_op, self.scalar_ns).into(),
+            ),
+            (
+                "scalar_gflop_per_s",
+                gflop_per_s(self.flops_per_op, self.scalar_ns).into(),
+            ),
         ])
     }
 }
@@ -97,6 +119,10 @@ fn bench_complex_matmul() -> KernelBench {
         unit: "matmul",
         scalar_ns,
         simd_ns,
+        // Two operands read + one written, 16 bytes per complex; 8 real FLOPs
+        // per complex multiply-accumulate.
+        bytes_per_op: 3 * 8 * 8 * 16,
+        flops_per_op: 8 * 8 * 8 * 8,
     }
 }
 
@@ -116,6 +142,8 @@ fn bench_dense_gemm(name: &'static str, batch: usize, m: usize, n: usize) -> Ker
         unit: "gemm",
         scalar_ns,
         simd_ns,
+        bytes_per_op: 4 * (batch * m + m * n + batch * n),
+        flops_per_op: 2 * batch * m * n,
     }
 }
 
@@ -166,12 +194,19 @@ fn bench_fused(model: &SplitBeamModel, stations: usize) -> (KernelBench, bool) {
         },
     );
     set_kernel(None);
+    // One batched reconstruction streams the tail weights once (one f32 per
+    // MAC) plus the batch inputs and outputs, and runs 2 FLOPs per MAC per
+    // station.
+    let macs = model.tail_macs() as usize;
+    let out_dim = fused.len() / stations.max(1);
     (
         KernelBench {
             name: "fused_dequant_tail_vs_dequant_then_batch",
             unit: "batched reconstruction",
             scalar_ns: unfused_ns,
             simd_ns: fused_ns,
+            bytes_per_op: 4 * (macs + stations * (dim + out_dim)),
+            flops_per_op: 2 * macs * stations,
         },
         fused_matches_unfused,
     )
@@ -246,11 +281,14 @@ fn main() {
 
     for b in benchmarks.iter().chain([&fused_bench]) {
         println!(
-            "{:<42} scalar {:>12.1} ns/op   simd {:>12.1} ns/op   speedup {:>5.2}x",
+            "{:<42} scalar {:>12.1} ns/op   simd {:>12.1} ns/op   speedup {:>5.2}x   \
+             {:>6.1} GB/s {:>6.1} GFLOP/s",
             b.name,
             b.scalar_ns,
             b.simd_ns,
-            b.speedup()
+            b.speedup(),
+            gb_per_s(b.bytes_per_op, b.simd_ns),
+            gflop_per_s(b.flops_per_op, b.simd_ns),
         );
     }
     println!(
@@ -266,6 +304,7 @@ fn main() {
         .field("pr", PR_INDEX)
         .field("threads", num_threads())
         .field("kernel", kernel_dispatch_value())
+        .field("tune", tune_value())
         .field("stations", stations)
         .field("rounds", rounds)
         .field(

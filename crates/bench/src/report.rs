@@ -198,7 +198,24 @@ pub fn kernel_dispatch_value() -> JsonValue {
     object(vec![
         ("requested", report.requested.into()),
         ("selected", report.selected.into()),
+        ("selected_int8", report.selected_int8.into()),
         ("avx2_fma_available", report.avx2_fma_available.into()),
+        ("avx512f_available", report.avx512f_available.into()),
+        ("avx512bw_available", report.avx512bw_available.into()),
+        ("avx512_vnni_available", report.avx512_vnni_available.into()),
+    ])
+}
+
+/// The autotune object reports embed under `"tune"`: the blocking parameters
+/// the one-shot startup probe selected (or the pinned defaults under
+/// `SPLITBEAM_TUNE=off`).
+pub fn tune_value() -> JsonValue {
+    let params = mimo_math::kernel::tune::params();
+    object(vec![
+        ("f32_k_block", params.f32_k_block.into()),
+        ("int8_group_block", params.int8_group_block.into()),
+        ("int8_panel4", params.int8_panel4.into()),
+        ("probed", params.probed.into()),
     ])
 }
 
@@ -233,7 +250,32 @@ mod tests {
         match kernel_dispatch_value() {
             JsonValue::Object(fields) => {
                 let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
-                assert_eq!(keys, vec!["requested", "selected", "avx2_fma_available"]);
+                assert_eq!(
+                    keys,
+                    vec![
+                        "requested",
+                        "selected",
+                        "selected_int8",
+                        "avx2_fma_available",
+                        "avx512f_available",
+                        "avx512bw_available",
+                        "avx512_vnni_available",
+                    ]
+                );
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_object_has_expected_fields() {
+        match tune_value() {
+            JsonValue::Object(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(
+                    keys,
+                    vec!["f32_k_block", "int8_group_block", "int8_panel4", "probed"]
+                );
             }
             other => panic!("expected object, got {other:?}"),
         }

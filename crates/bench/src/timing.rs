@@ -62,6 +62,26 @@ pub fn measure_pair<A: FnMut(), B: FnMut()>(mut a: A, mut b: B) -> (f64, f64) {
     (best_a, best_b)
 }
 
+/// Effective memory bandwidth in GB/s of an operation that moves `bytes`
+/// bytes and takes `ns_per_op` nanoseconds. Bytes-per-ns is GB/s by
+/// definition; non-positive times yield `0.0` so reports stay finite.
+pub fn gb_per_s(bytes: usize, ns_per_op: f64) -> f64 {
+    if ns_per_op <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / ns_per_op
+}
+
+/// Effective arithmetic throughput in GFLOP/s of an operation performing
+/// `flops` floating-point (or int8-dot equivalent) operations in `ns_per_op`
+/// nanoseconds. FLOPs-per-ns is GFLOP/s by definition.
+pub fn gflop_per_s(flops: usize, ns_per_op: f64) -> f64 {
+    if ns_per_op <= 0.0 {
+        return 0.0;
+    }
+    flops as f64 / ns_per_op
+}
+
 /// Logical thread count of the host (tracked in every report).
 pub fn num_threads() -> usize {
     std::thread::available_parallelism()
@@ -80,5 +100,15 @@ mod tests {
         });
         assert!(ns.is_finite() && ns > 0.0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn throughput_helpers_convert_correctly() {
+        // 1000 bytes in 500 ns = 2 bytes/ns = 2 GB/s; same arithmetic for
+        // GFLOP/s.
+        assert!((gb_per_s(1000, 500.0) - 2.0).abs() < 1e-12);
+        assert!((gflop_per_s(4000, 500.0) - 8.0).abs() < 1e-12);
+        assert_eq!(gb_per_s(1000, 0.0), 0.0);
+        assert_eq!(gflop_per_s(1000, -1.0), 0.0);
     }
 }

@@ -106,6 +106,58 @@ impl<'a> BitReader<'a> {
         Some(value)
     }
 
+    /// Bulk form of [`BitReader::pull`] for runs of equal-width codes: reads
+    /// `count` values of `bits` bits each and appends them to `out`, or
+    /// returns `None` (consuming nothing) when the stream holds fewer than
+    /// `bits * count` remaining bits.
+    ///
+    /// Decodes through a 64-bit accumulator refilled a byte at a time — one
+    /// shift-and-mask per code instead of [`BitReader::pull`]'s per-call
+    /// bounds check and chunk loop. This is the AP's per-frame payload
+    /// decode: hundreds of codes per frame, every frame, so the per-code
+    /// constant dominates ingest cost. Produces exactly the values the
+    /// equivalent `pull` sequence would.
+    ///
+    /// # Panics
+    /// When `bits` lies outside `1..=16` — wider codes don't fit the `u16`
+    /// output, and zero-width codes are malformed in every caller.
+    pub fn pull_u16s_into(&mut self, bits: u32, count: usize, out: &mut Vec<u16>) -> Option<()> {
+        assert!(
+            (1..=16).contains(&bits),
+            "BitReader::pull_u16s_into of {bits}-bit codes (supported: 1..=16)"
+        );
+        let total = bits as usize * count;
+        if self.bit_pos + total > self.data.len() * 8 {
+            return None;
+        }
+        out.reserve(count);
+        let mut byte_idx = self.bit_pos / 8;
+        let mut acc: u64 = 0;
+        let mut nacc: u32 = 0;
+        let offset = (self.bit_pos % 8) as u32;
+        if offset != 0 {
+            // Seed with the unread low bits of the current partial byte.
+            acc = u64::from(self.data[byte_idx]) & ((1u64 << (8 - offset)) - 1);
+            nacc = 8 - offset;
+            byte_idx += 1;
+        }
+        let mask = (1u32 << bits) - 1;
+        for _ in 0..count {
+            // nacc stays below bits + 8 <= 24, so the accumulator never
+            // sheds live bits, and the length check above keeps every
+            // refill in bounds.
+            while nacc < bits {
+                acc = (acc << 8) | u64::from(self.data[byte_idx]);
+                byte_idx += 1;
+                nacc += 8;
+            }
+            nacc -= bits;
+            out.push(((acc >> nacc) as u32 & mask) as u16);
+        }
+        self.bit_pos += total;
+        Some(())
+    }
+
     /// Number of bits consumed so far.
     pub fn bits_read(&self) -> usize {
         self.bit_pos
@@ -142,6 +194,41 @@ mod tests {
         let mut w = BitWriter::with_capacity_bits(3);
         w.push(0b111, 3);
         assert_eq!(w.finish(), vec![0b1110_0000]);
+    }
+
+    #[test]
+    fn bulk_pull_matches_single_pulls() {
+        // Every width, from both aligned and mid-byte starting positions.
+        let data: Vec<u8> = (0..64)
+            .map(|i| (i as u8).wrapping_mul(37).wrapping_add(11))
+            .collect();
+        for bits in 1..=16u32 {
+            for lead in [0u32, 3, 8, 13] {
+                let count = (data.len() * 8 - lead as usize) / bits as usize;
+                let mut reference = BitReader::new(&data);
+                reference.pull(lead).unwrap();
+                let expect: Vec<u16> = (0..count)
+                    .map(|_| reference.pull(bits).unwrap() as u16)
+                    .collect();
+                let mut bulk = BitReader::new(&data);
+                bulk.pull(lead).unwrap();
+                let mut got = Vec::new();
+                bulk.pull_u16s_into(bits, count, &mut got).unwrap();
+                assert_eq!(got, expect, "bits {bits} lead {lead}");
+                assert_eq!(bulk.bits_read(), lead as usize + count * bits as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_pull_rejects_exhaustion_without_consuming() {
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        let mut out = vec![7u16];
+        assert_eq!(r.pull_u16s_into(5, 4, &mut out), None);
+        assert_eq!(out, vec![7], "failed bulk pull must not append");
+        assert_eq!(r.bits_read(), 0, "failed bulk pull must not consume");
+        assert_eq!(r.pull_u16s_into(5, 3, &mut out), Some(()));
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

@@ -30,9 +30,19 @@
 //! Hot paths call [`selected`] once per kernel invocation (an atomic load) and
 //! pass the result down; benchmarks and parity tests bypass the global state
 //! entirely by passing an explicit [`Kernel`] to the primitives.
+//!
+//! A third tier lives in [`int8`]: integer `u8 x i8 -> i32` GEMM arms for
+//! quantized tail weights (AVX-512 VNNI → AVX2 `maddubs` → scalar reference,
+//! all bit-exact with each other), resolved by [`int8::selected_int8`] behind
+//! the same override/environment seam. Blocking parameters for the SIMD arms
+//! come from the one-shot startup probe in [`tune`] (`SPLITBEAM_TUNE=off`
+//! pins the shipped constants).
 
 use crate::complex::Complex64;
 use std::sync::atomic::{AtomicU8, Ordering};
+
+pub mod int8;
+pub mod tune;
 
 /// What the caller asked for (environment variable or [`set_kernel`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +110,7 @@ pub fn requested() -> KernelChoice {
     match OVERRIDE.load(Ordering::Relaxed) {
         1 => KernelChoice::Auto,
         2 => KernelChoice::Scalar,
-        _ => std::env::var("SPLITBEAM_KERNEL")
+        _ => crate::env::raw("SPLITBEAM_KERNEL")
             .map(|v| parse_choice(&v))
             .unwrap_or(KernelChoice::Auto),
     }
@@ -160,17 +170,31 @@ pub fn set_kernel(choice: Option<KernelChoice>) {
         Ordering::Relaxed,
     );
     RESOLVED.store(0, Ordering::Relaxed);
+    int8::reset_selected();
 }
 
 /// A report of how kernel dispatch resolved, for benchmark JSON and logs.
+///
+/// Besides the selected backends this records every CPU feature the dispatch
+/// chain *inspects* — including detected-but-unselected ones — so a bench
+/// JSON always explains why a tier was not taken on its host (e.g. AVX-512F
+/// present but VNNI absent pins the int8 tier to `avx2_maddubs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DispatchReport {
     /// What was requested (`auto` or `scalar`).
     pub requested: &'static str,
-    /// The backend actually in use.
+    /// The f32/complex backend actually in use.
     pub selected: &'static str,
+    /// The integer (quantized-weight) backend actually in use.
+    pub selected_int8: &'static str,
     /// Whether the host CPU supports AVX2+FMA at all.
     pub avx2_fma_available: bool,
+    /// Whether the host CPU reports AVX-512F (foundation).
+    pub avx512f_available: bool,
+    /// Whether the host CPU reports AVX-512BW.
+    pub avx512bw_available: bool,
+    /// Whether the full VNNI arm requirement (F+BW+VL+VNNI) is met.
+    pub avx512_vnni_available: bool,
 }
 
 /// Snapshot of the current dispatch state.
@@ -181,7 +205,11 @@ pub fn dispatch_report() -> DispatchReport {
             KernelChoice::Scalar => "scalar",
         },
         selected: selected().name(),
+        selected_int8: int8::selected_int8().name(),
         avx2_fma_available: avx2_fma_available(),
+        avx512f_available: int8::avx512f_available(),
+        avx512bw_available: int8::avx512bw_available(),
+        avx512_vnni_available: int8::avx512_vnni_available(),
     }
 }
 
@@ -285,7 +313,9 @@ pub fn gemm_f32(kernel: Kernel, a: &[f32], b: &[f32], out: &mut [f32], m: usize,
             }
         }
         #[cfg(target_arch = "x86_64")]
-        Kernel::Avx2Fma if avx2_fma_available() => unsafe { gemm_f32_avx2(a, b, out, rows, m, n) },
+        Kernel::Avx2Fma if avx2_fma_available() => unsafe {
+            gemm_f32_avx2(a, b, out, rows, m, n, tune::params().f32_k_block)
+        },
         #[allow(unreachable_patterns)]
         _ => gemm_f32(Kernel::Scalar, a, b, out, m, n),
     }
@@ -456,26 +486,22 @@ mod avx2 {
         acc
     }
 
-    /// Inner-dimension rows per block of [`gemm_f32_avx2`]: a `16 x n` block
-    /// of `b` streams sequentially and stays cache-resident while every
-    /// row-panel of the batch reuses it.
-    const GEMM_K_BLOCK: usize = 16;
-
     /// Dense f32 GEMM `out += a * b` (`a`: rows x m, `b`: m x n, `out`:
     /// rows x n, all row-major) — the 8-wide FMA microkernel.
     ///
     /// Same blocking discipline as the historical scalar panel kernel, with
-    /// vector registers: the outer loop walks 16-deep `k` blocks (so the
-    /// corresponding `b` rows are streamed *sequentially* and reused across
-    /// the whole batch from cache), the middle loop walks 4-row panels of
+    /// vector registers: the outer loop walks `k_block`-deep `k` blocks (so
+    /// the corresponding `b` rows are streamed *sequentially* and reused
+    /// across the whole batch from cache; the block depth comes from
+    /// [`super::tune`], default 16), the middle loop walks 4-row panels of
     /// `a`/`out` (one loaded `b` vector feeds four FMA accumulators), and the
     /// inner loop runs 8 floats per instruction over `n`.
     ///
     /// Every output element accumulates as a single FMA chain over ascending
     /// `k`: the accumulator round-trips memory only between `k` blocks, and an
     /// f32 store/load is value-preserving, so results are independent of the
-    /// blocking — single-row calls, batched calls and the fused
-    /// dequantize→tail path all agree bit-for-bit.
+    /// blocking — single-row calls, batched calls, the fused dequantize→tail
+    /// path, and every autotuned `k_block` all agree bit-for-bit.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn gemm_f32_avx2(
         a: &[f32],
@@ -484,9 +510,10 @@ mod avx2 {
         rows: usize,
         m: usize,
         n: usize,
+        k_block: usize,
     ) {
-        for k0 in (0..m).step_by(GEMM_K_BLOCK) {
-            let k1 = (k0 + GEMM_K_BLOCK).min(m);
+        for k0 in (0..m).step_by(k_block.max(1)) {
+            let k1 = (k0 + k_block.max(1)).min(m);
             let mut r = 0;
             while r + 4 <= rows {
                 gemm_panel4_avx2(
@@ -755,11 +782,43 @@ mod tests {
         let report = dispatch_report();
         assert!(["auto", "scalar"].contains(&report.requested));
         assert!(["scalar", "avx2_fma"].contains(&report.selected));
+        assert!(["scalar", "avx2_maddubs", "avx512_vnni"].contains(&report.selected_int8));
         if !report.avx2_fma_available {
             assert_eq!(report.selected, "scalar");
         }
+        // Detected-but-unselected features must still be reported: the report
+        // explains *why* a tier was not taken, so the availability bits are
+        // filled regardless of what got selected.
+        if !report.avx512_vnni_available {
+            assert_ne!(report.selected_int8, "avx512_vnni");
+        }
+        if report.requested == "scalar" {
+            assert_eq!(report.selected_int8, "scalar");
+        }
         assert_eq!(Kernel::Scalar.name(), "scalar");
         assert_eq!(Kernel::Avx2Fma.name(), "avx2_fma");
+    }
+
+    #[test]
+    fn f32_gemm_results_are_independent_of_the_k_block() {
+        // The autotune safety property: any probed k_block produces
+        // bit-identical f32 results (single FMA chain per element, lossless
+        // accumulator round-trips between blocks).
+        #[cfg(target_arch = "x86_64")]
+        if avx2_fma_available() {
+            let (rows, m, n) = (6usize, 50usize, 33usize);
+            let a = f32_series(rows * m, 0.7);
+            let b = f32_series(m * n, 1.3);
+            let mut want = vec![0.0f32; rows * n];
+            unsafe { avx2::gemm_f32_avx2(&a, &b, &mut want, rows, m, n, 16) };
+            for k_block in [1usize, 8, 17, 32, 64, 1000] {
+                let mut out = vec![0.0f32; rows * n];
+                unsafe { avx2::gemm_f32_avx2(&a, &b, &mut out, rows, m, n, k_block) };
+                let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits, want_bits, "k_block={k_block}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod complex;
+pub mod env;
 pub mod kernel;
 pub mod matrix;
 pub mod qr;
@@ -39,6 +40,7 @@ pub mod svd;
 pub mod workspace;
 
 pub use complex::Complex64;
+pub use kernel::int8::Int8Kernel;
 pub use kernel::{Kernel, KernelChoice};
 pub use matrix::CMatrix;
 pub use workspace::Workspace;

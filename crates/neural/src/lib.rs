@@ -48,6 +48,7 @@ pub mod layer;
 pub mod loss;
 pub mod network;
 pub mod optimizer;
+pub mod quant;
 pub mod tensor;
 pub mod trainer;
 
@@ -55,6 +56,7 @@ pub use layer::{Activation, Dense};
 pub use loss::Loss;
 pub use network::{LayerSpec, Network};
 pub use optimizer::{Optimizer, OptimizerKind};
+pub use quant::{QuantScratch, QuantizedDense};
 pub use tensor::Matrix;
 pub use trainer::{TrainConfig, TrainHistory, Trainer};
 

@@ -1,0 +1,501 @@
+//! Int8 quantized weight store for low-precision inference.
+//!
+//! The serving hot path streams each dense layer's f32 weight matrix from
+//! DRAM for every batch; [`QuantizedDense`] shrinks that stream 4x by holding
+//! the weights as **per-output-channel symmetric int8** (one f32 scale per
+//! output column, codes in `-127..=127`), packed into the K4 layout of
+//! [`mimo_math::kernel::int8`]. Quantization happens **once, at model-bind
+//! time** — the f32 master weights stay untouched in the owning [`Dense`]
+//! layer, so the f32 path is never perturbed and a store can always be
+//! re-bound from the master.
+//!
+//! # Inference math
+//!
+//! Activations are quantized dynamically per input row to **u7** asymmetric
+//! codes (`a ≈ a_min + aq * a_scale`, `aq ∈ 0..=127` — the bound that keeps
+//! the AVX2 `maddubs` arm saturation-free). With `wq ∈ -127..=127` and
+//! `w ≈ wq * ws_j` per output column `j`:
+//!
+//! ```text
+//! sum_k a[k] w[k][j]  ≈  ws_j * (a_scale * acc[j]  +  a_min * col_sum[j])
+//! acc[j]     = sum_k aq[k] * wq[k][j]      (exact i32, the GEMM kernel)
+//! col_sum[j] = sum_k wq[k][j]              (exact i32, precomputed at bind)
+//! ```
+//!
+//! The integer accumulation is **exact** in every backend, and the epilogue
+//! (scales, `col_sum` correction, bias, activation) is evaluated by one
+//! shared deterministic f32 loop — so quantized outputs are bit-identical
+//! across scalar / AVX2 / VNNI backends and across batch shapes, the same
+//! property the f32 kernels guarantee.
+
+use crate::layer::{Activation, Dense};
+use crate::tensor::Matrix;
+use mimo_math::kernel::int8::{self, Int8Kernel};
+
+/// A dense layer's weights, quantized once to per-output-channel symmetric
+/// int8 and packed for the integer GEMM tier. Immutable after binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDense {
+    input_dim: usize,
+    output_dim: usize,
+    k_pad: usize,
+    /// K4-packed quantized weights (`k_pad * output_dim` bytes).
+    packed: Vec<i8>,
+    /// Per-output-channel symmetric scale: `w ≈ wq * col_scale[j]`.
+    col_scale: Vec<f32>,
+    /// Per-output-channel sum of quantized weights (the asymmetric
+    /// activation-zero-point correction term).
+    col_sum: Vec<i32>,
+    /// The layer bias, copied so inference needs no master-layer access.
+    bias: Vec<f32>,
+    /// The zero-point correction `col_sum * col_scale`, precomputed in f64 at
+    /// bind time and narrowed once — the epilogue is the second-hottest loop
+    /// after the GEMM and runs in f32 (its rounding, ~1e-7 relative, sits two
+    /// orders of magnitude below the int8/u7 quantization error it dequantizes).
+    corr: Vec<f32>,
+    activation: Activation,
+}
+
+impl QuantizedDense {
+    /// Quantizes `layer`'s weights (per-output-channel symmetric, round to
+    /// nearest, codes clamped to `-127..=127`) and packs them for the integer
+    /// GEMM. The layer's f32 master weights are read, never modified.
+    pub fn quantize(layer: &Dense) -> Self {
+        let k = layer.weights.rows();
+        let n = layer.weights.cols();
+        let w = layer.weights.as_slice();
+        let mut col_scale = vec![0.0f32; n];
+        let mut wq = vec![0i8; k * n];
+        let mut col_sum = vec![0i32; n];
+        for j in 0..n {
+            let mut amax = 0.0f32;
+            for r in 0..k {
+                amax = amax.max(w[r * n + j].abs());
+            }
+            // All-zero (or non-finite-free degenerate) columns quantize to
+            // all-zero codes under a scale of 1.
+            let scale = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+            col_scale[j] = scale;
+            let mut sum = 0i32;
+            for r in 0..k {
+                let q = (w[r * n + j] / scale).round().clamp(-127.0, 127.0) as i32;
+                wq[r * n + j] = q as i8;
+                sum += q;
+            }
+            col_sum[j] = sum;
+        }
+        let corr: Vec<f32> = col_sum
+            .iter()
+            .zip(&col_scale)
+            .map(|(&s, &w)| (f64::from(s) * f64::from(w)) as f32)
+            .collect();
+        Self {
+            input_dim: k,
+            output_dim: n,
+            k_pad: int8::padded_k(k),
+            packed: int8::pack_weights_k4(&wq, k, n),
+            col_scale,
+            col_sum,
+            bias: layer.bias.as_slice().to_vec(),
+            corr,
+            activation: layer.activation,
+        }
+    }
+
+    /// Input dimension (the master layer's weight rows).
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension (the master layer's weight columns).
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// The layer activation applied by the epilogue.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Bytes of quantized weight data streamed per batch — the quantity the
+    /// int8 tier exists to shrink (4x smaller than the f32 master weights,
+    /// modulo the 4-row zero padding).
+    pub fn weight_bytes(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Worst-case absolute weight reconstruction error, `max_j col_scale[j]/2`
+    /// — the symmetric-quantization bound, used by accuracy guardrails.
+    pub fn max_weight_error(&self) -> f32 {
+        self.col_scale.iter().fold(0.0f32, |m, &s| m.max(s)) * 0.5
+    }
+
+    /// Fused quantized `out = activation(input * W + bias)` — the int8
+    /// counterpart of [`Matrix::matmul_bias_act_into_with`].
+    ///
+    /// Quantizes each input row to u7 codes in `scratch`, runs the integer
+    /// GEMM on `kernel`, and applies the shared epilogue. `out` is
+    /// reshaped to `input.rows() x output_dim`. Results are bit-identical
+    /// across backends and batch shapes.
+    ///
+    /// # Panics
+    /// Panics when `input.cols() != input_dim()`.
+    pub fn matmul_bias_act_into(
+        &self,
+        input: &Matrix,
+        scratch: &mut QuantScratch,
+        out: &mut Matrix,
+        kernel: Int8Kernel,
+    ) {
+        assert_eq!(
+            input.cols(),
+            self.input_dim,
+            "quantized layer input dimension mismatch"
+        );
+        let rows = input.rows();
+        let n = self.output_dim;
+        scratch.prepare(rows, self.k_pad, n);
+        // Per-row dynamic u7 activation quantization.
+        let src = input.as_slice();
+        for r in 0..rows {
+            let row = &src[r * self.input_dim..(r + 1) * self.input_dim];
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let scale = (hi - lo) / 127.0;
+            let dst = &mut scratch.aq[r * self.k_pad..r * self.k_pad + self.input_dim];
+            if scale > 0.0 {
+                let inv = 1.0 / scale;
+                // `round_ties_even` (one `roundps`), not `round`: half-away
+                // rounding has no x86 instruction and keeps this hot loop
+                // scalar. The codes differ only on exact-half fractions, and
+                // identically for every backend.
+                for (d, &v) in dst.iter_mut().zip(row.iter()) {
+                    *d = ((v - lo) * inv).round_ties_even().clamp(0.0, 127.0) as u8;
+                }
+            } else {
+                // Constant row: every element is exactly `lo`.
+                dst.fill(0);
+            }
+            scratch.row_scale[r] = if scale > 0.0 { scale } else { 0.0 };
+            scratch.row_min[r] = lo;
+        }
+        self.finish(rows, scratch, out, kernel);
+    }
+
+    /// Fused quantized forward over rows the **caller** quantizes: `fill` is
+    /// invoked once per row with the row's `input_dim`-long u7 code buffer
+    /// (pre-zeroed, so writing a prefix leaves padding clean) and returns the
+    /// row's `(scale, min)` dequantization parameters, under the same
+    /// contract the internal quantizer produces: `value ≈ min + code * scale`
+    /// with codes in `0..=127`, and `scale == 0.0` meaning a constant row of
+    /// exactly `min`.
+    ///
+    /// This is the seam for callers whose inputs already *are* quantization
+    /// codes (e.g. decoded wire payloads): they can map source codes to u7
+    /// directly — a small LUT instead of a dequantize-to-f32 round trip —
+    /// and still share the exact GEMM + epilogue of
+    /// [`Self::matmul_bias_act_into`], preserving bit-identical results
+    /// across backends and batch shapes.
+    ///
+    /// # Panics
+    /// Panics when `rows == 0`.
+    pub fn matmul_bias_act_from_rows<F>(
+        &self,
+        rows: usize,
+        mut fill: F,
+        scratch: &mut QuantScratch,
+        out: &mut Matrix,
+        kernel: Int8Kernel,
+    ) where
+        F: FnMut(usize, &mut [u8]) -> (f32, f32),
+    {
+        assert!(rows > 0, "quantized forward needs at least one row");
+        scratch.prepare(rows, self.k_pad, self.output_dim);
+        for r in 0..rows {
+            let dst = &mut scratch.aq[r * self.k_pad..r * self.k_pad + self.input_dim];
+            let (scale, min) = fill(r, dst);
+            scratch.row_scale[r] = scale;
+            scratch.row_min[r] = min;
+        }
+        self.finish(rows, scratch, out, kernel);
+    }
+
+    /// The shared back half of both forward entries: integer GEMM, then the
+    /// dequantize+bias+activation epilogue. Expects `scratch` prepared and
+    /// its `aq`/`row_scale`/`row_min` filled for `rows` rows.
+    fn finish(
+        &self,
+        rows: usize,
+        scratch: &mut QuantScratch,
+        out: &mut Matrix,
+        kernel: Int8Kernel,
+    ) {
+        let n = self.output_dim;
+        // Overwrite-mode GEMM: writes every `rows x n` slot, so `acc` needs
+        // no zeroing beforehand.
+        int8::gemm_u8i8_i32(
+            kernel,
+            &scratch.aq,
+            &self.packed,
+            &mut scratch.acc,
+            rows,
+            self.k_pad,
+            n,
+        );
+        // Shared scalar epilogue: dequantize, bias, activation — identical
+        // code for every backend, so backend choice can only affect `acc`,
+        // which is exact. The activation dispatch is hoisted out of the
+        // element loop so the common Identity/Relu cases stay branch-free
+        // and autovectorizable.
+        out.reshape_for_overwrite(rows, n);
+        let dst = out.as_mut_slice();
+        match self.activation {
+            Activation::Identity => self.epilogue(rows, n, scratch, dst, |v| v),
+            Activation::Relu => self.epilogue(rows, n, scratch, dst, |v| v.max(0.0)),
+            Activation::Tanh => self.epilogue(rows, n, scratch, dst, tanh_fast),
+            Activation::LeakyRelu => {
+                self.epilogue(
+                    rows,
+                    n,
+                    scratch,
+                    dst,
+                    |v| {
+                        if v >= 0.0 {
+                            v
+                        } else {
+                            0.01 * v
+                        }
+                    },
+                )
+            }
+        }
+    }
+
+    /// The dequantize+bias epilogue with the activation monomorphized in:
+    /// `out = act(acc * ws * a_scale + (a_min * corr + bias))`.
+    ///
+    /// Runs in f32: `acc` fits 27 bits so the i32→f32 narrowing loses at most
+    /// ~6e-8 relative, and every further rounding sits far below the int8/u7
+    /// quantization error the formula dequantizes — while keeping the loop
+    /// twice as wide under SIMD as the f64 equivalent. Plain indexed loops
+    /// over equal-length slice prefixes so the bounds checks hoist and the
+    /// body autovectorizes.
+    #[inline(always)]
+    fn epilogue<F: Fn(f32) -> f32>(
+        &self,
+        rows: usize,
+        n: usize,
+        scratch: &QuantScratch,
+        dst: &mut [f32],
+        act: F,
+    ) {
+        let ws = &self.col_scale[..n];
+        let corr = &self.corr[..n];
+        let bias = &self.bias[..n];
+        for r in 0..rows {
+            let a_scale = scratch.row_scale[r];
+            let a_min = scratch.row_min[r];
+            let acc_row = &scratch.acc[r * n..(r + 1) * n];
+            let out_row = &mut dst[r * n..(r + 1) * n];
+            for j in 0..n {
+                let real = acc_row[j] as f32 * ws[j] * a_scale + (a_min * corr[j] + bias[j]);
+                out_row[j] = act(real);
+            }
+        }
+    }
+}
+
+/// Rational tanh used by the int8 epilogue: the 7th-order Lambert continued
+/// fraction, clamped at the saturation point (absolute error < 3e-5 — two
+/// orders of magnitude below the u7/int8 quantization error of the inputs it
+/// activates). Keeps the hot epilogue free of libm calls; the f32 master
+/// path still evaluates `f32::tanh` untouched. Deterministic plain f32
+/// arithmetic, so the cross-backend bit-exactness of the quantized path is
+/// unaffected.
+#[inline(always)]
+fn tanh_fast(v: f32) -> f32 {
+    let x = v.clamp(-4.97, 4.97);
+    let x2 = x * x;
+    let p = x * (135135.0 + x2 * (17325.0 + x2 * (378.0 + x2)));
+    let q = 135135.0 + x2 * (62370.0 + x2 * (3150.0 + 28.0 * x2));
+    (p / q).clamp(-1.0, 1.0)
+}
+
+/// Reusable buffers for [`QuantizedDense::matmul_bias_act_into`]: quantized
+/// activation rows (zero-padded to the K4 depth), the i32 accumulator, and
+/// the per-row quantization parameters.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    aq: Vec<u8>,
+    acc: Vec<i32>,
+    row_scale: Vec<f32>,
+    row_min: Vec<f32>,
+}
+
+impl QuantScratch {
+    /// Empty scratch; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, rows: usize, k_pad: usize, n: usize) {
+        self.aq.clear();
+        self.aq.resize(rows * k_pad, 0);
+        // No clear for `acc`: the overwrite-mode GEMM writes every slot, so
+        // stale values from a previous (possibly differently shaped) call
+        // are harmless and the full memset is skipped — this buffer is the
+        // largest in the scratch (batch x widest layer).
+        self.acc.resize(rows * n, 0);
+        self.row_scale.clear();
+        self.row_scale.resize(rows, 0.0);
+        self.row_min.clear();
+        self.row_min.resize(rows, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mimo_math::Kernel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layer(k: usize, n: usize, activation: Activation, seed: u64) -> Dense {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut l = Dense::new(k, n, activation, &mut rng);
+        let w = l.weights.as_mut_slice();
+        for (i, v) in w.iter_mut().enumerate() {
+            *v = ((((i as u64).wrapping_mul(97) + seed) % 200) as f32 - 100.0) * 0.013;
+        }
+        let b = l.bias.as_mut_slice();
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as f32) - 1.5) * 0.05;
+        }
+        l
+    }
+
+    fn input(rows: usize, k: usize, seed: u64) -> Matrix {
+        let mut m = Matrix::zeros(rows, k);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = ((((i as u64).wrapping_mul(41) + seed) % 97) as f32 - 48.0) * 0.02;
+        }
+        m
+    }
+
+    fn backends() -> Vec<Int8Kernel> {
+        let mut ks = vec![Int8Kernel::Scalar];
+        if int8::avx2_available() {
+            ks.push(Int8Kernel::Avx2Maddubs);
+        }
+        if int8::avx512_vnni_available() {
+            ks.push(Int8Kernel::Avx512Vnni);
+        }
+        ks
+    }
+
+    #[test]
+    fn quantized_forward_tracks_the_f32_layer() {
+        for activation in [Activation::Identity, Activation::Relu, Activation::Tanh] {
+            let l = layer(37, 23, activation, 5);
+            let q = QuantizedDense::quantize(&l);
+            assert_eq!(q.input_dim(), 37);
+            assert_eq!(q.output_dim(), 23);
+            assert!(q.weight_bytes() >= 37 * 23);
+            let x = input(6, 37, 11);
+            let mut want = Matrix::zeros(1, 1);
+            l.infer_into_with(&x, &mut want, Kernel::Scalar);
+            let mut got = Matrix::zeros(1, 1);
+            let mut scratch = QuantScratch::new();
+            q.matmul_bias_act_into(&x, &mut scratch, &mut got, Int8Kernel::Scalar);
+            // int8 weights + u7 activations: ~1% relative error budget on
+            // these O(1) magnitudes.
+            for (g, w) in got.as_slice().iter().zip(want.as_slice().iter()) {
+                assert!(
+                    (g - w).abs() < 0.05,
+                    "{activation:?}: quantized {g} vs f32 {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backends_and_batch_shapes_agree_bitwise() {
+        let l = layer(45, 31, Activation::LeakyRelu, 9);
+        let q = QuantizedDense::quantize(&l);
+        let x = input(7, 45, 3);
+        let mut scratch = QuantScratch::new();
+        let mut want = Matrix::zeros(1, 1);
+        q.matmul_bias_act_into(&x, &mut scratch, &mut want, Int8Kernel::Scalar);
+        for backend in backends() {
+            // Whole batch.
+            let mut got = Matrix::zeros(1, 1);
+            q.matmul_bias_act_into(&x, &mut scratch, &mut got, backend);
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "{backend:?} batched");
+            // Row at a time must match the batched call exactly.
+            for r in 0..x.rows() {
+                let mut row_in = Matrix::zeros(1, x.cols());
+                row_in
+                    .as_mut_slice()
+                    .copy_from_slice(&x.as_slice()[r * x.cols()..(r + 1) * x.cols()]);
+                let mut row_out = Matrix::zeros(1, 1);
+                q.matmul_bias_act_into(&row_in, &mut scratch, &mut row_out, backend);
+                let row_bits: Vec<u32> = row_out.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    row_bits,
+                    want_bits[r * 31..(r + 1) * 31].to_vec(),
+                    "{backend:?} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_zero_inputs_are_exact() {
+        let l = layer(8, 5, Activation::Identity, 21);
+        let q = QuantizedDense::quantize(&l);
+        // A constant row carries no quantization error at all: the whole row
+        // is the zero point, so the reconstruction is exact up to f32/f64
+        // rounding of the correction term.
+        let mut x = Matrix::zeros(2, 8);
+        for v in x.as_mut_slice()[8..].iter_mut() {
+            *v = 0.75;
+        }
+        let mut want = Matrix::zeros(1, 1);
+        l.infer_into_with(&x, &mut want, Kernel::Scalar);
+        let mut got = Matrix::zeros(1, 1);
+        let mut scratch = QuantScratch::new();
+        q.matmul_bias_act_into(&x, &mut scratch, &mut got, Int8Kernel::Scalar);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice().iter()) {
+            // Only weight-quantization error remains (< col_scale/2 per term).
+            assert!(
+                (g - w).abs() < 8.0 * q.max_weight_error() + 1e-6,
+                "{g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_weight_columns_bind_cleanly() {
+        let mut l = layer(6, 4, Activation::Identity, 2);
+        let n = l.weights.cols();
+        for r in 0..l.weights.rows() {
+            l.weights.as_mut_slice()[r * n + 2] = 0.0;
+        }
+        let q = QuantizedDense::quantize(&l);
+        let x = input(3, 6, 17);
+        let mut out = Matrix::zeros(1, 1);
+        let mut scratch = QuantScratch::new();
+        q.matmul_bias_act_into(&x, &mut scratch, &mut out, Int8Kernel::Scalar);
+        for r in 0..3 {
+            let got = out.as_slice()[r * 4 + 2];
+            let bias = l.bias.as_slice()[2];
+            assert_eq!(got, bias, "zero column must produce exactly the bias");
+        }
+    }
+}

@@ -166,11 +166,10 @@ impl SeededJitter {
     /// (defaulting to `default_ns` when unset or unparsable), seeded with
     /// `seed`.
     pub fn from_env(default_ns: VirtualNs, seed: u64) -> Self {
-        let max_ns = std::env::var("SPLITBEAM_JITTER_NS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .unwrap_or(default_ns);
-        Self::new(max_ns, seed)
+        Self::new(
+            mimo_math::env::parse_or("SPLITBEAM_JITTER_NS", default_ns),
+            seed,
+        )
     }
 
     /// The configured amplitude.

@@ -90,33 +90,23 @@ impl FaultConfig {
     /// environment variables (see the module docs); unset or unparsable
     /// variables fall back to [`FaultConfig::none`]'s fields.
     pub fn from_env() -> Self {
-        fn env_f64(key: &str) -> Option<f64> {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.trim().parse::<f64>().ok())
-                .filter(|p| p.is_finite() && *p >= 0.0)
+        fn env_prob(key: &str) -> Option<f64> {
+            mimo_math::env::parse::<f64>(key).filter(|p| p.is_finite() && *p >= 0.0)
         }
         let mut cfg = Self::none();
-        if let Some(p) = env_f64("SPLITBEAM_LOSS") {
+        if let Some(p) = env_prob("SPLITBEAM_LOSS") {
             cfg.loss = p.min(1.0);
         }
-        if let Some(p) = env_f64("SPLITBEAM_CORRUPT") {
+        if let Some(p) = env_prob("SPLITBEAM_CORRUPT") {
             cfg.corrupt = p.min(1.0);
         }
-        if let Some(p) = env_f64("SPLITBEAM_DUP") {
+        if let Some(p) = env_prob("SPLITBEAM_DUP") {
             cfg.duplicate = p.min(1.0);
         }
-        if let Some(ns) = std::env::var("SPLITBEAM_FAULT_DELAY_NS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-        {
+        if let Some(ns) = mimo_math::env::parse::<u64>("SPLITBEAM_FAULT_DELAY_NS") {
             cfg.max_extra_delay_ns = ns;
         }
-        if let Ok(spec) = std::env::var("SPLITBEAM_BURST") {
-            let parts: Vec<f64> = spec
-                .split(',')
-                .filter_map(|p| p.trim().parse::<f64>().ok())
-                .collect();
+        if let Some(parts) = mimo_math::env::parse_list::<f64>("SPLITBEAM_BURST") {
             if parts.len() == 2
                 && parts
                     .iter()

@@ -169,21 +169,13 @@ impl Default for EventConfig {
 /// `SPLITBEAM_STREAMING` truthiness: `1` or `true` (case-insensitive) enables
 /// streaming micro-batch serving in [`EventConfig::realistic`].
 fn streaming_from_env() -> bool {
-    std::env::var("SPLITBEAM_STREAMING")
-        .map(|v| {
-            let v = v.trim().to_ascii_lowercase();
-            v == "1" || v == "true"
-        })
-        .unwrap_or(false)
+    mimo_math::env::flag("SPLITBEAM_STREAMING")
 }
 
 /// `SPLITBEAM_WATERMARK_NS`: watermark cadence in virtual ns (`0`/unset means
 /// one watermark per sounding interval).
 fn watermark_ns_from_env() -> VirtualNs {
-    std::env::var("SPLITBEAM_WATERMARK_NS")
-        .ok()
-        .and_then(|v| v.trim().parse::<VirtualNs>().ok())
-        .unwrap_or(0)
+    mimo_math::env::parse_or("SPLITBEAM_WATERMARK_NS", 0)
 }
 
 /// Head/tail compute latency of one model on the simulated accelerator, in

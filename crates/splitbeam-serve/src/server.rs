@@ -5,7 +5,8 @@ use crate::session::{SessionHealth, StationId, StationSession};
 use crate::timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 use crate::ServeError;
 use mimo_math::kernel::Kernel;
-use splitbeam::fused::TailScratch;
+use mimo_math::Int8Kernel;
+use splitbeam::fused::{QuantizedTail, TailScratch, TailWeights};
 use splitbeam::model::SplitBeamModel;
 use splitbeam::quantization::QuantizedFeedback;
 use splitbeam::wire;
@@ -107,6 +108,13 @@ impl Default for HealthPolicy {
 #[derive(Debug, Clone, Default)]
 pub struct ApServer {
     models: Vec<Arc<SplitBeamModel>>,
+    /// Int8 tails bound from the registered models (same indices as
+    /// `models`); consulted only when `tail_weights` is
+    /// [`TailWeights::Int8`].
+    tails: Vec<Arc<QuantizedTail>>,
+    /// Which weight format round closes reconstruct with. The f32 default is
+    /// bit-exact with the pre-quantization serving path.
+    tail_weights: TailWeights,
     core: ShardCore,
     round: u64,
     /// When set, wire ingest routes through the shard's streaming ring and
@@ -231,6 +239,38 @@ impl Clone for StreamLane {
     /// nothing anyway.
     fn clone(&self) -> Self {
         Self::with_capacity(self.ring.capacity())
+    }
+}
+
+/// Everything a round close needs to run the tail: the f32 master models, the
+/// int8 tails bound from them at registration, which weight format serves this
+/// round, and the resolved kernel of each precision tier. Built once per round
+/// close and shared (it is `Copy`) by every shard, so the batched, serial,
+/// and streaming micro-batch paths all dispatch identically.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TailEngine<'a> {
+    pub(crate) models: &'a [Arc<SplitBeamModel>],
+    pub(crate) tails: &'a [Arc<QuantizedTail>],
+    pub(crate) mode: TailWeights,
+    pub(crate) kern: Kernel,
+    pub(crate) ik: Int8Kernel,
+}
+
+impl<'a> TailEngine<'a> {
+    /// Bundles the registries with the kernels currently selected for the f32
+    /// and int8 tiers (`SPLITBEAM_KERNEL` / [`mimo_math::kernel::set_kernel`]).
+    pub(crate) fn new(
+        models: &'a [Arc<SplitBeamModel>],
+        tails: &'a [Arc<QuantizedTail>],
+        mode: TailWeights,
+    ) -> Self {
+        Self {
+            models,
+            tails,
+            mode,
+            kern: mimo_math::kernel::selected(),
+            ik: mimo_math::kernel::int8::selected_int8(),
+        }
     }
 }
 
@@ -574,13 +614,12 @@ impl ShardCore {
     /// models are never penalized for an unrelated model's failure.
     pub(crate) fn close_round_batched(
         &mut self,
-        models: &[Arc<SplitBeamModel>],
+        engine: &TailEngine<'_>,
         round: u64,
-        kern: Kernel,
         policy: Option<DeadlinePolicy>,
         lag_ns: u64,
     ) -> RoundOutcome {
-        let pass = self.serve_pending_batched(models, round, kern, policy, lag_ns);
+        let pass = self.serve_pending_batched(engine, round, policy, lag_ns);
         self.finish_round(round, pass, 0)
     }
 
@@ -591,9 +630,8 @@ impl ShardCore {
     /// round, in [`ShardCore::finish_round`].
     fn serve_pending_batched(
         &mut self,
-        models: &[Arc<SplitBeamModel>],
+        engine: &TailEngine<'_>,
         round: u64,
-        kern: Kernel,
         policy: Option<DeadlinePolicy>,
         lag_ns: u64,
     ) -> ServePass {
@@ -608,7 +646,7 @@ impl ShardCore {
             sessions, arena, ..
         } = self;
         let RoundArena { ids, tail, .. } = arena;
-        for (key, model) in models.iter().enumerate() {
+        for (key, model) in engine.models.iter().enumerate() {
             ids.clear();
             ids.extend(
                 sessions
@@ -620,12 +658,20 @@ impl ShardCore {
                 continue;
             }
             batches += 1;
-            let result = model.reconstruct_quantized_batch_iter_into(
-                ids.iter().map(|id| sessions[id].payload()),
-                ids.len(),
-                tail,
-                kern,
-            );
+            let result = match engine.mode {
+                TailWeights::F32 => model.reconstruct_quantized_batch_iter_into(
+                    ids.iter().map(|id| sessions[id].payload()),
+                    ids.len(),
+                    tail,
+                    engine.kern,
+                ),
+                TailWeights::Int8 => engine.tails[key].reconstruct_quantized_batch_iter_into(
+                    ids.iter().map(|id| sessions[id].payload()),
+                    ids.len(),
+                    tail,
+                    engine.ik,
+                ),
+            };
             match result {
                 Ok(flats) => {
                     let width = flats.cols();
@@ -703,12 +749,12 @@ impl ShardCore {
     /// error (in model-key order) is reported.
     pub(crate) fn close_round_serial(
         &mut self,
-        models: &[Arc<SplitBeamModel>],
+        engine: &TailEngine<'_>,
         round: u64,
         policy: Option<DeadlinePolicy>,
         lag_ns: u64,
     ) -> RoundOutcome {
-        let pass = self.serve_pending_serial(models, round, policy, lag_ns);
+        let pass = self.serve_pending_serial(engine, round, policy, lag_ns);
         self.finish_round(round, pass, 0)
     }
 
@@ -717,7 +763,7 @@ impl ShardCore {
     /// health accounting.
     fn serve_pending_serial(
         &mut self,
-        models: &[Arc<SplitBeamModel>],
+        engine: &TailEngine<'_>,
         round: u64,
         policy: Option<DeadlinePolicy>,
         lag_ns: u64,
@@ -729,7 +775,7 @@ impl ShardCore {
         let mut late = 0usize;
         let mut delay = RoundDelayStats::default();
         let mut first_error = None;
-        for (key, model) in models.iter().enumerate() {
+        for (key, model) in engine.models.iter().enumerate() {
             let ids: Vec<StationId> = self
                 .sessions
                 .values()
@@ -743,7 +789,12 @@ impl ShardCore {
             let mut flats = Vec::with_capacity(ids.len());
             let mut failure = None;
             for id in &ids {
-                match model.reconstruct_quantized(self.sessions[id].payload()) {
+                let result = match engine.mode {
+                    TailWeights::F32 => model.reconstruct_quantized(self.sessions[id].payload()),
+                    TailWeights::Int8 => engine.tails[key]
+                        .reconstruct_quantized(self.sessions[id].payload(), engine.ik),
+                };
+                match result {
                     Ok(flat) => flats.push(flat),
                     Err(e) => {
                         failure = Some(ServeError::Model(e.to_string()));
@@ -925,9 +976,8 @@ impl ShardCore {
     /// independently; no cross-shard barrier.
     pub(crate) fn advance_watermark(
         &mut self,
-        models: &[Arc<SplitBeamModel>],
+        engine: &TailEngine<'_>,
         round: u64,
-        kern: Kernel,
         watermark_ns: u64,
         step_ns: u64,
         policy: Option<DeadlinePolicy>,
@@ -942,7 +992,7 @@ impl ShardCore {
             .min();
         if let Some(deadline) = oldest_deadline {
             if deadline <= watermark_ns.saturating_add(step_ns) {
-                let pass = self.serve_pending_batched(models, round, kern, policy, self.stall_ns);
+                let pass = self.serve_pending_batched(engine, round, policy, self.stall_ns);
                 self.lane.acc.fold(pass);
                 self.lane.acc.micro_closes += 1;
             }
@@ -956,13 +1006,12 @@ impl ShardCore {
     /// fired (the whole round serves as one batch).
     pub(crate) fn finalize_stream_round(
         &mut self,
-        models: &[Arc<SplitBeamModel>],
+        engine: &TailEngine<'_>,
         round: u64,
-        kern: Kernel,
         policy: Option<DeadlinePolicy>,
     ) -> RoundOutcome {
         self.commit_due(u64::MAX);
-        let tail = self.serve_pending_batched(models, round, kern, policy, self.stall_ns);
+        let tail = self.serve_pending_batched(engine, round, policy, self.stall_ns);
         let mut acc = std::mem::take(&mut self.lane.acc);
         acc.fold(tail);
         let micro_closes = acc.micro_closes;
@@ -1003,16 +1052,40 @@ impl ShardCore {
 }
 
 impl ApServer {
-    /// Creates an empty server.
+    /// Creates an empty server. The tail weight format starts from the
+    /// `SPLITBEAM_TAIL_WEIGHTS` environment knob (`int8` opts into the
+    /// quantized tier, anything else serves f32).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            tail_weights: TailWeights::from_env(),
+            ..Self::default()
+        }
     }
 
     /// Registers a tail model and returns its key. Stations referencing the
-    /// same key share the model (and one batched inference per round).
+    /// same key share the model (and one batched inference per round). The
+    /// model's int8 tail is quantized and packed here, once, so round closes
+    /// under [`TailWeights::Int8`] pay no bind cost.
     pub fn register_model(&mut self, model: SplitBeamModel) -> usize {
+        self.tails.push(Arc::new(QuantizedTail::bind(&model)));
         self.models.push(Arc::new(model));
         self.models.len() - 1
+    }
+
+    /// The int8 tail bound from model `key`.
+    pub fn quantized_tail(&self, key: usize) -> Option<&QuantizedTail> {
+        self.tails.get(key).map(Arc::as_ref)
+    }
+
+    /// The weight format round closes currently reconstruct with.
+    pub fn tail_weights(&self) -> TailWeights {
+        self.tail_weights
+    }
+
+    /// Switches the tail weight format for subsequent round closes. Safe at
+    /// any round boundary — the int8 tails were bound at registration.
+    pub fn set_tail_weights(&mut self, mode: TailWeights) {
+        self.tail_weights = mode;
     }
 
     /// The model behind `key`.
@@ -1162,10 +1235,10 @@ impl ApServer {
     pub fn process_round(&mut self) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let kern = mimo_math::kernel::selected();
         let lag = self.core.stall_ns;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         self.core
-            .close_round_batched(&self.models, round, kern, None, lag)
+            .close_round_batched(&engine, round, None, lag)
             .into_summary(round)
     }
 
@@ -1186,10 +1259,10 @@ impl ApServer {
     ) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let kern = mimo_math::kernel::selected();
         let lag = self.core.stall_ns;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         self.core
-            .close_round_batched(&self.models, round, kern, Some(policy), lag)
+            .close_round_batched(&engine, round, Some(policy), lag)
             .into_summary(round)
     }
 
@@ -1207,8 +1280,9 @@ impl ApServer {
         let round = self.round;
         self.round += 1;
         let lag = self.core.stall_ns;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         self.core
-            .close_round_serial(&self.models, round, None, lag)
+            .close_round_serial(&engine, round, None, lag)
             .into_summary(round)
     }
 
@@ -1226,8 +1300,9 @@ impl ApServer {
         let round = self.round;
         self.round += 1;
         let lag = self.core.stall_ns;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         self.core
-            .close_round_serial(&self.models, round, Some(policy), lag)
+            .close_round_serial(&engine, round, Some(policy), lag)
             .into_summary(round)
     }
 
@@ -1274,9 +1349,9 @@ impl ApServer {
         policy: Option<DeadlinePolicy>,
     ) {
         let round = self.round;
-        let kern = mimo_math::kernel::selected();
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         self.core
-            .advance_watermark(&self.models, round, kern, watermark_ns, step_ns, policy);
+            .advance_watermark(&engine, round, watermark_ns, step_ns, policy);
     }
 
     /// Closes the current round in streaming mode: commits everything still
@@ -1297,10 +1372,8 @@ impl ApServer {
     ) -> Result<RoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let kern = mimo_math::kernel::selected();
-        let outcome = self
-            .core
-            .finalize_stream_round(&self.models, round, kern, policy);
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
+        let outcome = self.core.finalize_stream_round(&engine, round, policy);
         self.last_micro_closes = outcome.micro_closes;
         outcome.into_summary(round)
     }

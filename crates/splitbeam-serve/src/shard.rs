@@ -23,11 +23,12 @@
 //! * *clean re-registration* — a deregistered or evicted id can associate
 //!   again and starts from a blank session.
 
-use crate::server::{RoundOutcome, RoundSummary, ShardCore};
+use crate::server::{RoundOutcome, RoundSummary, ShardCore, TailEngine};
 use crate::session::{StationId, StationSession};
 use crate::timing::{DeadlinePolicy, FrameStamp, RoundDelayStats};
 use crate::ServeError;
 use rayon::prelude::*;
+use splitbeam::fused::{QuantizedTail, TailWeights};
 use splitbeam::model::SplitBeamModel;
 use splitbeam::quantization::QuantizedFeedback;
 use std::sync::Arc;
@@ -124,6 +125,11 @@ pub struct ShardRoundStats {
 #[derive(Debug, Clone)]
 pub struct ShardedApServer {
     models: Vec<Arc<SplitBeamModel>>,
+    /// Int8 tails bound from the registered models (same indices); consulted
+    /// only when `tail_weights` is [`TailWeights::Int8`].
+    tails: Vec<Arc<QuantizedTail>>,
+    /// Which weight format every shard's round close reconstructs with.
+    tail_weights: TailWeights,
     shards: Vec<ShardCore>,
     round: u64,
     max_idle_rounds: Option<u64>,
@@ -146,6 +152,8 @@ impl ShardedApServer {
         let num_shards = num_shards.max(1);
         Self {
             models: Vec::new(),
+            tails: Vec::new(),
+            tail_weights: TailWeights::from_env(),
             shards: (0..num_shards).map(|_| ShardCore::default()).collect(),
             round: 0,
             max_idle_rounds: None,
@@ -190,10 +198,23 @@ impl ShardedApServer {
     }
 
     /// Registers a tail model and returns its key. Stations referencing the
-    /// same key share the model.
+    /// same key share the model. The int8 tail is quantized and packed here,
+    /// once, shared read-only by every shard.
     pub fn register_model(&mut self, model: SplitBeamModel) -> usize {
+        self.tails.push(Arc::new(QuantizedTail::bind(&model)));
         self.models.push(Arc::new(model));
         self.models.len() - 1
+    }
+
+    /// The weight format round closes currently reconstruct with.
+    pub fn tail_weights(&self) -> TailWeights {
+        self.tail_weights
+    }
+
+    /// Switches the tail weight format for subsequent round closes (all
+    /// shards; safe at any round boundary).
+    pub fn set_tail_weights(&mut self, mode: TailWeights) {
+        self.tail_weights = mode;
     }
 
     /// The model behind `key`.
@@ -385,8 +406,7 @@ impl ShardedApServer {
     ) -> Result<ShardedRoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let kern = mimo_math::kernel::selected();
-        let models = &self.models;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         let max_idle = self.max_idle_rounds;
         // The barrier couples every shard to the slowest one: the whole round
         // close waits for the most stalled shard, so every shard's reports pay
@@ -398,7 +418,7 @@ impl ShardedApServer {
             .par_iter_mut()
             .map(|shard: &mut ShardCore| {
                 let had_traffic = shard.pending_count() > 0;
-                let outcome = shard.close_round_batched(models, round, kern, policy, barrier_lag);
+                let outcome = shard.close_round_batched(&engine, round, policy, barrier_lag);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -438,7 +458,7 @@ impl ShardedApServer {
     ) -> Result<ShardedRoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let models = &self.models;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         let max_idle = self.max_idle_rounds;
         let barrier_lag = self.barrier_lag_ns();
         let results: Vec<(RoundOutcome, usize, bool)> = self
@@ -446,7 +466,7 @@ impl ShardedApServer {
             .iter_mut()
             .map(|shard| {
                 let had_traffic = shard.pending_count() > 0;
-                let outcome = shard.close_round_serial(models, round, policy, barrier_lag);
+                let outcome = shard.close_round_serial(&engine, round, policy, barrier_lag);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -569,10 +589,9 @@ impl ShardedApServer {
         policy: Option<DeadlinePolicy>,
     ) {
         let round = self.round;
-        let kern = mimo_math::kernel::selected();
-        let models = &self.models;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         for shard in &mut self.shards {
-            shard.advance_watermark(models, round, kern, watermark_ns, step_ns, policy);
+            shard.advance_watermark(&engine, round, watermark_ns, step_ns, policy);
         }
     }
 
@@ -594,15 +613,14 @@ impl ShardedApServer {
     ) -> Result<ShardedRoundSummary, ServeError> {
         let round = self.round;
         self.round += 1;
-        let kern = mimo_math::kernel::selected();
-        let models = &self.models;
+        let engine = TailEngine::new(&self.models, &self.tails, self.tail_weights);
         let max_idle = self.max_idle_rounds;
         let results: Vec<(RoundOutcome, usize, bool)> = self
             .shards
             .par_iter_mut()
             .map(|shard: &mut ShardCore| {
                 let had_traffic = shard.round_had_traffic();
-                let outcome = shard.finalize_stream_round(models, round, kern, policy);
+                let outcome = shard.finalize_stream_round(&engine, round, policy);
                 let evicted = match max_idle {
                     Some(budget) => shard.evict_idle(round, budget),
                     None => 0,
@@ -642,10 +660,7 @@ impl ShardedApServer {
 /// Shard count from the environment: `SPLITBEAM_SHARDS` when set (clamped to
 /// `1..=64`), otherwise the available parallelism capped at 8.
 pub fn env_shards() -> usize {
-    match std::env::var("SPLITBEAM_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
+    match mimo_math::env::parse::<usize>("SPLITBEAM_SHARDS") {
         Some(n) => n.clamp(1, 64),
         None => rayon::current_num_threads().clamp(1, 8),
     }

@@ -69,7 +69,7 @@ pub mod training;
 pub mod wire;
 
 pub use config::{CompressionLevel, SplitBeamConfig};
-pub use fused::TailScratch;
+pub use fused::{QuantizedTail, TailScratch, TailWeights};
 pub use model::SplitBeamModel;
 
 /// Errors produced by the SplitBeam pipeline.

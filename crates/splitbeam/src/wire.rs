@@ -338,13 +338,10 @@ fn fill_codes(
     payload.min = min;
     payload.max = max;
     payload.codes.clear();
-    payload.codes.reserve(count);
-    for _ in 0..count {
-        // Length was validated by the caller; pull cannot fail.
-        payload
-            .codes
-            .push(reader.pull(u32::from(bits_per_value)).unwrap() as u16);
-    }
+    // Length was validated by the caller; the bulk pull cannot fail.
+    reader
+        .pull_u16s_into(u32::from(bits_per_value), count, &mut payload.codes)
+        .expect("frame length validated against declared code count");
 }
 
 /// Sequence number carried by a v2 frame's header; `0` for legacy frames

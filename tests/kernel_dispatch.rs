@@ -13,7 +13,7 @@ use mimo_math::kernel::{avx2_fma_available, selected, set_kernel, Kernel, Kernel
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use splitbeam::config::{CompressionLevel, SplitBeamConfig};
-use splitbeam::fused::TailScratch;
+use splitbeam::fused::{TailScratch, TailWeights};
 use splitbeam::model::SplitBeamModel;
 use splitbeam::quantization::QuantizedFeedback;
 use splitbeam::wire;
@@ -126,6 +126,11 @@ fn scalar_kernel_reproduces_reference_serving_outputs() {
         with_kernel(KernelChoice::Scalar, || {
             let mut batched = ApServer::new();
             let mut serial = ApServer::new();
+            // The fused reference below is the f32 reconstruction path, so pin
+            // the servers to f32 tail weights regardless of the
+            // SPLITBEAM_TAIL_WEIGHTS environment this suite runs under.
+            batched.set_tail_weights(TailWeights::F32);
+            serial.set_tail_weights(TailWeights::F32);
             let bkey = batched.register_model(m.clone());
             let skey = serial.register_model(m.clone());
             for (id, frame) in frames.iter().enumerate() {

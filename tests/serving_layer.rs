@@ -6,6 +6,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use splitbeam_repro::prelude::*;
 use splitbeam_repro::serve::driver::SimTraffic;
+use splitbeam_repro::splitbeam::fused::TailWeights;
 use splitbeam_repro::splitbeam::wire;
 
 fn small_model(seed: u64) -> SplitBeamModel {
@@ -39,6 +40,9 @@ fn served_feedback_round_trips_through_the_wire() {
     // AP side: ingest over the wire, serve the round, compare with the direct
     // (never-encoded) reconstruction — must be bit-exact.
     let mut server = ApServer::new();
+    // The comparison target is the direct f32 reconstruction, so pin the f32
+    // serving path regardless of the SPLITBEAM_TAIL_WEIGHTS environment.
+    server.set_tail_weights(TailWeights::F32);
     let key = server.register_model(model.clone());
     server.register_station(0, key, 4).unwrap();
     server.ingest_wire(0, &frame).unwrap();
