@@ -176,7 +176,7 @@ impl JsonReport {
     /// and returns the path written.
     pub fn write(&self, default_name: &str) -> String {
         let out_path =
-            std::env::var("SPLITBEAM_BENCH_OUT").unwrap_or_else(|_| default_name.to_string());
+            mimo_math::env::raw("SPLITBEAM_BENCH_OUT").unwrap_or_else(|| default_name.to_string());
         std::fs::write(&out_path, self.render()).expect("write benchmark report");
         out_path
     }

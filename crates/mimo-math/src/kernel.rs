@@ -230,6 +230,8 @@ pub fn caxpy(kernel: Kernel, a: Complex64, x: &[Complex64], y: &mut [Complex64])
             }
         }
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proves AVX2+FMA are present, and the lengths
+        // were asserted equal above — the target-feature fn's only contract.
         Kernel::Avx2Fma if avx2_fma_available() => unsafe { caxpy_avx2(a, x, y) },
         #[allow(unreachable_patterns)]
         _ => caxpy(Kernel::Scalar, a, x, y),
@@ -250,6 +252,8 @@ pub fn caxpy_sub(kernel: Kernel, a: Complex64, x: &[Complex64], y: &mut [Complex
             }
         }
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proves AVX2+FMA are present, and the lengths
+        // were asserted equal above — the target-feature fn's only contract.
         Kernel::Avx2Fma if avx2_fma_available() => unsafe { caxpy_sub_avx2(a, x, y) },
         #[allow(unreachable_patterns)]
         _ => caxpy_sub(Kernel::Scalar, a, x, y),
@@ -271,6 +275,8 @@ pub fn cdotc(kernel: Kernel, x: &[Complex64], y: &[Complex64]) -> Complex64 {
             acc
         }
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proves AVX2+FMA are present, and the lengths
+        // were asserted equal above — the target-feature fn's only contract.
         Kernel::Avx2Fma if avx2_fma_available() => unsafe { cdotc_avx2(x, y) },
         #[allow(unreachable_patterns)]
         _ => cdotc(Kernel::Scalar, x, y),
@@ -313,6 +319,8 @@ pub fn gemm_f32(kernel: Kernel, a: &[f32], b: &[f32], out: &mut [f32], m: usize,
             }
         }
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proves AVX2+FMA are present; `rows`/`m`/`n`
+        // describe `a`/`b`/`out` exactly per the asserts above.
         Kernel::Avx2Fma if avx2_fma_available() => unsafe {
             gemm_f32_avx2(a, b, out, rows, m, n, tune::params().f32_k_block)
         },
@@ -347,6 +355,8 @@ pub fn saxpy(kernel: Kernel, a: f32, x: &[f32], y: &mut [f32]) {
             }
         }
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proves AVX2+FMA are present, and the lengths
+        // were asserted equal above — the target-feature fn's only contract.
         Kernel::Avx2Fma if avx2_fma_available() => unsafe { saxpy_avx2(a, x, y) },
         #[allow(unreachable_patterns)]
         _ => saxpy(Kernel::Scalar, a, x, y),
@@ -372,6 +382,8 @@ pub fn sdot(kernel: Kernel, x: &[f32], y: &[f32]) -> f32 {
             acc
         }
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the guard proves AVX2+FMA are present, and the lengths
+        // were asserted equal above — the target-feature fn's only contract.
         Kernel::Avx2Fma if avx2_fma_available() => unsafe { sdot_avx2(x, y) },
         #[allow(unreachable_patterns)]
         _ => sdot(Kernel::Scalar, x, y),
@@ -399,9 +411,12 @@ mod avx2 {
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn hsum_pd(v: __m256d) -> f64 {
-        let mut lanes = [0.0f64; 4];
-        _mm256_storeu_pd(lanes.as_mut_ptr(), v);
-        (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), v);
+            (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+        }
     }
 
     /// Computes the per-lane complex product `a * x` for one vector of two
@@ -418,72 +433,81 @@ mod avx2 {
     /// complex slice is safely viewed as interleaved `re, im` f64 memory.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn caxpy_avx2(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
-        let ar = _mm256_set1_pd(a.re);
-        let ai = _mm256_set1_pd(a.im);
-        let pairs = x.len() / CPV * CPV;
-        let xp = x.as_ptr().cast::<f64>();
-        let yp = y.as_mut_ptr().cast::<f64>();
-        let mut i = 0;
-        while i < pairs {
-            let xv = _mm256_loadu_pd(xp.add(2 * i));
-            let yv = _mm256_loadu_pd(yp.add(2 * i));
-            _mm256_storeu_pd(yp.add(2 * i), _mm256_add_pd(yv, cmul_lanes(ar, ai, xv)));
-            i += CPV;
-        }
-        for k in pairs..x.len() {
-            y[k] += a * x[k];
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let ar = _mm256_set1_pd(a.re);
+            let ai = _mm256_set1_pd(a.im);
+            let pairs = x.len() / CPV * CPV;
+            let xp = x.as_ptr().cast::<f64>();
+            let yp = y.as_mut_ptr().cast::<f64>();
+            let mut i = 0;
+            while i < pairs {
+                let xv = _mm256_loadu_pd(xp.add(2 * i));
+                let yv = _mm256_loadu_pd(yp.add(2 * i));
+                _mm256_storeu_pd(yp.add(2 * i), _mm256_add_pd(yv, cmul_lanes(ar, ai, xv)));
+                i += CPV;
+            }
+            for k in pairs..x.len() {
+                y[k] += a * x[k];
+            }
         }
     }
 
     /// `y -= a * x` (complex, interleaved f64).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn caxpy_sub_avx2(a: Complex64, x: &[Complex64], y: &mut [Complex64]) {
-        let ar = _mm256_set1_pd(a.re);
-        let ai = _mm256_set1_pd(a.im);
-        let pairs = x.len() / CPV * CPV;
-        let xp = x.as_ptr().cast::<f64>();
-        let yp = y.as_mut_ptr().cast::<f64>();
-        let mut i = 0;
-        while i < pairs {
-            let xv = _mm256_loadu_pd(xp.add(2 * i));
-            let yv = _mm256_loadu_pd(yp.add(2 * i));
-            _mm256_storeu_pd(yp.add(2 * i), _mm256_sub_pd(yv, cmul_lanes(ar, ai, xv)));
-            i += CPV;
-        }
-        for k in pairs..x.len() {
-            let sub = a * x[k];
-            y[k] -= sub;
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let ar = _mm256_set1_pd(a.re);
+            let ai = _mm256_set1_pd(a.im);
+            let pairs = x.len() / CPV * CPV;
+            let xp = x.as_ptr().cast::<f64>();
+            let yp = y.as_mut_ptr().cast::<f64>();
+            let mut i = 0;
+            while i < pairs {
+                let xv = _mm256_loadu_pd(xp.add(2 * i));
+                let yv = _mm256_loadu_pd(yp.add(2 * i));
+                _mm256_storeu_pd(yp.add(2 * i), _mm256_sub_pd(yv, cmul_lanes(ar, ai, xv)));
+                i += CPV;
+            }
+            for k in pairs..x.len() {
+                let sub = a * x[k];
+                y[k] -= sub;
+            }
         }
     }
 
     /// `sum_k x[k] * conj(y[k])` (complex, interleaved f64).
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn cdotc_avx2(x: &[Complex64], y: &[Complex64]) -> Complex64 {
-        // acc_direct lanes hold xr*yr / xi*yi products; their full sum is the
-        // real part. acc_cross lanes hold xi*yr / xr*yi; the real part of the
-        // cross term enters with +, the imaginary with -, giving xi*yr - xr*yi.
-        let mut acc_direct = _mm256_setzero_pd();
-        let mut acc_cross = _mm256_setzero_pd();
-        let pairs = x.len() / CPV * CPV;
-        let xp = x.as_ptr().cast::<f64>();
-        let yp = y.as_ptr().cast::<f64>();
-        let mut i = 0;
-        while i < pairs {
-            let xv = _mm256_loadu_pd(xp.add(2 * i));
-            let yv = _mm256_loadu_pd(yp.add(2 * i));
-            acc_direct = _mm256_fmadd_pd(xv, yv, acc_direct);
-            let xswap = _mm256_permute_pd(xv, 0b0101);
-            acc_cross = _mm256_fmadd_pd(xswap, yv, acc_cross);
-            i += CPV;
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            // acc_direct lanes hold xr*yr / xi*yi products; their full sum is the
+            // real part. acc_cross lanes hold xi*yr / xr*yi; the real part of the
+            // cross term enters with +, the imaginary with -, giving xi*yr - xr*yi.
+            let mut acc_direct = _mm256_setzero_pd();
+            let mut acc_cross = _mm256_setzero_pd();
+            let pairs = x.len() / CPV * CPV;
+            let xp = x.as_ptr().cast::<f64>();
+            let yp = y.as_ptr().cast::<f64>();
+            let mut i = 0;
+            while i < pairs {
+                let xv = _mm256_loadu_pd(xp.add(2 * i));
+                let yv = _mm256_loadu_pd(yp.add(2 * i));
+                acc_direct = _mm256_fmadd_pd(xv, yv, acc_direct);
+                let xswap = _mm256_permute_pd(xv, 0b0101);
+                acc_cross = _mm256_fmadd_pd(xswap, yv, acc_cross);
+                i += CPV;
+            }
+            let re = hsum_pd(acc_direct);
+            let sign = _mm256_set_pd(-1.0, 1.0, -1.0, 1.0);
+            let im = hsum_pd(_mm256_mul_pd(acc_cross, sign));
+            let mut acc = Complex64::new(re, im);
+            for k in pairs..x.len() {
+                acc += x[k] * y[k].conj();
+            }
+            acc
         }
-        let re = hsum_pd(acc_direct);
-        let sign = _mm256_set_pd(-1.0, 1.0, -1.0, 1.0);
-        let im = hsum_pd(_mm256_mul_pd(acc_cross, sign));
-        let mut acc = Complex64::new(re, im);
-        for k in pairs..x.len() {
-            acc += x[k] * y[k].conj();
-        }
-        acc
     }
 
     /// Dense f32 GEMM `out += a * b` (`a`: rows x m, `b`: m x n, `out`:
@@ -512,31 +536,34 @@ mod avx2 {
         n: usize,
         k_block: usize,
     ) {
-        for k0 in (0..m).step_by(k_block.max(1)) {
-            let k1 = (k0 + k_block.max(1)).min(m);
-            let mut r = 0;
-            while r + 4 <= rows {
-                gemm_panel4_avx2(
-                    &a[r * m..(r + 4) * m],
-                    b,
-                    &mut out[r * n..(r + 4) * n],
-                    m,
-                    n,
-                    k0,
-                    k1,
-                );
-                r += 4;
-            }
-            while r < rows {
-                gemm_panel1_avx2(
-                    &a[r * m..(r + 1) * m],
-                    b,
-                    &mut out[r * n..(r + 1) * n],
-                    n,
-                    k0,
-                    k1,
-                );
-                r += 1;
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            for k0 in (0..m).step_by(k_block.max(1)) {
+                let k1 = (k0 + k_block.max(1)).min(m);
+                let mut r = 0;
+                while r + 4 <= rows {
+                    gemm_panel4_avx2(
+                        &a[r * m..(r + 4) * m],
+                        b,
+                        &mut out[r * n..(r + 4) * n],
+                        m,
+                        n,
+                        k0,
+                        k1,
+                    );
+                    r += 4;
+                }
+                while r < rows {
+                    gemm_panel1_avx2(
+                        &a[r * m..(r + 1) * m],
+                        b,
+                        &mut out[r * n..(r + 1) * n],
+                        n,
+                        k0,
+                        k1,
+                    );
+                    r += 1;
+                }
             }
         }
     }
@@ -553,40 +580,43 @@ mod avx2 {
         k0: usize,
         k1: usize,
     ) {
-        let (a0, rest) = a.split_at(m);
-        let (a1, rest) = rest.split_at(m);
-        let (a2, a3) = rest.split_at(m);
-        let bp = b.as_ptr();
-        let op = o.as_mut_ptr();
-        let mut j = 0;
-        while j + 8 <= n {
-            let mut acc0 = _mm256_loadu_ps(op.add(j));
-            let mut acc1 = _mm256_loadu_ps(op.add(n + j));
-            let mut acc2 = _mm256_loadu_ps(op.add(2 * n + j));
-            let mut acc3 = _mm256_loadu_ps(op.add(3 * n + j));
-            for k in k0..k1 {
-                let bv = _mm256_loadu_ps(bp.add(k * n + j));
-                acc0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.get_unchecked(k)), bv, acc0);
-                acc1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.get_unchecked(k)), bv, acc1);
-                acc2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.get_unchecked(k)), bv, acc2);
-                acc3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.get_unchecked(k)), bv, acc3);
-            }
-            _mm256_storeu_ps(op.add(j), acc0);
-            _mm256_storeu_ps(op.add(n + j), acc1);
-            _mm256_storeu_ps(op.add(2 * n + j), acc2);
-            _mm256_storeu_ps(op.add(3 * n + j), acc3);
-            j += 8;
-        }
-        while j < n {
-            for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
-                let slot = op.add(row * n + j);
-                let mut acc = *slot;
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let (a0, rest) = a.split_at(m);
+            let (a1, rest) = rest.split_at(m);
+            let (a2, a3) = rest.split_at(m);
+            let bp = b.as_ptr();
+            let op = o.as_mut_ptr();
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut acc0 = _mm256_loadu_ps(op.add(j));
+                let mut acc1 = _mm256_loadu_ps(op.add(n + j));
+                let mut acc2 = _mm256_loadu_ps(op.add(2 * n + j));
+                let mut acc3 = _mm256_loadu_ps(op.add(3 * n + j));
                 for k in k0..k1 {
-                    acc = ar.get_unchecked(k).mul_add(*bp.add(k * n + j), acc);
+                    let bv = _mm256_loadu_ps(bp.add(k * n + j));
+                    acc0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.get_unchecked(k)), bv, acc0);
+                    acc1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.get_unchecked(k)), bv, acc1);
+                    acc2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.get_unchecked(k)), bv, acc2);
+                    acc3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.get_unchecked(k)), bv, acc3);
                 }
-                *slot = acc;
+                _mm256_storeu_ps(op.add(j), acc0);
+                _mm256_storeu_ps(op.add(n + j), acc1);
+                _mm256_storeu_ps(op.add(2 * n + j), acc2);
+                _mm256_storeu_ps(op.add(3 * n + j), acc3);
+                j += 8;
             }
-            j += 1;
+            while j < n {
+                for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
+                    let slot = op.add(row * n + j);
+                    let mut acc = *slot;
+                    for k in k0..k1 {
+                        acc = ar.get_unchecked(k).mul_add(*bp.add(k * n + j), acc);
+                    }
+                    *slot = acc;
+                }
+                j += 1;
+            }
         }
     }
 
@@ -600,127 +630,138 @@ mod avx2 {
         k0: usize,
         k1: usize,
     ) {
-        let bp = b.as_ptr();
-        let op = o.as_mut_ptr();
-        let mut j = 0;
-        while j + 16 <= n {
-            let mut acc0 = _mm256_loadu_ps(op.add(j));
-            let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
-            for k in k0..k1 {
-                let av = _mm256_set1_ps(*a.get_unchecked(k));
-                let bk = bp.add(k * n + j);
-                acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bk), acc0);
-                acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bk.add(8)), acc1);
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let bp = b.as_ptr();
+            let op = o.as_mut_ptr();
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut acc0 = _mm256_loadu_ps(op.add(j));
+                let mut acc1 = _mm256_loadu_ps(op.add(j + 8));
+                for k in k0..k1 {
+                    let av = _mm256_set1_ps(*a.get_unchecked(k));
+                    let bk = bp.add(k * n + j);
+                    acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bk), acc0);
+                    acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bk.add(8)), acc1);
+                }
+                _mm256_storeu_ps(op.add(j), acc0);
+                _mm256_storeu_ps(op.add(j + 8), acc1);
+                j += 16;
             }
-            _mm256_storeu_ps(op.add(j), acc0);
-            _mm256_storeu_ps(op.add(j + 8), acc1);
-            j += 16;
-        }
-        while j + 8 <= n {
-            let mut acc = _mm256_loadu_ps(op.add(j));
-            for k in k0..k1 {
-                acc = _mm256_fmadd_ps(
-                    _mm256_set1_ps(*a.get_unchecked(k)),
-                    _mm256_loadu_ps(bp.add(k * n + j)),
-                    acc,
-                );
+            while j + 8 <= n {
+                let mut acc = _mm256_loadu_ps(op.add(j));
+                for k in k0..k1 {
+                    acc = _mm256_fmadd_ps(
+                        _mm256_set1_ps(*a.get_unchecked(k)),
+                        _mm256_loadu_ps(bp.add(k * n + j)),
+                        acc,
+                    );
+                }
+                _mm256_storeu_ps(op.add(j), acc);
+                j += 8;
             }
-            _mm256_storeu_ps(op.add(j), acc);
-            j += 8;
-        }
-        while j < n {
-            let mut acc = *op.add(j);
-            for k in k0..k1 {
-                acc = a.get_unchecked(k).mul_add(*bp.add(k * n + j), acc);
+            while j < n {
+                let mut acc = *op.add(j);
+                for k in k0..k1 {
+                    acc = a.get_unchecked(k).mul_add(*bp.add(k * n + j), acc);
+                }
+                *op.add(j) = acc;
+                j += 1;
             }
-            *op.add(j) = acc;
-            j += 1;
         }
     }
 
     /// `y += a * x` (f32), FMA per element; scalar tail with `mul_add`.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn saxpy_avx2(a: f32, x: &[f32], y: &mut [f32]) {
-        let av = _mm256_set1_ps(a);
-        let n8 = x.len() / 8 * 8;
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i < n8 {
-            let acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
-            _mm256_storeu_ps(yp.add(i), acc);
-            i += 8;
-        }
-        for k in n8..x.len() {
-            y[k] = a.mul_add(x[k], y[k]);
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let av = _mm256_set1_ps(a);
+            let n8 = x.len() / 8 * 8;
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i < n8 {
+                let acc =
+                    _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+                _mm256_storeu_ps(yp.add(i), acc);
+                i += 8;
+            }
+            for k in n8..x.len() {
+                y[k] = a.mul_add(x[k], y[k]);
+            }
         }
     }
 
     /// f32 dot product with four independent accumulators.
     #[target_feature(enable = "avx2", enable = "fma")]
     pub(super) unsafe fn sdot_avx2(x: &[f32], y: &[f32]) -> f32 {
-        let mut acc0 = _mm256_setzero_ps();
-        let mut acc1 = _mm256_setzero_ps();
-        let mut acc2 = _mm256_setzero_ps();
-        let mut acc3 = _mm256_setzero_ps();
-        let n32 = x.len() / 32 * 32;
-        let xp = x.as_ptr();
-        let yp = y.as_ptr();
-        let mut i = 0;
-        while i < n32 {
-            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
-            acc1 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(i + 8)),
-                _mm256_loadu_ps(yp.add(i + 8)),
-                acc1,
-            );
-            acc2 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(i + 16)),
-                _mm256_loadu_ps(yp.add(i + 16)),
-                acc2,
-            );
-            acc3 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(i + 24)),
-                _mm256_loadu_ps(yp.add(i + 24)),
-                acc3,
-            );
-            i += 32;
-        }
-        let mut n8 = n32;
-        while n8 + 8 <= x.len() {
-            acc0 = _mm256_fmadd_ps(
-                _mm256_loadu_ps(xp.add(n8)),
-                _mm256_loadu_ps(yp.add(n8)),
-                acc0,
-            );
-            n8 += 8;
-        }
-        let folded = {
-            let mut lanes = [0.0f32; 8];
-            let sum01 = {
-                let mut l0 = [0.0f32; 8];
-                let mut l1 = [0.0f32; 8];
-                _mm256_storeu_ps(l0.as_mut_ptr(), acc0);
-                _mm256_storeu_ps(l1.as_mut_ptr(), acc1);
-                for (a, b) in l0.iter_mut().zip(l1.iter()) {
-                    *a += b;
-                }
-                l0
-            };
-            let mut l2 = [0.0f32; 8];
-            let mut l3 = [0.0f32; 8];
-            _mm256_storeu_ps(l2.as_mut_ptr(), acc2);
-            _mm256_storeu_ps(l3.as_mut_ptr(), acc3);
-            for i in 0..8 {
-                lanes[i] = sum01[i] + (l2[i] + l3[i]);
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            let mut acc2 = _mm256_setzero_ps();
+            let mut acc3 = _mm256_setzero_ps();
+            let n32 = x.len() / 32 * 32;
+            let xp = x.as_ptr();
+            let yp = y.as_ptr();
+            let mut i = 0;
+            while i < n32 {
+                acc0 =
+                    _mm256_fmadd_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)), acc0);
+                acc1 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 8)),
+                    _mm256_loadu_ps(yp.add(i + 8)),
+                    acc1,
+                );
+                acc2 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 16)),
+                    _mm256_loadu_ps(yp.add(i + 16)),
+                    acc2,
+                );
+                acc3 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(i + 24)),
+                    _mm256_loadu_ps(yp.add(i + 24)),
+                    acc3,
+                );
+                i += 32;
             }
-            lanes
-        };
-        let mut acc = folded.iter().sum::<f32>();
-        for k in n8..x.len() {
-            acc = x[k].mul_add(y[k], acc);
+            let mut n8 = n32;
+            while n8 + 8 <= x.len() {
+                acc0 = _mm256_fmadd_ps(
+                    _mm256_loadu_ps(xp.add(n8)),
+                    _mm256_loadu_ps(yp.add(n8)),
+                    acc0,
+                );
+                n8 += 8;
+            }
+            let folded = {
+                let mut lanes = [0.0f32; 8];
+                let sum01 = {
+                    let mut l0 = [0.0f32; 8];
+                    let mut l1 = [0.0f32; 8];
+                    _mm256_storeu_ps(l0.as_mut_ptr(), acc0);
+                    _mm256_storeu_ps(l1.as_mut_ptr(), acc1);
+                    for (a, b) in l0.iter_mut().zip(l1.iter()) {
+                        *a += b;
+                    }
+                    l0
+                };
+                let mut l2 = [0.0f32; 8];
+                let mut l3 = [0.0f32; 8];
+                _mm256_storeu_ps(l2.as_mut_ptr(), acc2);
+                _mm256_storeu_ps(l3.as_mut_ptr(), acc3);
+                for i in 0..8 {
+                    lanes[i] = sum01[i] + (l2[i] + l3[i]);
+                }
+                lanes
+            };
+            let mut acc = folded.iter().sum::<f32>();
+            for k in n8..x.len() {
+                acc = x[k].mul_add(y[k], acc);
+            }
+            acc
         }
-        acc
     }
 }
 

@@ -249,11 +249,15 @@ pub fn gemm_u8i8_i32(
         #[cfg(target_arch = "x86_64")]
         Int8Kernel::Avx2Maddubs if avx2_available() => {
             let p = super::tune::params();
+            // SAFETY: the guard proves AVX2 is present; `rows`/`k_pad`/`n`
+            // describe `a`/`b`/`out` exactly per the asserts above.
             unsafe { x86::gemm_avx2(a, b, out, rows, k_pad, n, p.int8_group_block, p.int8_panel4) }
         }
         #[cfg(target_arch = "x86_64")]
         Int8Kernel::Avx512Vnni if avx512_vnni_available() => {
             let p = super::tune::params();
+            // SAFETY: the guard proves AVX-512 VNNI is present; the shape
+            // arguments describe `a`/`b`/`out` exactly per the asserts above.
             unsafe { x86::gemm_vnni(a, b, out, rows, k_pad, n, p.int8_group_block, p.int8_panel4) }
         }
         #[allow(unreachable_patterns)]
@@ -277,10 +281,13 @@ pub(super) mod x86 {
     /// Caller must guarantee 8 readable i32 slots at `slot` and AVX2 support.
     #[target_feature(enable = "avx2")]
     unsafe fn seed_avx2(slot: *const i32, fold: bool) -> __m256i {
-        if fold {
-            _mm256_loadu_si256(slot.cast())
-        } else {
-            _mm256_setzero_si256()
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            if fold {
+                _mm256_loadu_si256(slot.cast())
+            } else {
+                _mm256_setzero_si256()
+            }
         }
     }
 
@@ -291,10 +298,13 @@ pub(super) mod x86 {
     /// support.
     #[target_feature(enable = "avx512f")]
     unsafe fn seed_avx512(slot: *const i32, fold: bool) -> __m512i {
-        if fold {
-            _mm512_loadu_si512(slot.cast())
-        } else {
-            _mm512_setzero_si512()
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            if fold {
+                _mm512_loadu_si512(slot.cast())
+            } else {
+                _mm512_setzero_si512()
+            }
         }
     }
 
@@ -304,10 +314,13 @@ pub(super) mod x86 {
     /// `slot` must be readable.
     #[inline(always)]
     unsafe fn seed_scalar(slot: *const i32, fold: bool) -> i32 {
-        if fold {
-            *slot
-        } else {
-            0
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            if fold {
+                *slot
+            } else {
+                0
+            }
         }
     }
 
@@ -319,7 +332,8 @@ pub(super) mod x86 {
     /// into (every caller iterates `g < k_pad / 4` over a `k_pad`-byte row).
     #[inline(always)]
     unsafe fn quad(a: *const u8, g: usize) -> i32 {
-        a.add(4 * g).cast::<i32>().read_unaligned()
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe { a.add(4 * g).cast::<i32>().read_unaligned() }
     }
 
     /// AVX2 `maddubs` arm: outer loop over `group_block`-deep k-group blocks
@@ -346,35 +360,38 @@ pub(super) mod x86 {
         group_block: usize,
         panel4: bool,
     ) {
-        let groups = k_pad / 4;
-        let block = group_block.max(1);
-        for g0 in (0..groups).step_by(block) {
-            let g1 = (g0 + block).min(groups);
-            let mut r = 0;
-            if panel4 {
-                while r + 4 <= rows {
-                    panel4_avx2(
-                        &a[r * k_pad..(r + 4) * k_pad],
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let groups = k_pad / 4;
+            let block = group_block.max(1);
+            for g0 in (0..groups).step_by(block) {
+                let g1 = (g0 + block).min(groups);
+                let mut r = 0;
+                if panel4 {
+                    while r + 4 <= rows {
+                        panel4_avx2(
+                            &a[r * k_pad..(r + 4) * k_pad],
+                            b,
+                            &mut out[r * n..(r + 4) * n],
+                            k_pad,
+                            n,
+                            g0,
+                            g1,
+                        );
+                        r += 4;
+                    }
+                }
+                while r < rows {
+                    panel1_avx2(
+                        &a[r * k_pad..(r + 1) * k_pad],
                         b,
-                        &mut out[r * n..(r + 4) * n],
-                        k_pad,
+                        &mut out[r * n..(r + 1) * n],
                         n,
                         g0,
                         g1,
                     );
-                    r += 4;
+                    r += 1;
                 }
-            }
-            while r < rows {
-                panel1_avx2(
-                    &a[r * k_pad..(r + 1) * k_pad],
-                    b,
-                    &mut out[r * n..(r + 1) * n],
-                    n,
-                    g0,
-                    g1,
-                );
-                r += 1;
             }
         }
     }
@@ -391,129 +408,163 @@ pub(super) mod x86 {
         g0: usize,
         g1: usize,
     ) {
-        // The first k-block (g0 == 0) overwrites `out`, later blocks fold on
-        // top — so the caller never has to pre-zero the output.
-        let fold = g0 != 0;
-        let (a0, rest) = a.split_at(k_pad);
-        let (a1, rest) = rest.split_at(k_pad);
-        let (a2, a3) = rest.split_at(k_pad);
-        let (p0, p1, p2, p3) = (a0.as_ptr(), a1.as_ptr(), a2.as_ptr(), a3.as_ptr());
-        let ones = _mm256_set1_epi16(1);
-        let bp = b.as_ptr();
-        let op = o.as_mut_ptr();
-        let mut j = 0;
-        // Two 8-column tiles per pass: each broadcast activation quad feeds
-        // two weight vectors, halving the broadcast overhead per madd.
-        while j + 16 <= n {
-            let mut acc00 = seed_avx2(op.add(j), fold);
-            let mut acc01 = seed_avx2(op.add(j + 8), fold);
-            let mut acc10 = seed_avx2(op.add(n + j), fold);
-            let mut acc11 = seed_avx2(op.add(n + j + 8), fold);
-            let mut acc20 = seed_avx2(op.add(2 * n + j), fold);
-            let mut acc21 = seed_avx2(op.add(2 * n + j + 8), fold);
-            let mut acc30 = seed_avx2(op.add(3 * n + j), fold);
-            let mut acc31 = seed_avx2(op.add(3 * n + j + 8), fold);
-            for g in g0..g1 {
-                let w0: __m256i = _mm256_loadu_si256(bp.add((g * n + j) * 4).cast());
-                let w1: __m256i = _mm256_loadu_si256(bp.add((g * n + j + 8) * 4).cast());
-                let q0 = _mm256_set1_epi32(quad(p0, g));
-                let q1 = _mm256_set1_epi32(quad(p1, g));
-                let q2 = _mm256_set1_epi32(quad(p2, g));
-                let q3 = _mm256_set1_epi32(quad(p3, g));
-                acc00 =
-                    _mm256_add_epi32(acc00, _mm256_madd_epi16(_mm256_maddubs_epi16(q0, w0), ones));
-                acc01 =
-                    _mm256_add_epi32(acc01, _mm256_madd_epi16(_mm256_maddubs_epi16(q0, w1), ones));
-                acc10 =
-                    _mm256_add_epi32(acc10, _mm256_madd_epi16(_mm256_maddubs_epi16(q1, w0), ones));
-                acc11 =
-                    _mm256_add_epi32(acc11, _mm256_madd_epi16(_mm256_maddubs_epi16(q1, w1), ones));
-                acc20 =
-                    _mm256_add_epi32(acc20, _mm256_madd_epi16(_mm256_maddubs_epi16(q2, w0), ones));
-                acc21 =
-                    _mm256_add_epi32(acc21, _mm256_madd_epi16(_mm256_maddubs_epi16(q2, w1), ones));
-                acc30 =
-                    _mm256_add_epi32(acc30, _mm256_madd_epi16(_mm256_maddubs_epi16(q3, w0), ones));
-                acc31 =
-                    _mm256_add_epi32(acc31, _mm256_madd_epi16(_mm256_maddubs_epi16(q3, w1), ones));
-            }
-            _mm256_storeu_si256(op.add(j).cast(), acc00);
-            _mm256_storeu_si256(op.add(j + 8).cast(), acc01);
-            _mm256_storeu_si256(op.add(n + j).cast(), acc10);
-            _mm256_storeu_si256(op.add(n + j + 8).cast(), acc11);
-            _mm256_storeu_si256(op.add(2 * n + j).cast(), acc20);
-            _mm256_storeu_si256(op.add(2 * n + j + 8).cast(), acc21);
-            _mm256_storeu_si256(op.add(3 * n + j).cast(), acc30);
-            _mm256_storeu_si256(op.add(3 * n + j + 8).cast(), acc31);
-            j += 16;
-        }
-        while j + 8 <= n {
-            let mut acc0 = seed_avx2(op.add(j), fold);
-            let mut acc1 = seed_avx2(op.add(n + j), fold);
-            let mut acc2 = seed_avx2(op.add(2 * n + j), fold);
-            let mut acc3 = seed_avx2(op.add(3 * n + j), fold);
-            for g in g0..g1 {
-                let w: __m256i = _mm256_loadu_si256(bp.add((g * n + j) * 4).cast());
-                let q0 = _mm256_set1_epi32(quad(p0, g));
-                let q1 = _mm256_set1_epi32(quad(p1, g));
-                let q2 = _mm256_set1_epi32(quad(p2, g));
-                let q3 = _mm256_set1_epi32(quad(p3, g));
-                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(_mm256_maddubs_epi16(q0, w), ones));
-                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(_mm256_maddubs_epi16(q1, w), ones));
-                acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(_mm256_maddubs_epi16(q2, w), ones));
-                acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(_mm256_maddubs_epi16(q3, w), ones));
-            }
-            _mm256_storeu_si256(op.add(j).cast(), acc0);
-            _mm256_storeu_si256(op.add(n + j).cast(), acc1);
-            _mm256_storeu_si256(op.add(2 * n + j).cast(), acc2);
-            _mm256_storeu_si256(op.add(3 * n + j).cast(), acc3);
-            j += 8;
-        }
-        while j < n {
-            for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
-                let slot = op.add(row * n + j);
-                let mut acc = seed_scalar(slot, fold);
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            // The first k-block (g0 == 0) overwrites `out`, later blocks fold on
+            // top — so the caller never has to pre-zero the output.
+            let fold = g0 != 0;
+            let (a0, rest) = a.split_at(k_pad);
+            let (a1, rest) = rest.split_at(k_pad);
+            let (a2, a3) = rest.split_at(k_pad);
+            let (p0, p1, p2, p3) = (a0.as_ptr(), a1.as_ptr(), a2.as_ptr(), a3.as_ptr());
+            let ones = _mm256_set1_epi16(1);
+            let bp = b.as_ptr();
+            let op = o.as_mut_ptr();
+            let mut j = 0;
+            // Two 8-column tiles per pass: each broadcast activation quad feeds
+            // two weight vectors, halving the broadcast overhead per madd.
+            while j + 16 <= n {
+                let mut acc00 = seed_avx2(op.add(j), fold);
+                let mut acc01 = seed_avx2(op.add(j + 8), fold);
+                let mut acc10 = seed_avx2(op.add(n + j), fold);
+                let mut acc11 = seed_avx2(op.add(n + j + 8), fold);
+                let mut acc20 = seed_avx2(op.add(2 * n + j), fold);
+                let mut acc21 = seed_avx2(op.add(2 * n + j + 8), fold);
+                let mut acc30 = seed_avx2(op.add(3 * n + j), fold);
+                let mut acc31 = seed_avx2(op.add(3 * n + j + 8), fold);
                 for g in g0..g1 {
-                    acc += super::dot4(ar, g, b, (g * n + j) * 4);
+                    let w0: __m256i = _mm256_loadu_si256(bp.add((g * n + j) * 4).cast());
+                    let w1: __m256i = _mm256_loadu_si256(bp.add((g * n + j + 8) * 4).cast());
+                    let q0 = _mm256_set1_epi32(quad(p0, g));
+                    let q1 = _mm256_set1_epi32(quad(p1, g));
+                    let q2 = _mm256_set1_epi32(quad(p2, g));
+                    let q3 = _mm256_set1_epi32(quad(p3, g));
+                    acc00 = _mm256_add_epi32(
+                        acc00,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q0, w0), ones),
+                    );
+                    acc01 = _mm256_add_epi32(
+                        acc01,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q0, w1), ones),
+                    );
+                    acc10 = _mm256_add_epi32(
+                        acc10,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q1, w0), ones),
+                    );
+                    acc11 = _mm256_add_epi32(
+                        acc11,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q1, w1), ones),
+                    );
+                    acc20 = _mm256_add_epi32(
+                        acc20,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q2, w0), ones),
+                    );
+                    acc21 = _mm256_add_epi32(
+                        acc21,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q2, w1), ones),
+                    );
+                    acc30 = _mm256_add_epi32(
+                        acc30,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q3, w0), ones),
+                    );
+                    acc31 = _mm256_add_epi32(
+                        acc31,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q3, w1), ones),
+                    );
                 }
-                *slot = acc;
+                _mm256_storeu_si256(op.add(j).cast(), acc00);
+                _mm256_storeu_si256(op.add(j + 8).cast(), acc01);
+                _mm256_storeu_si256(op.add(n + j).cast(), acc10);
+                _mm256_storeu_si256(op.add(n + j + 8).cast(), acc11);
+                _mm256_storeu_si256(op.add(2 * n + j).cast(), acc20);
+                _mm256_storeu_si256(op.add(2 * n + j + 8).cast(), acc21);
+                _mm256_storeu_si256(op.add(3 * n + j).cast(), acc30);
+                _mm256_storeu_si256(op.add(3 * n + j + 8).cast(), acc31);
+                j += 16;
             }
-            j += 1;
+            while j + 8 <= n {
+                let mut acc0 = seed_avx2(op.add(j), fold);
+                let mut acc1 = seed_avx2(op.add(n + j), fold);
+                let mut acc2 = seed_avx2(op.add(2 * n + j), fold);
+                let mut acc3 = seed_avx2(op.add(3 * n + j), fold);
+                for g in g0..g1 {
+                    let w: __m256i = _mm256_loadu_si256(bp.add((g * n + j) * 4).cast());
+                    let q0 = _mm256_set1_epi32(quad(p0, g));
+                    let q1 = _mm256_set1_epi32(quad(p1, g));
+                    let q2 = _mm256_set1_epi32(quad(p2, g));
+                    let q3 = _mm256_set1_epi32(quad(p3, g));
+                    acc0 = _mm256_add_epi32(
+                        acc0,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q0, w), ones),
+                    );
+                    acc1 = _mm256_add_epi32(
+                        acc1,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q1, w), ones),
+                    );
+                    acc2 = _mm256_add_epi32(
+                        acc2,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q2, w), ones),
+                    );
+                    acc3 = _mm256_add_epi32(
+                        acc3,
+                        _mm256_madd_epi16(_mm256_maddubs_epi16(q3, w), ones),
+                    );
+                }
+                _mm256_storeu_si256(op.add(j).cast(), acc0);
+                _mm256_storeu_si256(op.add(n + j).cast(), acc1);
+                _mm256_storeu_si256(op.add(2 * n + j).cast(), acc2);
+                _mm256_storeu_si256(op.add(3 * n + j).cast(), acc3);
+                j += 8;
+            }
+            while j < n {
+                for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
+                    let slot = op.add(row * n + j);
+                    let mut acc = seed_scalar(slot, fold);
+                    for g in g0..g1 {
+                        acc += super::dot4(ar, g, b, (g * n + j) * 4);
+                    }
+                    *slot = acc;
+                }
+                j += 1;
+            }
         }
     }
 
     /// One output row over groups `g0..g1`, 8 columns per vector.
     #[target_feature(enable = "avx2")]
     unsafe fn panel1_avx2(a: &[u8], b: &[i8], o: &mut [i32], n: usize, g0: usize, g1: usize) {
-        let fold = g0 != 0;
-        let ones = _mm256_set1_epi16(1);
-        let ap = a.as_ptr();
-        let bp = b.as_ptr();
-        let op = o.as_mut_ptr();
-        let mut j = 0;
-        while j + 8 <= n {
-            let mut acc = seed_avx2(op.add(j), fold);
-            for g in g0..g1 {
-                let w: __m256i = _mm256_loadu_si256(bp.add((g * n + j) * 4).cast());
-                acc = _mm256_add_epi32(
-                    acc,
-                    _mm256_madd_epi16(
-                        _mm256_maddubs_epi16(_mm256_set1_epi32(quad(ap, g)), w),
-                        ones,
-                    ),
-                );
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let fold = g0 != 0;
+            let ones = _mm256_set1_epi16(1);
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let op = o.as_mut_ptr();
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut acc = seed_avx2(op.add(j), fold);
+                for g in g0..g1 {
+                    let w: __m256i = _mm256_loadu_si256(bp.add((g * n + j) * 4).cast());
+                    acc = _mm256_add_epi32(
+                        acc,
+                        _mm256_madd_epi16(
+                            _mm256_maddubs_epi16(_mm256_set1_epi32(quad(ap, g)), w),
+                            ones,
+                        ),
+                    );
+                }
+                _mm256_storeu_si256(op.add(j).cast(), acc);
+                j += 8;
             }
-            _mm256_storeu_si256(op.add(j).cast(), acc);
-            j += 8;
-        }
-        while j < n {
-            let slot = op.add(j);
-            let mut acc = seed_scalar(slot, fold);
-            for g in g0..g1 {
-                acc += super::dot4(a, g, b, (g * n + j) * 4);
+            while j < n {
+                let slot = op.add(j);
+                let mut acc = seed_scalar(slot, fold);
+                for g in g0..g1 {
+                    acc += super::dot4(a, g, b, (g * n + j) * 4);
+                }
+                *slot = acc;
+                j += 1;
             }
-            *slot = acc;
-            j += 1;
         }
     }
 
@@ -536,35 +587,38 @@ pub(super) mod x86 {
         group_block: usize,
         panel4: bool,
     ) {
-        let groups = k_pad / 4;
-        let block = group_block.max(1);
-        for g0 in (0..groups).step_by(block) {
-            let g1 = (g0 + block).min(groups);
-            let mut r = 0;
-            if panel4 {
-                while r + 4 <= rows {
-                    panel4_vnni(
-                        &a[r * k_pad..(r + 4) * k_pad],
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let groups = k_pad / 4;
+            let block = group_block.max(1);
+            for g0 in (0..groups).step_by(block) {
+                let g1 = (g0 + block).min(groups);
+                let mut r = 0;
+                if panel4 {
+                    while r + 4 <= rows {
+                        panel4_vnni(
+                            &a[r * k_pad..(r + 4) * k_pad],
+                            b,
+                            &mut out[r * n..(r + 4) * n],
+                            k_pad,
+                            n,
+                            g0,
+                            g1,
+                        );
+                        r += 4;
+                    }
+                }
+                while r < rows {
+                    panel1_vnni(
+                        &a[r * k_pad..(r + 1) * k_pad],
                         b,
-                        &mut out[r * n..(r + 4) * n],
-                        k_pad,
+                        &mut out[r * n..(r + 1) * n],
                         n,
                         g0,
                         g1,
                     );
-                    r += 4;
+                    r += 1;
                 }
-            }
-            while r < rows {
-                panel1_vnni(
-                    &a[r * k_pad..(r + 1) * k_pad],
-                    b,
-                    &mut out[r * n..(r + 1) * n],
-                    n,
-                    g0,
-                    g1,
-                );
-                r += 1;
             }
         }
     }
@@ -580,126 +634,132 @@ pub(super) mod x86 {
         g0: usize,
         g1: usize,
     ) {
-        // The first k-block (g0 == 0) overwrites `out`, later blocks fold on
-        // top — so the caller never has to pre-zero the output.
-        let fold = g0 != 0;
-        let (a0, rest) = a.split_at(k_pad);
-        let (a1, rest) = rest.split_at(k_pad);
-        let (a2, a3) = rest.split_at(k_pad);
-        let (p0, p1, p2, p3) = (a0.as_ptr(), a1.as_ptr(), a2.as_ptr(), a3.as_ptr());
-        let bp = b.as_ptr();
-        let op = o.as_mut_ptr();
-        let mut j = 0;
-        // Two 16-column tiles per pass (eight in-register accumulators): each
-        // broadcast activation quad feeds two weight vectors, so the loop
-        // retires ~one dpbusd per issue slot instead of stalling on
-        // broadcast setup. dpbusd accumulates in-register; fold into the
-        // output once per k-block (integer adds — exact regardless of the
-        // split).
-        while j + 32 <= n {
-            let mut acc00 = _mm512_setzero_si512();
-            let mut acc01 = _mm512_setzero_si512();
-            let mut acc10 = _mm512_setzero_si512();
-            let mut acc11 = _mm512_setzero_si512();
-            let mut acc20 = _mm512_setzero_si512();
-            let mut acc21 = _mm512_setzero_si512();
-            let mut acc30 = _mm512_setzero_si512();
-            let mut acc31 = _mm512_setzero_si512();
-            for g in g0..g1 {
-                let w0 = _mm512_loadu_si512(bp.add((g * n + j) * 4).cast());
-                let w1 = _mm512_loadu_si512(bp.add((g * n + j + 16) * 4).cast());
-                let q0 = _mm512_set1_epi32(quad(p0, g));
-                let q1 = _mm512_set1_epi32(quad(p1, g));
-                let q2 = _mm512_set1_epi32(quad(p2, g));
-                let q3 = _mm512_set1_epi32(quad(p3, g));
-                acc00 = _mm512_dpbusd_epi32(acc00, q0, w0);
-                acc01 = _mm512_dpbusd_epi32(acc01, q0, w1);
-                acc10 = _mm512_dpbusd_epi32(acc10, q1, w0);
-                acc11 = _mm512_dpbusd_epi32(acc11, q1, w1);
-                acc20 = _mm512_dpbusd_epi32(acc20, q2, w0);
-                acc21 = _mm512_dpbusd_epi32(acc21, q2, w1);
-                acc30 = _mm512_dpbusd_epi32(acc30, q3, w0);
-                acc31 = _mm512_dpbusd_epi32(acc31, q3, w1);
-            }
-            for (row, (lo, hi)) in [
-                (acc00, acc01),
-                (acc10, acc11),
-                (acc20, acc21),
-                (acc30, acc31),
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                let s0 = op.add(row * n + j);
-                let s1 = op.add(row * n + j + 16);
-                _mm512_storeu_si512(s0.cast(), _mm512_add_epi32(seed_avx512(s0, fold), lo));
-                _mm512_storeu_si512(s1.cast(), _mm512_add_epi32(seed_avx512(s1, fold), hi));
-            }
-            j += 32;
-        }
-        while j + 16 <= n {
-            let mut acc0 = _mm512_setzero_si512();
-            let mut acc1 = _mm512_setzero_si512();
-            let mut acc2 = _mm512_setzero_si512();
-            let mut acc3 = _mm512_setzero_si512();
-            for g in g0..g1 {
-                let w = _mm512_loadu_si512(bp.add((g * n + j) * 4).cast());
-                acc0 = _mm512_dpbusd_epi32(acc0, _mm512_set1_epi32(quad(p0, g)), w);
-                acc1 = _mm512_dpbusd_epi32(acc1, _mm512_set1_epi32(quad(p1, g)), w);
-                acc2 = _mm512_dpbusd_epi32(acc2, _mm512_set1_epi32(quad(p2, g)), w);
-                acc3 = _mm512_dpbusd_epi32(acc3, _mm512_set1_epi32(quad(p3, g)), w);
-            }
-            let s0 = op.add(j);
-            let s1 = op.add(n + j);
-            let s2 = op.add(2 * n + j);
-            let s3 = op.add(3 * n + j);
-            _mm512_storeu_si512(s0.cast(), _mm512_add_epi32(seed_avx512(s0, fold), acc0));
-            _mm512_storeu_si512(s1.cast(), _mm512_add_epi32(seed_avx512(s1, fold), acc1));
-            _mm512_storeu_si512(s2.cast(), _mm512_add_epi32(seed_avx512(s2, fold), acc2));
-            _mm512_storeu_si512(s3.cast(), _mm512_add_epi32(seed_avx512(s3, fold), acc3));
-            j += 16;
-        }
-        while j < n {
-            for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
-                let slot = op.add(row * n + j);
-                let mut acc = seed_scalar(slot, fold);
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            // The first k-block (g0 == 0) overwrites `out`, later blocks fold on
+            // top — so the caller never has to pre-zero the output.
+            let fold = g0 != 0;
+            let (a0, rest) = a.split_at(k_pad);
+            let (a1, rest) = rest.split_at(k_pad);
+            let (a2, a3) = rest.split_at(k_pad);
+            let (p0, p1, p2, p3) = (a0.as_ptr(), a1.as_ptr(), a2.as_ptr(), a3.as_ptr());
+            let bp = b.as_ptr();
+            let op = o.as_mut_ptr();
+            let mut j = 0;
+            // Two 16-column tiles per pass (eight in-register accumulators): each
+            // broadcast activation quad feeds two weight vectors, so the loop
+            // retires ~one dpbusd per issue slot instead of stalling on
+            // broadcast setup. dpbusd accumulates in-register; fold into the
+            // output once per k-block (integer adds — exact regardless of the
+            // split).
+            while j + 32 <= n {
+                let mut acc00 = _mm512_setzero_si512();
+                let mut acc01 = _mm512_setzero_si512();
+                let mut acc10 = _mm512_setzero_si512();
+                let mut acc11 = _mm512_setzero_si512();
+                let mut acc20 = _mm512_setzero_si512();
+                let mut acc21 = _mm512_setzero_si512();
+                let mut acc30 = _mm512_setzero_si512();
+                let mut acc31 = _mm512_setzero_si512();
                 for g in g0..g1 {
-                    acc += super::dot4(ar, g, b, (g * n + j) * 4);
+                    let w0 = _mm512_loadu_si512(bp.add((g * n + j) * 4).cast());
+                    let w1 = _mm512_loadu_si512(bp.add((g * n + j + 16) * 4).cast());
+                    let q0 = _mm512_set1_epi32(quad(p0, g));
+                    let q1 = _mm512_set1_epi32(quad(p1, g));
+                    let q2 = _mm512_set1_epi32(quad(p2, g));
+                    let q3 = _mm512_set1_epi32(quad(p3, g));
+                    acc00 = _mm512_dpbusd_epi32(acc00, q0, w0);
+                    acc01 = _mm512_dpbusd_epi32(acc01, q0, w1);
+                    acc10 = _mm512_dpbusd_epi32(acc10, q1, w0);
+                    acc11 = _mm512_dpbusd_epi32(acc11, q1, w1);
+                    acc20 = _mm512_dpbusd_epi32(acc20, q2, w0);
+                    acc21 = _mm512_dpbusd_epi32(acc21, q2, w1);
+                    acc30 = _mm512_dpbusd_epi32(acc30, q3, w0);
+                    acc31 = _mm512_dpbusd_epi32(acc31, q3, w1);
                 }
-                *slot = acc;
+                for (row, (lo, hi)) in [
+                    (acc00, acc01),
+                    (acc10, acc11),
+                    (acc20, acc21),
+                    (acc30, acc31),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let s0 = op.add(row * n + j);
+                    let s1 = op.add(row * n + j + 16);
+                    _mm512_storeu_si512(s0.cast(), _mm512_add_epi32(seed_avx512(s0, fold), lo));
+                    _mm512_storeu_si512(s1.cast(), _mm512_add_epi32(seed_avx512(s1, fold), hi));
+                }
+                j += 32;
             }
-            j += 1;
+            while j + 16 <= n {
+                let mut acc0 = _mm512_setzero_si512();
+                let mut acc1 = _mm512_setzero_si512();
+                let mut acc2 = _mm512_setzero_si512();
+                let mut acc3 = _mm512_setzero_si512();
+                for g in g0..g1 {
+                    let w = _mm512_loadu_si512(bp.add((g * n + j) * 4).cast());
+                    acc0 = _mm512_dpbusd_epi32(acc0, _mm512_set1_epi32(quad(p0, g)), w);
+                    acc1 = _mm512_dpbusd_epi32(acc1, _mm512_set1_epi32(quad(p1, g)), w);
+                    acc2 = _mm512_dpbusd_epi32(acc2, _mm512_set1_epi32(quad(p2, g)), w);
+                    acc3 = _mm512_dpbusd_epi32(acc3, _mm512_set1_epi32(quad(p3, g)), w);
+                }
+                let s0 = op.add(j);
+                let s1 = op.add(n + j);
+                let s2 = op.add(2 * n + j);
+                let s3 = op.add(3 * n + j);
+                _mm512_storeu_si512(s0.cast(), _mm512_add_epi32(seed_avx512(s0, fold), acc0));
+                _mm512_storeu_si512(s1.cast(), _mm512_add_epi32(seed_avx512(s1, fold), acc1));
+                _mm512_storeu_si512(s2.cast(), _mm512_add_epi32(seed_avx512(s2, fold), acc2));
+                _mm512_storeu_si512(s3.cast(), _mm512_add_epi32(seed_avx512(s3, fold), acc3));
+                j += 16;
+            }
+            while j < n {
+                for (row, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
+                    let slot = op.add(row * n + j);
+                    let mut acc = seed_scalar(slot, fold);
+                    for g in g0..g1 {
+                        acc += super::dot4(ar, g, b, (g * n + j) * 4);
+                    }
+                    *slot = acc;
+                }
+                j += 1;
+            }
         }
     }
 
     /// One output row over groups `g0..g1`, 16 columns per `dpbusd`.
     #[target_feature(enable = "avx512f,avx512bw,avx512vl,avx512vnni")]
     unsafe fn panel1_vnni(a: &[u8], b: &[i8], o: &mut [i32], n: usize, g0: usize, g1: usize) {
-        let fold = g0 != 0;
-        let ap = a.as_ptr();
-        let bp = b.as_ptr();
-        let op = o.as_mut_ptr();
-        let mut j = 0;
-        while j + 16 <= n {
-            let mut acc = _mm512_setzero_si512();
-            for g in g0..g1 {
-                let w = _mm512_loadu_si512(bp.add((g * n + j) * 4).cast());
-                acc = _mm512_dpbusd_epi32(acc, _mm512_set1_epi32(quad(ap, g)), w);
+        // SAFETY: the caller upholds this fn's `# Safety` contract: the required target features are enabled and every pointer/shape argument describes the buffers exactly.
+        unsafe {
+            let fold = g0 != 0;
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let op = o.as_mut_ptr();
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut acc = _mm512_setzero_si512();
+                for g in g0..g1 {
+                    let w = _mm512_loadu_si512(bp.add((g * n + j) * 4).cast());
+                    acc = _mm512_dpbusd_epi32(acc, _mm512_set1_epi32(quad(ap, g)), w);
+                }
+                _mm512_storeu_si512(
+                    op.add(j).cast(),
+                    _mm512_add_epi32(seed_avx512(op.add(j), fold), acc),
+                );
+                j += 16;
             }
-            _mm512_storeu_si512(
-                op.add(j).cast(),
-                _mm512_add_epi32(seed_avx512(op.add(j), fold), acc),
-            );
-            j += 16;
-        }
-        while j < n {
-            let slot = op.add(j);
-            let mut acc = seed_scalar(slot, fold);
-            for g in g0..g1 {
-                acc += super::dot4(a, g, b, (g * n + j) * 4);
+            while j < n {
+                let slot = op.add(j);
+                let mut acc = seed_scalar(slot, fold);
+                for g in g0..g1 {
+                    acc += super::dot4(a, g, b, (g * n + j) * 4);
+                }
+                *slot = acc;
+                j += 1;
             }
-            *slot = acc;
-            j += 1;
         }
     }
 }

@@ -118,6 +118,9 @@ fn probe() -> TuneParams {
             for (slot, &k_block) in candidate_ns.iter_mut().zip(&K_BLOCKS) {
                 out.fill(0.0);
                 let t = Instant::now();
+                // SAFETY: this probe only runs after `avx2_fma_available()`
+                // (checked by the caller); the buffers were sized ROWS*K,
+                // K*N and ROWS*N above.
                 unsafe { super::avx2::gemm_f32_avx2(&a, &b, &mut out, ROWS, K, N, k_block) };
                 let ns = t.elapsed().as_nanos();
                 if rep > 0 {
@@ -152,6 +155,10 @@ fn probe() -> TuneParams {
                 for (slot, &panel4) in row.iter_mut().zip(&PANELS) {
                     out.fill(0);
                     let t = Instant::now();
+                    // SAFETY: the caller checked `avx2_available()` and
+                    // `vnni` selects the VNNI body only when
+                    // `avx512_vnni_available()`; buffer shapes match the
+                    // ROWS/k_pad/N sizing above.
                     unsafe {
                         if vnni {
                             super::int8::x86::gemm_vnni(

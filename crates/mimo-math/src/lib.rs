@@ -28,6 +28,8 @@
 //! assert!(h.sub(&reconstructed).frobenius_norm() < 1e-9);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod complex;
 pub mod env;
 pub mod kernel;

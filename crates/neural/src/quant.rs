@@ -213,15 +213,39 @@ impl QuantizedDense {
     ) where
         F: FnMut(usize, &mut [u8]) -> (f32, f32),
     {
+        self.try_matmul_bias_act_from_rows(rows, |r, dst| Ok(fill(r, dst)), scratch, out, kernel)
+            .unwrap_or_else(|e: std::convert::Infallible| match e {})
+    }
+
+    /// Fallible variant of [`Self::matmul_bias_act_from_rows`]: `fill` may
+    /// reject a row, in which case the error is returned before the GEMM
+    /// runs and `out` is left untouched. This lets streaming callers
+    /// validate payloads row-by-row while filling — no intermediate
+    /// collection of the batch, so the hot path stays allocation-free.
+    ///
+    /// # Panics
+    /// Panics when `rows == 0`.
+    pub fn try_matmul_bias_act_from_rows<F, E>(
+        &self,
+        rows: usize,
+        mut fill: F,
+        scratch: &mut QuantScratch,
+        out: &mut Matrix,
+        kernel: Int8Kernel,
+    ) -> Result<(), E>
+    where
+        F: FnMut(usize, &mut [u8]) -> Result<(f32, f32), E>,
+    {
         assert!(rows > 0, "quantized forward needs at least one row");
         scratch.prepare(rows, self.k_pad, self.output_dim);
         for r in 0..rows {
             let dst = &mut scratch.aq[r * self.k_pad..r * self.k_pad + self.input_dim];
-            let (scale, min) = fill(r, dst);
+            let (scale, min) = fill(r, dst)?;
             scratch.row_scale[r] = scale;
             scratch.row_min[r] = min;
         }
         self.finish(rows, scratch, out, kernel);
+        Ok(())
     }
 
     /// The shared back half of both forward entries: integer GEMM, then the

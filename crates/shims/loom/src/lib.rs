@@ -1,0 +1,239 @@
+//! Offline loom-style concurrency facade.
+//!
+//! In normal builds every type in here is a zero-cost passthrough to `std`:
+//! [`cell::UnsafeCell`] is a `#[repr(transparent)]` wrapper whose
+//! `with`/`with_mut` closures inline to a raw pointer call, and
+//! [`sync::atomic`] re-exports the real atomics. Code written against the
+//! facade compiles to exactly what it compiled to before.
+//!
+//! Under `RUSTFLAGS="--cfg splitbeam_model"` the same API becomes an
+//! **exhaustive deterministic model checker** (see [`model`]): every atomic
+//! operation and every `thread::yield_now` is a scheduling point, a DFS with
+//! sleep-set partial-order reduction enumerates all interleavings of a small
+//! scenario, and vector-clock happens-before tracking flags unsynchronized
+//! `UnsafeCell` access as a data race — which is how weakened
+//! acquire/release orderings are caught even though interleavings themselves
+//! are explored sequentially-consistently.
+//!
+//! Deliberate approximations (documented so test authors know the envelope):
+//!
+//! - `SeqCst` is modeled as `AcqRel`: programs that rely on the seq-cst
+//!   *total order* (Dekker-style mutual exclusion) may report spurious races.
+//!   The ring relies only on release/acquire pairs, which are modeled
+//!   precisely.
+//! - `compare_exchange_weak` never fails spuriously in the model (spurious
+//!   failure only adds retry loops, which the spin handling already covers).
+//! - `fence` is a scheduling point but contributes no synchronization edges;
+//!   code whose correctness depends on fences needs a richer model.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+#[cfg(splitbeam_model)]
+mod runtime;
+
+/// Exhaustive exploration entry points; only exists under
+/// `--cfg splitbeam_model`.
+#[cfg(splitbeam_model)]
+pub mod model {
+    pub use crate::runtime::{explore, Config, Failure, Report, Scenario};
+}
+
+pub mod cell {
+    /// Shareable mutable container with a closure-based access API.
+    ///
+    /// The closure style (rather than `get()`) exists so the model build can
+    /// observe every access: in normal builds `with`/`with_mut` compile to
+    /// the raw pointer call, in model builds each call is race-checked
+    /// against all other threads' accesses via vector clocks.
+    #[cfg(not(splitbeam_model))]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    #[cfg(not(splitbeam_model))]
+    impl<T> UnsafeCell<T> {
+        pub const fn new(value: T) -> Self {
+            Self(std::cell::UnsafeCell::new(value))
+        }
+
+        #[inline(always)]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        #[inline(always)]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+
+    /// Model-build variant: each access is first validated against the
+    /// happens-before relation recorded by the scheduler; a racy access
+    /// aborts the execution *before* the closure runs, so the model never
+    /// performs the UB it is reporting.
+    #[cfg(splitbeam_model)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    #[cfg(splitbeam_model)]
+    impl<T> UnsafeCell<T> {
+        pub const fn new(value: T) -> Self {
+            Self(std::cell::UnsafeCell::new(value))
+        }
+
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            crate::runtime::cell_access(self.0.get() as usize, false);
+            f(self.0.get())
+        }
+
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            crate::runtime::cell_access(self.0.get() as usize, true);
+            f(self.0.get())
+        }
+    }
+}
+
+pub mod sync {
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        #[cfg(not(splitbeam_model))]
+        pub use std::sync::atomic::{fence, AtomicUsize};
+
+        /// Scheduling point only; the model does not add fence-induced
+        /// synchronization edges (see crate docs).
+        #[cfg(splitbeam_model)]
+        pub fn fence(order: Ordering) {
+            crate::runtime::fence(order);
+        }
+
+        #[cfg(splitbeam_model)]
+        fn read_syncs(order: Ordering) -> bool {
+            matches!(
+                order,
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+            )
+        }
+
+        #[cfg(splitbeam_model)]
+        fn write_syncs(order: Ordering) -> bool {
+            matches!(
+                order,
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+            )
+        }
+
+        /// Model-build atomic: every operation announces itself to the
+        /// scheduler (a branch point for the DFS), then performs the real
+        /// operation under the engine lock and applies the release/acquire
+        /// clock semantics of its ordering. Outside an active exploration
+        /// (construction in the scenario factory, teardown in `Drop`,
+        /// normal `cargo test` of a model-built crate) operations fall
+        /// through to plain `std` behavior.
+        #[cfg(splitbeam_model)]
+        #[derive(Debug)]
+        pub struct AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize,
+        }
+
+        #[cfg(splitbeam_model)]
+        impl AtomicUsize {
+            pub const fn new(value: usize) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicUsize::new(value),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            pub fn load(&self, order: Ordering) -> usize {
+                crate::runtime::with_op(self.addr(), crate::runtime::Kind::Load, |c| {
+                    let v = self.inner.load(Ordering::Relaxed);
+                    c.load_side(read_syncs(order));
+                    v
+                })
+                .unwrap_or_else(|| self.inner.load(order))
+            }
+
+            pub fn store(&self, value: usize, order: Ordering) {
+                crate::runtime::with_op(self.addr(), crate::runtime::Kind::Store, |c| {
+                    self.inner.store(value, Ordering::Relaxed);
+                    c.store_side(write_syncs(order));
+                })
+                .unwrap_or_else(|| self.inner.store(value, order))
+            }
+
+            pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+                crate::runtime::with_op(self.addr(), crate::runtime::Kind::Rmw, |c| {
+                    let v = self.inner.fetch_add(value, Ordering::Relaxed);
+                    c.load_side(read_syncs(order));
+                    c.rmw_store_side(write_syncs(order));
+                    v
+                })
+                .unwrap_or_else(|| self.inner.fetch_add(value, order))
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<usize, usize> {
+                crate::runtime::with_op(self.addr(), crate::runtime::Kind::Rmw, |c| {
+                    match self.inner.compare_exchange(
+                        current,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(v) => {
+                            c.load_side(read_syncs(success));
+                            c.rmw_store_side(write_syncs(success));
+                            Ok(v)
+                        }
+                        Err(v) => {
+                            c.load_side(read_syncs(failure));
+                            Err(v)
+                        }
+                    }
+                })
+                .unwrap_or_else(|| self.inner.compare_exchange(current, new, success, failure))
+            }
+
+            /// Modeled as the strong variant: no spurious failures (see
+            /// crate docs).
+            pub fn compare_exchange_weak(
+                &self,
+                current: usize,
+                new: usize,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<usize, usize> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    }
+}
+
+pub mod thread {
+    #[cfg(not(splitbeam_model))]
+    pub use std::thread::yield_now;
+
+    /// In the model, `yield_now` declares "I am spinning": the thread is
+    /// parked until *some* other thread performs an atomic write. This keeps
+    /// spin-retry loops from exploding the schedule space (a spin step never
+    /// stutters) and turns a lost wakeup into a detected deadlock instead of
+    /// a livelock.
+    ///
+    /// Contract: only call it when the retry can make progress *solely*
+    /// after another thread's write (ring Full/Empty waits qualify; a
+    /// failed-CAS retry loop does not — it can succeed unaided and would
+    /// be reported as a spurious deadlock).
+    #[cfg(splitbeam_model)]
+    pub fn yield_now() {
+        if !crate::runtime::spin_yield() {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -1,0 +1,850 @@
+//! Deterministic exhaustive scheduler behind the model-build facade.
+//!
+//! Architecture, in one breath: scenario threads run on a persistent pool of
+//! OS workers, but only ever one at a time — every facade operation
+//! *announces* itself and blocks until the scheduler *grants* it. Once every
+//! live thread is parked at an announce point, the last thread to arrive
+//! makes the scheduling decision itself (no dedicated scheduler thread, and
+//! granting yourself costs no context switch). Decisions are recorded on a
+//! persistent DFS path; after each execution the controller backtracks the
+//! deepest node with an untried alternative and replays the prefix. Sleep
+//! sets prune interleavings that only commute independent operations.
+//!
+//! Memory semantics: interleavings are explored sequentially-consistently,
+//! while release/acquire edges are tracked with vector clocks — a `Release`
+//! store publishes the writer's clock at the location, an `Acquire` load
+//! joins it, `Relaxed` does neither. `UnsafeCell` accesses are not branch
+//! points (their verdict depends only on the atomic-op order) but are
+//! checked against that happens-before relation; an unordered pair is
+//! reported as a data race. This is what catches a deliberately weakened
+//! ordering even though the exploration itself never reorders memory.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Location id used for operations that touch no location (yield, fence).
+const NO_LOC: usize = usize::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Kind {
+    Load,
+    Store,
+    Rmw,
+    Yield,
+    Fence,
+}
+
+/// A scheduling-relevant operation: the location is a per-execution dense id
+/// assigned in deterministic (decision-point, thread-id) order so that
+/// descriptors recorded by different executions of the same DFS prefix are
+/// comparable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct OpDesc {
+    id: usize,
+    kind: Kind,
+}
+
+fn is_sched_only(kind: Kind) -> bool {
+    matches!(kind, Kind::Yield | Kind::Fence)
+}
+
+fn is_write(d: OpDesc) -> bool {
+    matches!(d.kind, Kind::Store | Kind::Rmw)
+}
+
+/// Independence relation for sleep sets. Writes are dependent on anything at
+/// the same location and on yields (a write can wake a spinning thread);
+/// loads commute with loads; yields and fences commute with everything that
+/// does not write.
+fn independent(a: OpDesc, b: OpDesc) -> bool {
+    match (is_sched_only(a.kind), is_sched_only(b.kind)) {
+        (true, true) => true,
+        (true, false) => !is_write(b),
+        (false, true) => !is_write(a),
+        (false, false) => a.id != b.id || (!is_write(a) && !is_write(b)),
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Pending {
+    addr: usize,
+    kind: Kind,
+    /// `store_epoch` at announce time; a `Yield` is enabled only once the
+    /// epoch has advanced (some thread wrote something).
+    epoch: u64,
+    id: Option<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing user code between announce points (or not yet started).
+    Busy,
+    /// Parked at an announce point, waiting for a grant.
+    Announced,
+    Done,
+}
+
+struct ModelThread {
+    status: Status,
+    pending: Option<Pending>,
+    grant: bool,
+    clock: Vec<u64>,
+}
+
+/// One decision point on the persistent DFS path.
+struct Node {
+    chosen: usize,
+    op: OpDesc,
+    enabled: Vec<(usize, OpDesc)>,
+    sleep: Vec<(usize, OpDesc)>,
+    tried: Vec<(usize, OpDesc)>,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Vector clock published by the latest release-or-stronger store (kept
+    /// alive through RMWs, mirroring C11 release sequences).
+    msg: Option<Vec<u64>>,
+}
+
+struct CellState {
+    last_write: Option<(usize, u64)>,
+    reads: Vec<(usize, u64)>,
+}
+
+struct WorkerSlot {
+    body: Option<Box<dyn FnOnce() + Send>>,
+}
+
+struct Exec {
+    active: bool,
+    aborted: bool,
+    pruned: bool,
+    failure: Option<Failure>,
+    threads: Vec<ModelThread>,
+    live: usize,
+    running: Option<usize>,
+    store_epoch: u64,
+    depth: usize,
+    loc_ids: HashMap<usize, usize>,
+    next_loc: usize,
+    atomics: HashMap<usize, AtomicState>,
+    cells: HashMap<usize, CellState>,
+    path: Vec<Node>,
+    trace: Vec<(usize, Kind, usize)>,
+    workers: Vec<WorkerSlot>,
+    shutdown: bool,
+}
+
+impl Exec {
+    fn new(n: usize) -> Self {
+        let mut ex = Exec {
+            active: false,
+            aborted: false,
+            pruned: false,
+            failure: None,
+            threads: Vec::new(),
+            live: 0,
+            running: None,
+            store_epoch: 0,
+            depth: 0,
+            loc_ids: HashMap::new(),
+            next_loc: 0,
+            atomics: HashMap::new(),
+            cells: HashMap::new(),
+            path: Vec::new(),
+            trace: Vec::new(),
+            workers: (0..n).map(|_| WorkerSlot { body: None }).collect(),
+            shutdown: false,
+        };
+        ex.reset(n);
+        ex.live = 0;
+        ex
+    }
+
+    /// Per-execution state back to the start line; the DFS `path`, worker
+    /// slots, and shutdown flag survive across executions.
+    fn reset(&mut self, n: usize) {
+        self.active = false;
+        self.aborted = false;
+        self.pruned = false;
+        self.failure = None;
+        self.threads = (0..n)
+            .map(|_| ModelThread {
+                status: Status::Busy,
+                pending: None,
+                grant: false,
+                clock: vec![0; n],
+            })
+            .collect();
+        self.live = n;
+        self.running = None;
+        self.store_epoch = 0;
+        self.depth = 0;
+        self.loc_ids.clear();
+        self.next_loc = 0;
+        self.atomics.clear();
+        self.cells.clear();
+        self.trace.clear();
+    }
+}
+
+struct Engine {
+    state: Mutex<Exec>,
+    cv: Condvar,
+    max_steps: usize,
+}
+
+/// Panic payload used to unwind scenario threads out of user code when an
+/// execution is torn down (race found, prune, budget); swallowed by the
+/// worker loop and silenced by the panic hook.
+struct ModelAbort;
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Engine>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Pruned/aborted executions unwind via panics thousands of times per
+/// exploration; route them past the default printing hook exactly once per
+/// process.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if QUIET_PANICS.with(|q| q.get()) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+fn lock(engine: &Engine) -> MutexGuard<'_, Exec> {
+    // Worker panics are part of normal operation here; poisoning carries no
+    // information.
+    engine.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn panic_abort() -> ! {
+    panic::panic_any(ModelAbort)
+}
+
+fn join_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn render_trace(trace: &[(usize, Kind, usize)]) -> Vec<String> {
+    trace
+        .iter()
+        .map(|&(tid, kind, id)| {
+            if id == NO_LOC {
+                format!("t{tid} {kind:?}")
+            } else {
+                format!("t{tid} {kind:?}@L{id}")
+            }
+        })
+        .collect()
+}
+
+fn record_failure(ex: &mut Exec, message: String) {
+    if ex.failure.is_none() {
+        ex.failure = Some(Failure {
+            message,
+            trace: render_trace(&ex.trace),
+        });
+    }
+    ex.aborted = true;
+}
+
+/// The scheduling decision. Runs only when every live thread is parked at an
+/// announce point; replays the persistent DFS path while it lasts, then
+/// extends it with a fresh node (applying the sleep set inherited from the
+/// parent). Grants exactly one thread or tears the execution down.
+fn try_decide(engine: &Engine, ex: &mut Exec) {
+    if !ex.active || ex.aborted || ex.running.is_some() || ex.live == 0 {
+        return;
+    }
+    if ex.threads.iter().any(|t| t.status == Status::Busy) {
+        return;
+    }
+
+    // Assign location ids in thread-id order at the decision point — the
+    // announce *order* is racy between workers, the announced *set* is not,
+    // so this keeps ids deterministic across replays.
+    for i in 0..ex.threads.len() {
+        if ex.threads[i].status != Status::Announced {
+            continue;
+        }
+        let addr = ex.threads[i]
+            .pending
+            .as_ref()
+            .map(|p| (p.addr, p.kind, p.id));
+        if let Some((addr, kind, None)) = addr {
+            let id = if is_sched_only(kind) {
+                NO_LOC
+            } else {
+                match ex.loc_ids.get(&addr) {
+                    Some(&id) => id,
+                    None => {
+                        let id = ex.next_loc;
+                        ex.next_loc += 1;
+                        ex.loc_ids.insert(addr, id);
+                        id
+                    }
+                }
+            };
+            ex.threads[i]
+                .pending
+                .as_mut()
+                .expect("pending just read")
+                .id = Some(id);
+        }
+    }
+
+    let mut enabled: Vec<(usize, OpDesc)> = Vec::new();
+    for (i, t) in ex.threads.iter().enumerate() {
+        if t.status != Status::Announced {
+            continue;
+        }
+        let p = t.pending.expect("announced thread has a pending op");
+        let runnable = match p.kind {
+            Kind::Yield => ex.store_epoch > p.epoch,
+            _ => true,
+        };
+        if runnable {
+            enabled.push((
+                i,
+                OpDesc {
+                    id: p.id.expect("ids assigned above"),
+                    kind: p.kind,
+                },
+            ));
+        }
+    }
+
+    if enabled.is_empty() {
+        record_failure(
+            ex,
+            format!(
+                "deadlock: all {} live thread(s) are spin-waiting and no further store can wake them",
+                ex.live
+            ),
+        );
+        return;
+    }
+
+    let (tid, op) = if ex.depth < ex.path.len() {
+        let want = ex.path[ex.depth].chosen;
+        match enabled.iter().copied().find(|&(t, _)| t == want) {
+            Some(e) => e,
+            None => {
+                record_failure(
+                    ex,
+                    format!(
+                        "model internal error: replay diverged at step {} (thread {} not enabled) — scenario is nondeterministic outside facade ops",
+                        ex.depth, want
+                    ),
+                );
+                return;
+            }
+        }
+    } else {
+        let sleep: Vec<(usize, OpDesc)> = match ex.path.last() {
+            Some(parent) => parent
+                .sleep
+                .iter()
+                .chain(parent.tried.iter())
+                .filter(|&&(_, o)| independent(o, parent.op))
+                .copied()
+                .collect(),
+            None => Vec::new(),
+        };
+        let candidates: Vec<(usize, OpDesc)> = enabled
+            .iter()
+            .filter(|(t, _)| !sleep.iter().any(|(u, _)| u == t))
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            // Every enabled move is covered by a sibling subtree.
+            ex.pruned = true;
+            ex.aborted = true;
+            return;
+        }
+        let prefer = ex.path.last().map(|n| n.chosen);
+        let pick = candidates
+            .iter()
+            .copied()
+            .find(|&(t, _)| Some(t) == prefer)
+            .unwrap_or(candidates[0]);
+        ex.path.push(Node {
+            chosen: pick.0,
+            op: pick.1,
+            enabled,
+            sleep,
+            tried: Vec::new(),
+        });
+        pick
+    };
+
+    if ex.depth >= engine.max_steps {
+        record_failure(
+            ex,
+            format!(
+                "schedule exceeded max_steps={} — likely livelock in the scenario",
+                engine.max_steps
+            ),
+        );
+        return;
+    }
+
+    ex.trace.push((tid, op.kind, op.id));
+    ex.depth += 1;
+    ex.running = Some(tid);
+    ex.threads[tid].grant = true;
+}
+
+/// Announce `kind` at `addr`, wait to be granted, and return with the engine
+/// lock held and this thread marked as the unique runner. Panics with
+/// [`ModelAbort`] if the execution is torn down while waiting.
+fn announce_and_wait<'a>(
+    engine: &'a Engine,
+    mut ex: MutexGuard<'a, Exec>,
+    tid: usize,
+    addr: usize,
+    kind: Kind,
+) -> MutexGuard<'a, Exec> {
+    if ex.aborted {
+        drop(ex);
+        panic_abort();
+    }
+    ex.threads[tid].status = Status::Announced;
+    ex.threads[tid].pending = Some(Pending {
+        addr,
+        kind,
+        epoch: ex.store_epoch,
+        id: None,
+    });
+    if ex.running == Some(tid) {
+        ex.running = None;
+    }
+    try_decide(engine, &mut ex);
+    engine.cv.notify_all();
+    while !ex.threads[tid].grant {
+        if ex.aborted {
+            drop(ex);
+            panic_abort();
+        }
+        ex = engine.cv.wait(ex).unwrap_or_else(|p| p.into_inner());
+    }
+    if ex.aborted {
+        drop(ex);
+        panic_abort();
+    }
+    ex.threads[tid].grant = false;
+    ex.threads[tid].status = Status::Busy;
+    ex.threads[tid].pending = None;
+    ex.threads[tid].clock[tid] += 1;
+    ex
+}
+
+/// Release/acquire bookkeeping handle passed to the facade's op closures.
+pub(crate) struct Commit<'a> {
+    ex: &'a mut Exec,
+    tid: usize,
+    addr: usize,
+}
+
+impl Commit<'_> {
+    pub(crate) fn load_side(&mut self, acquire: bool) {
+        if !acquire {
+            return;
+        }
+        if let Some(st) = self.ex.atomics.get(&self.addr) {
+            if let Some(msg) = &st.msg {
+                join_into(&mut self.ex.threads[self.tid].clock, msg);
+            }
+        }
+    }
+
+    pub(crate) fn store_side(&mut self, release: bool) {
+        self.ex.store_epoch += 1;
+        let msg = release.then(|| self.ex.threads[self.tid].clock.clone());
+        self.ex.atomics.entry(self.addr).or_default().msg = msg;
+    }
+
+    /// A relaxed RMW keeps an existing release message alive (C11 release
+    /// sequences continue through RMWs); a releasing RMW joins its clock in.
+    pub(crate) fn rmw_store_side(&mut self, release: bool) {
+        self.ex.store_epoch += 1;
+        if release {
+            let clk = self.ex.threads[self.tid].clock.clone();
+            let st = self.ex.atomics.entry(self.addr).or_default();
+            st.msg = Some(match st.msg.take() {
+                Some(mut m) => {
+                    join_into(&mut m, &clk);
+                    m
+                }
+                None => clk,
+            });
+        }
+    }
+}
+
+/// Run one scheduled operation: announce, wait for the grant, then invoke
+/// `f` (which performs the real memory operation and reports its ordering
+/// semantics through [`Commit`]) under the engine lock. Returns `None` when
+/// the calling thread is not a scenario thread inside an active execution —
+/// the facade then falls back to plain `std` behavior.
+pub(crate) fn with_op<R>(
+    addr: usize,
+    kind: Kind,
+    f: impl FnOnce(&mut Commit<'_>) -> R,
+) -> Option<R> {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    let (engine, tid) = ctx?;
+    let ex = lock(&engine);
+    if !ex.active {
+        return None;
+    }
+    let mut ex = announce_and_wait(&engine, ex, tid, addr, kind);
+    let mut commit = Commit {
+        ex: &mut ex,
+        tid,
+        addr,
+    };
+    let result = f(&mut commit);
+    drop(ex);
+    Some(result)
+}
+
+/// `thread::yield_now` in a scenario thread: park until some other thread
+/// performs an atomic write. Returns `false` outside an execution.
+pub(crate) fn spin_yield() -> bool {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    let Some((engine, tid)) = ctx else {
+        return false;
+    };
+    let ex = lock(&engine);
+    if !ex.active {
+        return false;
+    }
+    let ex = announce_and_wait(&engine, ex, tid, 0, Kind::Yield);
+    drop(ex);
+    true
+}
+
+pub(crate) fn fence(order: std::sync::atomic::Ordering) {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    let Some((engine, tid)) = ctx else {
+        std::sync::atomic::fence(order);
+        return;
+    };
+    let ex = lock(&engine);
+    if !ex.active {
+        drop(ex);
+        std::sync::atomic::fence(order);
+        return;
+    }
+    let ex = announce_and_wait(&engine, ex, tid, 0, Kind::Fence);
+    drop(ex);
+}
+
+/// Happens-before check for an `UnsafeCell` access. Not a scheduling point:
+/// the race verdict depends only on the order of the surrounding atomic
+/// operations, so branching here would multiply the state space without
+/// reaching new verdicts. Panics (aborting the execution) on a detected
+/// race, *before* the caller touches the cell.
+pub(crate) fn cell_access(addr: usize, write: bool) {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    let Some((engine, tid)) = ctx else {
+        return;
+    };
+    let mut ex = lock(&engine);
+    if !ex.active {
+        return;
+    }
+    if ex.aborted {
+        drop(ex);
+        panic_abort();
+    }
+    ex.threads[tid].clock[tid] += 1;
+    let race: Option<String> = {
+        let Exec { threads, cells, .. } = &mut *ex;
+        let clock = &threads[tid].clock;
+        let st = cells.entry(addr).or_insert(CellState {
+            last_write: None,
+            reads: Vec::new(),
+        });
+        let mut race = None;
+        if let Some((writer, at)) = st.last_write {
+            if writer != tid && clock[writer] < at {
+                race = Some(format!(
+                    "data race: cell {} by t{tid} is unordered with a write by t{writer}",
+                    if write { "write" } else { "read" },
+                ));
+            }
+        }
+        if write && race.is_none() {
+            for &(reader, at) in &st.reads {
+                if reader != tid && clock[reader] < at {
+                    race = Some(format!(
+                        "data race: cell write by t{tid} is unordered with a read by t{reader}",
+                    ));
+                    break;
+                }
+            }
+        }
+        if race.is_none() {
+            if write {
+                st.last_write = Some((tid, clock[tid]));
+                st.reads.clear();
+            } else {
+                match st.reads.iter_mut().find(|(r, _)| *r == tid) {
+                    Some(slot) => slot.1 = clock[tid],
+                    None => st.reads.push((tid, clock[tid])),
+                }
+            }
+        }
+        race
+    };
+    if let Some(message) = race {
+        record_failure(&mut ex, message);
+        engine.cv.notify_all();
+        drop(ex);
+        panic_abort();
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_main(engine: Arc<Engine>, idx: usize) {
+    loop {
+        let body = {
+            let mut ex = lock(&engine);
+            loop {
+                if ex.shutdown {
+                    return;
+                }
+                if let Some(b) = ex.workers[idx].body.take() {
+                    break b;
+                }
+                ex = engine.cv.wait(ex).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        CURRENT.with(|c| *c.borrow_mut() = Some((engine.clone(), idx)));
+        QUIET_PANICS.with(|q| q.set(true));
+        let result = panic::catch_unwind(AssertUnwindSafe(body));
+        QUIET_PANICS.with(|q| q.set(false));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        let mut ex = lock(&engine);
+        if let Err(payload) = result {
+            if !payload.is::<ModelAbort>() && !ex.aborted {
+                let message = format!(
+                    "model thread {idx} panicked: {}",
+                    payload_message(payload.as_ref())
+                );
+                record_failure(&mut ex, message);
+            }
+        }
+        ex.threads[idx].status = Status::Done;
+        ex.threads[idx].pending = None;
+        if ex.running == Some(idx) {
+            ex.running = None;
+        }
+        ex.live -= 1;
+        try_decide(&engine, &mut ex);
+        engine.cv.notify_all();
+    }
+}
+
+/// Advance the persistent DFS path to the next unexplored schedule; `false`
+/// means the whole tree is exhausted.
+fn backtrack(path: &mut Vec<Node>) -> bool {
+    loop {
+        let Some(node) = path.last_mut() else {
+            return false;
+        };
+        node.tried.push((node.chosen, node.op));
+        let next = node.enabled.iter().copied().find(|(t, _)| {
+            !node.tried.iter().any(|(u, _)| u == t) && !node.sleep.iter().any(|(u, _)| u == t)
+        });
+        match next {
+            Some((t, op)) => {
+                node.chosen = t;
+                node.op = op;
+                return true;
+            }
+            None => {
+                path.pop();
+            }
+        }
+    }
+}
+
+/// Exploration limits. `max_steps` bounds a single execution (a tripped
+/// bound is reported as a failure — with spin-parking it indicates a
+/// genuine livelock); `max_executions` bounds the whole exploration (a
+/// tripped bound leaves `Report::complete` false).
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    pub max_executions: u64,
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_executions: 50_000_000,
+            max_steps: 4_000,
+        }
+    }
+}
+
+/// One concurrent scenario: the thread bodies to interleave plus a final
+/// check run single-threaded after every complete execution.
+pub struct Scenario {
+    pub threads: Vec<Box<dyn FnOnce() + Send>>,
+    pub check: Box<dyn FnOnce()>,
+}
+
+#[derive(Debug)]
+pub struct Failure {
+    pub message: String,
+    /// The schedule that produced the failure, oldest step first
+    /// (`t<tid> <op>@L<loc>`).
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        writeln!(f, "schedule ({} steps):", self.trace.len())?;
+        for step in &self.trace {
+            writeln!(f, "  {step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+pub struct Report {
+    /// Executions attempted, including sleep-set-pruned partial ones.
+    pub executions: u64,
+    /// Total scheduling decisions across all executions.
+    pub steps: u64,
+    /// True when the DFS exhausted every non-equivalent interleaving.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+/// Exhaustively explore all interleavings of the scenario (modulo sleep-set
+/// equivalence). The factory is invoked once per execution and must build
+/// the same logical scenario every time — all nondeterminism must flow
+/// through facade operations.
+pub fn explore<F: FnMut() -> Scenario>(config: &Config, mut scenario: F) -> Report {
+    install_quiet_hook();
+    let first = scenario();
+    let n = first.threads.len();
+    assert!(n > 0, "scenario needs at least one thread");
+    let engine = Arc::new(Engine {
+        state: Mutex::new(Exec::new(n)),
+        cv: Condvar::new(),
+        max_steps: config.max_steps,
+    });
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let engine = engine.clone();
+            std::thread::Builder::new()
+                .name(format!("loom-worker-{i}"))
+                .spawn(move || worker_main(engine, i))
+                .expect("spawn model worker")
+        })
+        .collect();
+
+    let mut report = Report {
+        executions: 0,
+        steps: 0,
+        complete: false,
+        failure: None,
+    };
+    let mut next = Some(first);
+    loop {
+        if report.executions >= config.max_executions {
+            break;
+        }
+        let Scenario { threads, check } = next.take().unwrap_or_else(&mut scenario);
+        assert_eq!(
+            threads.len(),
+            n,
+            "scenario must build the same number of threads every execution"
+        );
+        {
+            let mut ex = lock(&engine);
+            ex.reset(n);
+            for (i, body) in threads.into_iter().enumerate() {
+                ex.workers[i].body = Some(body);
+            }
+            ex.active = true;
+            engine.cv.notify_all();
+        }
+        let (failure, pruned, depth) = {
+            let mut ex = lock(&engine);
+            while ex.live > 0 {
+                ex = engine.cv.wait(ex).unwrap_or_else(|p| p.into_inner());
+            }
+            ex.active = false;
+            (ex.failure.take(), ex.pruned, ex.depth)
+        };
+        report.executions += 1;
+        report.steps += depth as u64;
+        if let Some(f) = failure {
+            report.failure = Some(f);
+            break;
+        }
+        if !pruned {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(check)) {
+                let ex = lock(&engine);
+                report.failure = Some(Failure {
+                    message: format!(
+                        "post-execution check failed: {}",
+                        payload_message(payload.as_ref())
+                    ),
+                    trace: render_trace(&ex.trace),
+                });
+                break;
+            }
+        }
+        let more = {
+            let mut ex = lock(&engine);
+            backtrack(&mut ex.path)
+        };
+        if !more {
+            report.complete = true;
+            break;
+        }
+    }
+
+    {
+        let mut ex = lock(&engine);
+        ex.shutdown = true;
+        engine.cv.notify_all();
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    report
+}

@@ -10,10 +10,26 @@
 use std::num::NonZeroUsize;
 
 /// Number of worker threads a parallel operation will use.
+///
+/// Honors `RAYON_NUM_THREADS` (like real rayon's default pool) so tests that
+/// must stay single-threaded — e.g. allocation-sentinel scopes, where a
+/// `thread::scope` spawn would itself allocate — can pin the shim serial.
+/// The value is read once per process.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Runs two closures, in parallel when more than one core is available.

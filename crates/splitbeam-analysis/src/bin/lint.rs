@@ -1,0 +1,99 @@
+//! Repo-invariant lint runner: `cargo run -p splitbeam-analysis --bin lint`.
+//!
+//! Exit codes: 0 clean, 1 violations or stale allowlist entries, 2 setup
+//! errors (bad allowlist syntax, unreadable tree).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use splitbeam_analysis::lint;
+
+fn find_repo_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: lint [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(find_repo_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("lint: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allowlist_path = root.join("lint_allowlist.txt");
+    let allow = if allowlist_path.is_file() {
+        match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => match lint::parse_allowlist(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("lint: reading {}: {e}", allowlist_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        lint::Allowlist::default()
+    };
+
+    let report = match lint::lint_repo(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.stale_allowlist {
+        println!(
+            "stale allowlist entry (suppressed nothing): {}|{}|{}|{}",
+            e.rule, e.path, e.needle, e.reason
+        );
+    }
+    println!(
+        "lint: {} file(s) scanned, {} violation(s), {} stale allowlist entr(ies)",
+        report.files_scanned,
+        report.violations.len(),
+        report.stale_allowlist.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

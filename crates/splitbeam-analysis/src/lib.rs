@@ -1,0 +1,21 @@
+//! Correctness tooling for the SplitBeam workspace.
+//!
+//! Three layers, each turning a README claim into a mechanical check:
+//!
+//! - [`lint`]: a source-scanning invariant pass (`cargo run -p
+//!   splitbeam-analysis --bin lint`) enforcing the repo's safety and
+//!   layering rules — SAFETY comments on every `unsafe` block, no wall
+//!   clock in virtual-time crates, centralized `SPLITBEAM_*` env access,
+//!   and no `unwrap`/`expect` on the serving ingest path.
+//! - [`alloc_sentinel`]: a counting global allocator and
+//!   `assert_no_alloc` scopes that integration tests wrap around the
+//!   serving hot paths, so the zero-steady-state-allocation claims fail CI
+//!   if regressed.
+//! - The model-check suite (`tests/ring_model.rs`, built under
+//!   `RUSTFLAGS="--cfg splitbeam_model"`) which exhaustively explores the
+//!   MPMC ring through the `loom` facade.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod alloc_sentinel;
+pub mod lint;

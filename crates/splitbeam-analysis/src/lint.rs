@@ -1,0 +1,695 @@
+//! Repo-invariant lint pass.
+//!
+//! A std-only source scanner (no syn, no rustc — the container is offline)
+//! that enforces the workspace's cross-cutting rules on non-test code:
+//!
+//! - **`safety-comment`**: every `unsafe` block and `unsafe impl` carries a
+//!   `// SAFETY:` comment on the same line or within the few lines above.
+//! - **`deny-unsafe-op`**: any crate whose non-test sources contain
+//!   `unsafe` must set `#![deny(unsafe_op_in_unsafe_fn)]` at its root.
+//! - **`wall-clock`**: no `std::time::Instant`/`SystemTime` in
+//!   `splitbeam-hwsim` or `splitbeam-serve` — those crates run on virtual
+//!   time and a wall-clock read is always a layering bug.
+//! - **`env-access`**: `SPLITBEAM_*` environment variables are read only
+//!   through `mimo_math::env`; a raw `env::var("SPLITBEAM_…")` anywhere
+//!   else bypasses the central trim/parse policy.
+//! - **`ingest-unwrap`**: no `.unwrap()`/`.expect(` on the serving ingest
+//!   path (`server.rs`, `session.rs`, `shard.rs`, `ring.rs`, `timing.rs`)
+//!   — a malformed frame must degrade, never abort the shard.
+//!
+//! Vetted exceptions live in `lint_allowlist.txt` at the repo root, one
+//! `rule|path|needle|reason` per line; entries that no longer suppress
+//! anything are themselves reported (stale) so the file cannot rot.
+//!
+//! The scanner works on a "code view" of each file — comments and string
+//! literals blanked out, raw strings and char-vs-lifetime quotes handled —
+//! and skips test code: files under `tests/`/`benches/` and regions under
+//! `#[cfg(test)]`.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+pub const RULE_SAFETY_COMMENT: &str = "safety-comment";
+pub const RULE_DENY_UNSAFE_OP: &str = "deny-unsafe-op";
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+pub const RULE_ENV_ACCESS: &str = "env-access";
+pub const RULE_INGEST_UNWRAP: &str = "ingest-unwrap";
+
+/// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
+const SAFETY_LOOKBACK: usize = 4;
+
+/// Files covered by the `ingest-unwrap` rule: the serving data path from
+/// wire frame to round close.
+const INGEST_PATH_FILES: [&str; 5] = [
+    "crates/splitbeam-serve/src/server.rs",
+    "crates/splitbeam-serve/src/session.rs",
+    "crates/splitbeam-serve/src/shard.rs",
+    "crates/splitbeam-serve/src/ring.rs",
+    "crates/splitbeam-serve/src/timing.rs",
+];
+
+/// Crates pinned to virtual time by the `wall-clock` rule.
+const VIRTUAL_TIME_PREFIXES: [&str; 2] =
+    ["crates/splitbeam-hwsim/src/", "crates/splitbeam-serve/src/"];
+
+/// The one blessed site for raw `SPLITBEAM_*` env reads.
+const ENV_MODULE: &str = "crates/mimo-math/src/env.rs";
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based; 0 for whole-file findings.
+    pub line: usize,
+    pub excerpt: String,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )?;
+        if !self.excerpt.is_empty() {
+            write!(f, "\n    {}", self.excerpt)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// Substring the flagged line must contain; `*` matches any line.
+    pub needle: String,
+    pub reason: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && self.path == v.path
+            && (self.needle == "*" || v.excerpt.contains(&self.needle))
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Parse the `rule|path|needle|reason` allowlist format. `#` comments and
+/// blank lines are ignored; every field including the reason is mandatory —
+/// an exception nobody can justify is not an exception.
+pub fn parse_allowlist(text: &str) -> Result<Allowlist, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(4, '|').collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "allowlist line {}: expected `rule|path|needle|reason`, got `{line}`",
+                idx + 1
+            ));
+        }
+        let entry = AllowEntry {
+            rule: fields[0].trim().to_string(),
+            path: fields[1].trim().to_string(),
+            needle: fields[2].trim().to_string(),
+            reason: fields[3].trim().to_string(),
+        };
+        if entry.rule.is_empty() || entry.path.is_empty() || entry.needle.is_empty() {
+            return Err(format!(
+                "allowlist line {}: empty field in `{line}`",
+                idx + 1
+            ));
+        }
+        if entry.reason.len() < 10 {
+            return Err(format!(
+                "allowlist line {}: reason `{}` is too thin to justify an exception",
+                idx + 1,
+                entry.reason
+            ));
+        }
+        entries.push(entry);
+    }
+    Ok(Allowlist { entries })
+}
+
+pub fn format_allowlist(list: &Allowlist) -> String {
+    let mut out = String::new();
+    for e in &list.entries {
+        out.push_str(&format!(
+            "{}|{}|{}|{}\n",
+            e.rule, e.path, e.needle, e.reason
+        ));
+    }
+    out
+}
+
+#[derive(Debug)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that suppressed nothing this run.
+    pub stale_allowlist: Vec<AllowEntry>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_allowlist.is_empty()
+    }
+}
+
+/// Lint in-memory sources (`(repo-relative path, contents)` pairs). This is
+/// the whole engine; [`lint_repo`] merely loads files into it, so fixture
+/// tests exercise exactly the production path.
+pub fn lint_sources(sources: &[(String, String)], allow: &Allowlist) -> LintReport {
+    let mut raw_violations = Vec::new();
+    for (rel, text) in sources {
+        scan_file(rel, text, &mut raw_violations);
+    }
+    check_crate_roots(sources, &mut raw_violations);
+
+    let mut used = vec![false; allow.entries.len()];
+    let mut violations = Vec::new();
+    for v in raw_violations {
+        let mut suppressed = false;
+        for (i, e) in allow.entries.iter().enumerate() {
+            if e.matches(&v) {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            violations.push(v);
+        }
+    }
+    let stale_allowlist = allow
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    LintReport {
+        violations,
+        stale_allowlist,
+        files_scanned: sources.len(),
+    }
+}
+
+/// Walk the repo, load every non-fixture `.rs` file, and lint it.
+pub fn lint_repo(root: &Path, allow: &Allowlist) -> io::Result<LintReport> {
+    let mut sources = Vec::new();
+    collect_rs_files(root, root, &mut sources)?;
+    sources.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(lint_sources(&sources, allow))
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures` trees hold sources with *deliberate* violations for
+            // the lint's own tests; they are data, not code.
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&path)?;
+            out.push((rel, text));
+        }
+    }
+    Ok(())
+}
+
+fn is_test_file(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.starts_with("benches/")
+        || rel.contains("/benches/")
+}
+
+fn scan_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
+    if is_test_file(rel) {
+        return;
+    }
+    let raw: Vec<&str> = text.lines().collect();
+    let code = code_view(text);
+    let code: Vec<&str> = code_lines(&code, raw.len());
+    let in_test = test_region_mask(&code);
+
+    for i in 0..raw.len() {
+        if in_test[i] {
+            continue;
+        }
+        check_wall_clock(rel, i, raw[i], code[i], out);
+        check_env_access(rel, i, &raw, code[i], out);
+        check_ingest_unwrap(rel, i, raw[i], code[i], out);
+    }
+    check_safety_comments(rel, &raw, &code, &in_test, out);
+}
+
+/// Crate-level pass: a crate root (`src/lib.rs` or `src/main.rs`) must deny
+/// `unsafe_op_in_unsafe_fn` when any non-test source in the crate uses
+/// `unsafe`.
+fn check_crate_roots(sources: &[(String, String)], out: &mut Vec<Violation>) {
+    use std::collections::BTreeMap;
+    // crate key = path prefix up to and including "src/"
+    let mut crates: BTreeMap<String, (Option<usize>, bool)> = BTreeMap::new();
+    for (idx, (rel, text)) in sources.iter().enumerate() {
+        let Some(pos) = rel.find("src/") else {
+            continue;
+        };
+        let key = rel[..pos + 4].to_string();
+        let entry = crates.entry(key.clone()).or_insert((None, false));
+        if rel == &format!("{key}lib.rs") || rel == &format!("{key}main.rs") {
+            entry.0 = Some(idx);
+        }
+        if !is_test_file(rel) && !entry.1 {
+            let code = code_view(text);
+            let code_ls: Vec<&str> = code_lines(&code, text.lines().count());
+            let mask = test_region_mask(&code_ls);
+            for (i, line) in code_ls.iter().enumerate() {
+                if !mask[i] && has_word(line, "unsafe") {
+                    entry.1 = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (key, (root_idx, has_unsafe)) in crates {
+        if !has_unsafe {
+            continue;
+        }
+        let Some(idx) = root_idx else { continue };
+        let (rel, text) = &sources[idx];
+        if !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+            out.push(Violation {
+                rule: RULE_DENY_UNSAFE_OP,
+                path: rel.clone(),
+                line: 1,
+                excerpt: String::new(),
+                message: format!(
+                    "crate `{key}` contains unsafe code but its root does not declare \
+                     #![deny(unsafe_op_in_unsafe_fn)]"
+                ),
+            });
+        }
+    }
+}
+
+fn check_wall_clock(rel: &str, i: usize, raw: &str, code: &str, out: &mut Vec<Violation>) {
+    if !VIRTUAL_TIME_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    for token in ["Instant", "SystemTime"] {
+        if has_word(code, token) {
+            out.push(Violation {
+                rule: RULE_WALL_CLOCK,
+                path: rel.to_string(),
+                line: i + 1,
+                excerpt: excerpt(raw),
+                message: format!(
+                    "`{token}` in a virtual-time crate — derive time from the event loop, \
+                     not the host clock"
+                ),
+            });
+        }
+    }
+}
+
+fn check_env_access(rel: &str, i: usize, raw: &[&str], code: &str, out: &mut Vec<Violation>) {
+    if rel == ENV_MODULE {
+        return;
+    }
+    if !code.contains("env::var") {
+        return;
+    }
+    // The variable name may sit on the next line after rustfmt wrapping.
+    let window = raw[i..raw.len().min(i + 3)].join("\n");
+    if window.contains("SPLITBEAM") {
+        out.push(Violation {
+            rule: RULE_ENV_ACCESS,
+            path: rel.to_string(),
+            line: i + 1,
+            excerpt: excerpt(raw[i]),
+            message: "raw SPLITBEAM_* env read — go through mimo_math::env so trimming and \
+                      parse policy stay centralized"
+                .to_string(),
+        });
+    }
+}
+
+fn check_ingest_unwrap(rel: &str, i: usize, raw: &str, code: &str, out: &mut Vec<Violation>) {
+    if !INGEST_PATH_FILES.contains(&rel) {
+        return;
+    }
+    for token in [".unwrap()", ".expect("] {
+        if code.contains(token) {
+            out.push(Violation {
+                rule: RULE_INGEST_UNWRAP,
+                path: rel.to_string(),
+                line: i + 1,
+                excerpt: excerpt(raw),
+                message: format!(
+                    "`{token}` on the serving ingest path — malformed input must degrade, \
+                     not abort the shard",
+                ),
+            });
+        }
+    }
+}
+
+fn check_safety_comments(
+    rel: &str,
+    raw: &[&str],
+    code: &[&str],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    for (i, line) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        for site in unsafe_sites_in_line(line) {
+            let lo = i.saturating_sub(SAFETY_LOOKBACK);
+            let documented = raw[lo..=i].iter().any(|l| l.contains("SAFETY:"));
+            if !documented {
+                out.push(Violation {
+                    rule: RULE_SAFETY_COMMENT,
+                    path: rel.to_string(),
+                    line: i + 1,
+                    excerpt: excerpt(raw[i]),
+                    message: format!("{site} without a `// SAFETY:` comment on or just above it"),
+                });
+            }
+        }
+    }
+}
+
+/// `unsafe` sites needing a SAFETY comment on this code-view line: `unsafe`
+/// blocks and `unsafe impl`s. `unsafe fn`/`unsafe extern`/`unsafe trait`
+/// declarations document their contract in `# Safety` rustdoc instead.
+fn unsafe_sites_in_line(code: &str) -> Vec<&'static str> {
+    let mut sites = Vec::new();
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            let next = after.trim_start();
+            if next.is_empty() || next.starts_with('{') {
+                // `unsafe` at end of line counts as a block opener ("unsafe\n{").
+                sites.push("`unsafe` block");
+            } else if next.starts_with("impl") {
+                sites.push("`unsafe impl`");
+            }
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    sites
+}
+
+fn excerpt(raw: &str) -> String {
+    let t = raw.trim();
+    if t.len() > 160 {
+        format!(
+            "{}…",
+            &t[..t
+                .char_indices()
+                .take(159)
+                .last()
+                .map_or(0, |(i, c)| i + c.len_utf8())]
+        )
+    } else {
+        t.to_string()
+    }
+}
+
+fn has_word(haystack: &str, word: &str) -> bool {
+    let mut rest = haystack;
+    while let Some(pos) = rest.find(word) {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + word.len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[pos + word.len()..];
+    }
+    false
+}
+
+/// Split the blanked code view back into lines, padded to `n` lines.
+fn code_lines(code: &str, n: usize) -> Vec<&str> {
+    let mut v: Vec<&str> = code.lines().collect();
+    while v.len() < n {
+        v.push("");
+    }
+    v
+}
+
+/// Blank out comments and string/char literal contents, preserving line
+/// structure, so token scans don't trip on prose. Handles nested block
+/// comments, raw strings (`r#"…"#`), and the char-literal/lifetime
+/// ambiguity.
+fn code_view(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let (consumed, blanked) = blank_raw_string(bytes, i);
+                out.extend_from_slice(&blanked);
+                i += consumed;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: `'x'` / `'\n'` are literals,
+                // `'a` followed by anything but `'` is a lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    out.extend_from_slice(b"' ");
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    out.extend_from_slice(b"'  ");
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"`, `r#"`, `r##"`, … (the `b` of byte raw strings is consumed as a
+    // normal identifier char before we get here, which is fine).
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+        && (i == 0
+            || !(bytes[i - 1].is_ascii_alphanumeric() && bytes[i - 1] != b'b')
+                && bytes[i - 1] != b'_')
+}
+
+fn blank_raw_string(bytes: &[u8], start: usize) -> (usize, Vec<u8>) {
+    let mut hashes = 0;
+    let mut i = start + 1;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut out = vec![b' '; i - start];
+    loop {
+        match bytes.get(i) {
+            None => break,
+            Some(&b'"') => {
+                let mut k = 0;
+                while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    out.extend(std::iter::repeat_n(b' ', 1 + hashes));
+                    i += 1 + hashes;
+                    break;
+                }
+                out.push(b' ');
+                i += 1;
+            }
+            Some(&b'\n') => {
+                out.push(b'\n');
+                i += 1;
+            }
+            Some(_) => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    (i - start, out)
+}
+
+/// Mark lines inside `#[cfg(test)] mod … { … }` regions (and the lone item
+/// under a `#[cfg(test)]` that isn't a mod).
+fn test_region_mask(code: &[&str]) -> Vec<bool> {
+    let n = code.len();
+    let mut mask = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if !code[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find the annotated item: skip further attributes.
+        let mut j = i;
+        if !code[i].contains("mod ") {
+            j = i + 1;
+            while j < n {
+                let t = code[j].trim_start();
+                if t.is_empty() || t.starts_with("#[") {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if j >= n || !code[j].contains("mod ") {
+            // Single non-mod item (a `use`, a helper fn): mask through the
+            // end of its braces if any, else just its line.
+            let end = brace_span(code, j.min(n - 1)).unwrap_or(j.min(n - 1));
+            for m in mask.iter_mut().take(end.min(n - 1) + 1).skip(i) {
+                *m = true;
+            }
+            i = end.min(n - 1) + 1;
+            continue;
+        }
+        let end = brace_span(code, j).unwrap_or(n - 1);
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Line index of the `}` matching the first `{` at or after line `start`.
+fn brace_span(code: &[&str], start: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (i, line) in code.iter().enumerate().skip(start) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if opened && depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A `#[cfg(test)] use …;` item has no braces at all.
+        if !opened && i > start {
+            return None;
+        }
+    }
+    None
+}

@@ -1,0 +1,71 @@
+//! Meta-test for the allocation sentinel itself: proves the counting
+//! allocator is actually wired up and that `assert_no_alloc` both passes
+//! clean scopes and fails allocating ones. Lives in its own binary because
+//! the counters are process-global and sentinel binaries keep one `#[test]`.
+
+use std::hint::black_box;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use splitbeam_analysis::alloc_sentinel::{assert_counting, assert_no_alloc, stats, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn sentinel_counts_and_catches_allocations() {
+    assert_counting();
+
+    // A clean scope passes and returns its value; frees alone are allowed.
+    let preallocated: Vec<u64> = Vec::with_capacity(16);
+    let sum = assert_no_alloc("arithmetic only", || {
+        let mut acc = 0u64;
+        for i in 0..black_box(1000u64) {
+            acc = acc.wrapping_add(i * i);
+        }
+        drop(preallocated);
+        acc
+    });
+    assert_eq!(sum, (0..1000u64).map(|i| i * i).fold(0, u64::wrapping_add));
+
+    // An allocating scope must panic with the labeled diagnostic.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        assert_no_alloc("deliberately allocating", || {
+            black_box(vec![0u8; 4096]);
+        })
+    }));
+    let payload = result.expect_err("an allocating scope must fail the sentinel");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .unwrap()
+        });
+    assert!(
+        message.contains("deliberately allocating"),
+        "diagnostic should carry the scope label: {message}"
+    );
+
+    // Reallocation (a growing Vec) is also a violation, not just fresh allocs.
+    let mut grower: Vec<u8> = Vec::with_capacity(1);
+    grower.push(1);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        assert_no_alloc("deliberately reallocating", || {
+            for i in 0..64u8 {
+                grower.push(i);
+            }
+        })
+    }));
+    assert!(
+        result.is_err(),
+        "a reallocating scope must fail the sentinel"
+    );
+
+    // Counters are monotone and visible through `stats`.
+    let before = stats();
+    black_box(Box::new(7u32));
+    let after = stats();
+    assert!(after.allocs > before.allocs && after.bytes > before.bytes);
+}

@@ -1,0 +1,258 @@
+//! Fixture tests for the repo-invariant lint engine. Each rule gets a
+//! passing and a failing source, fed through [`lint_sources`] — the same
+//! engine the `lint` binary runs over the repo — plus allowlist
+//! suppression, staleness, and round-trip coverage.
+
+use splitbeam_analysis::lint::{
+    format_allowlist, lint_sources, parse_allowlist, Allowlist, LintReport, RULE_DENY_UNSAFE_OP,
+    RULE_ENV_ACCESS, RULE_INGEST_UNWRAP, RULE_SAFETY_COMMENT, RULE_WALL_CLOCK,
+};
+
+fn lint_one(path: &str, text: &str) -> LintReport {
+    lint_sources(
+        &[(path.to_string(), text.to_string())],
+        &Allowlist::default(),
+    )
+}
+
+fn rules_of(report: &LintReport) -> Vec<&'static str> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn undocumented_unsafe_block_is_flagged() {
+    let bad = r#"
+#![deny(unsafe_op_in_unsafe_fn)]
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+"#;
+    let report = lint_one("crates/demo/src/lib.rs", bad);
+    assert_eq!(rules_of(&report), vec![RULE_SAFETY_COMMENT]);
+    assert_eq!(report.violations[0].line, 4);
+
+    let good = r#"
+#![deny(unsafe_op_in_unsafe_fn)]
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+"#;
+    assert!(lint_one("crates/demo/src/lib.rs", good).clean());
+}
+
+#[test]
+fn safety_comment_must_be_within_lookback() {
+    let too_far = r#"
+#![deny(unsafe_op_in_unsafe_fn)]
+// SAFETY: this justification is stranded six lines above the site.
+//
+//
+//
+//
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+"#;
+    let report = lint_one("crates/demo/src/lib.rs", too_far);
+    assert_eq!(rules_of(&report), vec![RULE_SAFETY_COMMENT]);
+}
+
+#[test]
+fn unsafe_fn_declarations_are_not_flagged_but_impls_are() {
+    // An `unsafe fn` documents its contract in `# Safety` rustdoc; no
+    // SAFETY comment is demanded at the declaration.
+    let decl = r#"
+#![deny(unsafe_op_in_unsafe_fn)]
+/// # Safety
+/// `p` must be valid.
+pub unsafe fn read(p: *const u32) -> u32 {
+    // SAFETY: contract forwarded from the caller.
+    unsafe { *p }
+}
+"#;
+    assert!(lint_one("crates/demo/src/lib.rs", decl).clean());
+
+    let bare_impl = "#![deny(unsafe_op_in_unsafe_fn)]\npub struct S;\nunsafe impl Send for S {}\n";
+    let report = lint_one("crates/demo/src/lib.rs", bare_impl);
+    assert_eq!(rules_of(&report), vec![RULE_SAFETY_COMMENT]);
+}
+
+#[test]
+fn unsafe_in_tests_and_comments_is_ignored() {
+    let text = r#"
+// This comment mentions unsafe { } and needs no justification.
+pub const DOC: &str = "unsafe { also just data }";
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() {
+        let x = 7u32;
+        let _ = unsafe { *(&x as *const u32) };
+    }
+}
+"#;
+    assert!(lint_one("crates/demo/src/lib.rs", text).clean());
+}
+
+#[test]
+fn unsafe_crate_without_deny_attr_is_flagged_at_its_root() {
+    let root = (
+        "crates/demo/src/lib.rs".to_string(),
+        "pub mod inner;\n".to_string(),
+    );
+    let inner = (
+        "crates/demo/src/inner.rs".to_string(),
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller contract.\n    unsafe { *p }\n}\n"
+            .to_string(),
+    );
+    let report = lint_sources(&[root.clone(), inner.clone()], &Allowlist::default());
+    assert_eq!(rules_of(&report), vec![RULE_DENY_UNSAFE_OP]);
+    assert_eq!(report.violations[0].path, "crates/demo/src/lib.rs");
+
+    let fixed_root = (
+        "crates/demo/src/lib.rs".to_string(),
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub mod inner;\n".to_string(),
+    );
+    let report = lint_sources(&[fixed_root, inner], &Allowlist::default());
+    assert!(report.clean(), "unexpected: {:?}", report.violations);
+}
+
+#[test]
+fn wall_clock_is_banned_only_in_virtual_time_crates() {
+    let text = "use std::time::Instant;\npub fn now() -> Instant { Instant::now() }\n";
+    let report = lint_one("crates/splitbeam-serve/src/timing.rs", text);
+    assert!(rules_of(&report).iter().all(|r| *r == RULE_WALL_CLOCK));
+    assert!(!report.violations.is_empty());
+
+    // Outside the virtual-time crates the same code is fine.
+    assert!(lint_one("crates/mimo-math/src/kernel/tune.rs", text).clean());
+
+    // Mentions in comments/strings and test modules don't count, and
+    // identifiers merely *containing* the token don't either.
+    let benign = r#"
+// Instant is banned here; this comment is not code.
+pub const LABEL: &str = "SystemTime";
+pub struct InstantaneousRate(pub f64);
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+    #[test]
+    fn probe() {
+        let _ = Instant::now();
+    }
+}
+"#;
+    assert!(lint_one("crates/splitbeam-hwsim/src/event.rs", benign).clean());
+}
+
+#[test]
+fn raw_splitbeam_env_reads_are_flagged_outside_the_env_module() {
+    let text =
+        "pub fn kernel() -> Option<String> {\n    std::env::var(\"SPLITBEAM_KERNEL\").ok()\n}\n";
+    let report = lint_one("crates/splitbeam/src/model.rs", text);
+    assert_eq!(rules_of(&report), vec![RULE_ENV_ACCESS]);
+
+    // The blessed module may read raw.
+    assert!(lint_one("crates/mimo-math/src/env.rs", text).clean());
+
+    // Non-SPLITBEAM variables are out of scope for this rule.
+    let other = "pub fn home() -> Option<String> {\n    std::env::var(\"HOME\").ok()\n}\n";
+    assert!(lint_one("crates/splitbeam/src/model.rs", other).clean());
+
+    // rustfmt may wrap the variable name onto the following line.
+    let wrapped =
+        "pub fn kernel() -> Option<String> {\n    std::env::var(\n        \"SPLITBEAM_KERNEL\",\n    ).ok()\n}\n";
+    let report = lint_one("crates/splitbeam/src/model.rs", wrapped);
+    assert_eq!(rules_of(&report), vec![RULE_ENV_ACCESS]);
+}
+
+#[test]
+fn unwrap_on_the_ingest_path_is_flagged() {
+    let text = "pub fn decode(b: &[u8]) -> u8 {\n    b.first().copied().unwrap()\n}\n";
+    let report = lint_one("crates/splitbeam-serve/src/session.rs", text);
+    assert_eq!(rules_of(&report), vec![RULE_INGEST_UNWRAP]);
+
+    let expecting =
+        "pub fn decode(b: &[u8]) -> u8 {\n    b.first().copied().expect(\"frame\")\n}\n";
+    let report = lint_one("crates/splitbeam-serve/src/shard.rs", expecting);
+    assert_eq!(rules_of(&report), vec![RULE_INGEST_UNWRAP]);
+
+    // Off the ingest path the same code is allowed.
+    assert!(lint_one("crates/splitbeam-serve/src/driver.rs", text).clean());
+
+    // Test modules inside ingest files may unwrap freely.
+    let in_tests = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn probe() {\n        let v: Option<u8> = Some(1);\n        v.unwrap();\n    }\n}\n";
+    assert!(lint_one("crates/splitbeam-serve/src/server.rs", in_tests).clean());
+}
+
+#[test]
+fn allowlist_suppresses_matching_violations_and_reports_stale_entries() {
+    let text = "pub fn decode(b: &[u8]) -> u8 {\n    b.first().copied().unwrap()\n}\n";
+    let sources = [(
+        "crates/splitbeam-serve/src/session.rs".to_string(),
+        text.to_string(),
+    )];
+
+    let allow = parse_allowlist(
+        "ingest-unwrap|crates/splitbeam-serve/src/session.rs|b.first()|slice is length-checked by the caller\n",
+    )
+    .unwrap();
+    let report = lint_sources(&sources, &allow);
+    assert!(
+        report.clean(),
+        "entry should suppress: {:?}",
+        report.violations
+    );
+
+    // A needle that matches nothing leaves the violation AND goes stale.
+    let allow = parse_allowlist(
+        "ingest-unwrap|crates/splitbeam-serve/src/session.rs|no_such_call|reason long enough here\n",
+    )
+    .unwrap();
+    let report = lint_sources(&sources, &allow);
+    assert_eq!(rules_of(&report), vec![RULE_INGEST_UNWRAP]);
+    assert_eq!(report.stale_allowlist.len(), 1);
+    assert!(!report.clean());
+
+    // `*` wildcards the needle but stays pinned to rule + path.
+    let allow = parse_allowlist(
+        "ingest-unwrap|crates/splitbeam-serve/src/session.rs|*|vetted: the caller guarantees one byte\n",
+    )
+    .unwrap();
+    assert!(lint_sources(&sources, &allow).clean());
+}
+
+#[test]
+fn allowlist_parser_rejects_malformed_and_thin_entries() {
+    assert!(parse_allowlist("only|three|fields\n").is_err());
+    assert!(
+        parse_allowlist("rule|path|needle|short\n").is_err(),
+        "a sub-10-char reason must be rejected"
+    );
+    assert!(parse_allowlist("|path|needle|reason is long enough\n").is_err());
+
+    // Comments and blank lines are fine.
+    let allow =
+        parse_allowlist("# header\n\nwall-clock|a/src/b.rs|Instant|vetted wall-clock probe\n")
+            .unwrap();
+    assert_eq!(allow.entries.len(), 1);
+}
+
+#[test]
+fn allowlist_round_trips_through_format_and_parse() {
+    let original = parse_allowlist(
+        "wall-clock|crates/x/src/a.rs|Instant::now|calibration probe, not sim time\n\
+         safety-comment|crates/y/src/b.rs|*|legacy block awaiting the audit\n",
+    )
+    .unwrap();
+    let reparsed = parse_allowlist(&format_allowlist(&original)).unwrap();
+    assert_eq!(original.entries, reparsed.entries);
+}
+
+#[test]
+fn test_directories_are_exempt_wholesale() {
+    let text = "use std::time::Instant;\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+    assert!(lint_one("crates/splitbeam-serve/tests/ring_stress.rs", text).clean());
+    assert!(lint_one("tests/serving_layer.rs", text).clean());
+}

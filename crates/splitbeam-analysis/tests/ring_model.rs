@@ -1,0 +1,205 @@
+//! Exhaustive model checking of the serving ring.
+//!
+//! Build and run with `RUSTFLAGS="--cfg splitbeam_model" cargo test -p
+//! splitbeam-analysis --test ring_model --release`; without the cfg this
+//! file compiles to nothing.
+//!
+//! Each scenario explores *every* interleaving (modulo sleep-set
+//! equivalence) of small producer/consumer configurations of
+//! [`splitbeam_serve::Ring`], checking:
+//!
+//! - **exactly-once delivery**: the multiset of popped values equals the
+//!   multiset of pushed values, and the ring drains empty;
+//! - **no slot reuse before sequence release**: premature reuse shows up
+//!   either as a cell data race (caught by the checker's vector clocks) or
+//!   as a duplicated/lost value (caught by the exactly-once check);
+//! - **acquire/release orderings are load-bearing**: the negative tests
+//!   weaken each Release store through `ring::model_hooks` and assert the
+//!   exploration reports a data race.
+#![cfg(splitbeam_model)]
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use loom::model::{explore, Config, Report, Scenario};
+use splitbeam_serve::ring::{model_hooks, Ring};
+
+/// The ordering-mutation hooks are process-global, so every test in this
+/// binary serializes on one lock — otherwise a negative test could weaken
+/// the orderings underneath a concurrently running positive test.
+fn hook_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn cfg() -> Config {
+    Config {
+        max_executions: 40_000_000,
+        max_steps: 3_000,
+    }
+}
+
+/// Explore `counts.len()` producers × `consumers` over a ring of
+/// `capacity`, producer `p` pushing `counts[p]` tagged values, and assert
+/// exactly-once delivery on every complete interleaving.
+fn explore_ring(counts: &'static [u64], consumers: usize, capacity: usize) -> Report {
+    let total: u64 = counts.iter().sum();
+    // Every consumer pops a fixed quota; quotas sum to the total pushed, so
+    // termination never depends on the schedule.
+    let base = total as usize / consumers;
+    let extra = total as usize % consumers;
+    explore(&cfg(), move || {
+        let ring: Arc<Ring<u64>> = Arc::new(Ring::with_capacity(capacity));
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let mut threads: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        for (p, &per_producer) in counts.iter().enumerate() {
+            let p = p as u64;
+            let ring = Arc::clone(&ring);
+            threads.push(Box::new(move || {
+                for i in 0..per_producer {
+                    let mut value = (p << 32) | i;
+                    loop {
+                        match ring.push(value) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                value = back;
+                                // Full: progress needs a consumer's release
+                                // store, so spin-park is sound here.
+                                loom::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for c in 0..consumers {
+            let quota = base + usize::from(c < extra);
+            let ring = Arc::clone(&ring);
+            let received = Arc::clone(&received);
+            threads.push(Box::new(move || {
+                let mut got = Vec::with_capacity(quota);
+                for _ in 0..quota {
+                    loop {
+                        match ring.pop() {
+                            Some(v) => {
+                                got.push(v);
+                                break;
+                            }
+                            // Empty: progress needs a producer's publish
+                            // store, so spin-park is sound here.
+                            None => loom::thread::yield_now(),
+                        }
+                    }
+                }
+                received
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend(got);
+            }));
+        }
+        let check = {
+            let ring = Arc::clone(&ring);
+            let received = Arc::clone(&received);
+            Box::new(move || {
+                let mut got = received.lock().unwrap_or_else(|p| p.into_inner()).clone();
+                got.sort_unstable();
+                let mut want: Vec<u64> = counts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(p, &n)| (0..n).map(move |i| ((p as u64) << 32) | i))
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "delivery was not exactly-once");
+                assert!(ring.pop().is_none(), "ring did not drain empty");
+            }) as Box<dyn FnOnce()>
+        };
+        Scenario { threads, check }
+    })
+}
+
+fn assert_clean(report: Report, label: &str) {
+    if let Some(f) = &report.failure {
+        panic!("{label}: model checker found a bug:\n{f}");
+    }
+    assert!(
+        report.complete,
+        "{label}: exploration hit the execution budget before exhausting \
+         the schedule tree ({} executions)",
+        report.executions
+    );
+    assert!(
+        report.executions > 1,
+        "{label}: expected more than one interleaving"
+    );
+    eprintln!(
+        "{label}: exhaustive — {} executions, {} steps",
+        report.executions, report.steps
+    );
+}
+
+#[test]
+fn spsc_capacity2_three_values_wraps_cleanly() {
+    let _guard = hook_lock();
+    // Three values through a capacity-2 ring: exercises the full-ring wait
+    // and the second-lap slot reuse.
+    assert_clean(explore_ring(&[3], 1, 2), "1p1c cap2 n3");
+}
+
+#[test]
+fn two_producers_one_consumer_full_ring_pressure() {
+    let _guard = hook_lock();
+    assert_clean(explore_ring(&[2, 1], 1, 2), "2p1c cap2 n[2,1]");
+}
+
+#[test]
+fn one_producer_two_consumers() {
+    let _guard = hook_lock();
+    assert_clean(explore_ring(&[2], 2, 2), "1p2c cap2 n2");
+}
+
+#[test]
+fn two_producers_two_consumers_capacity2() {
+    let _guard = hook_lock();
+    assert_clean(explore_ring(&[1, 1], 2, 2), "2p2c cap2 n1");
+}
+
+#[test]
+fn two_producers_two_consumers_capacity4() {
+    let _guard = hook_lock();
+    assert_clean(explore_ring(&[1, 1], 2, 4), "2p2c cap4 n1");
+}
+
+/// Negative test: downgrading the producer's slot-publish store from
+/// Release to Relaxed severs the happens-before edge between the cell
+/// write and the consumer's read — the checker must report a data race.
+#[test]
+fn weakened_publish_ordering_is_caught() {
+    let _guard = hook_lock();
+    model_hooks::set_weaken_publish(true);
+    let report = explore_ring(&[1], 1, 2);
+    model_hooks::set_weaken_publish(false);
+    let failure = report
+        .failure
+        .expect("a relaxed publish store must be detected");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data race, got: {failure}"
+    );
+}
+
+/// Negative test: downgrading the consumer's slot-release store severs the
+/// edge between the first-lap read and the second-lap producer write into
+/// the same slot (needs 3 values through capacity 2 to revisit a slot).
+#[test]
+fn weakened_release_ordering_is_caught() {
+    let _guard = hook_lock();
+    model_hooks::set_weaken_release(true);
+    let report = explore_ring(&[3], 1, 2);
+    model_hooks::set_weaken_release(false);
+    let failure = report
+        .failure
+        .expect("a relaxed slot-release store must be detected");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data race, got: {failure}"
+    );
+}

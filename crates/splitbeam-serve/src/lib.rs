@@ -72,6 +72,8 @@
 //! assert_eq!(server.feedback_matrices_of(0).unwrap().len(), 56);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod driver;
 pub mod event;
 pub mod ring;

@@ -18,9 +18,76 @@
 //!   (single-consumer drains additionally see global FIFO order across the
 //!   points of `push` linearization).
 
-use std::cell::UnsafeCell;
+// The concurrency primitives come through the `loom` facade: plain std in
+// normal builds, and an exhaustively explored model under
+// `RUSTFLAGS="--cfg splitbeam_model"` (see `splitbeam-analysis`'s
+// `ring_model` suite). The closure-based `UnsafeCell` API exists so the
+// model can race-check every cell access.
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicUsize, Ordering};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Ordering of the producer's slot-publish store. The model build routes
+/// this through [`model_hooks`] so the negative test can weaken it and
+/// prove the checker notices; release is load-bearing — it publishes the
+/// cell write to the consumer's acquire load of `seq`.
+#[cfg(not(splitbeam_model))]
+#[inline(always)]
+fn publish_ordering() -> Ordering {
+    Ordering::Release
+}
+
+/// Ordering of the consumer's slot-release store (hands the emptied slot to
+/// the next lap's producer). Same hook arrangement as [`publish_ordering`].
+#[cfg(not(splitbeam_model))]
+#[inline(always)]
+fn release_ordering() -> Ordering {
+    Ordering::Release
+}
+
+#[cfg(splitbeam_model)]
+use model_hooks::{publish_ordering, release_ordering};
+
+/// Mutation hooks for the model checker's negative tests: downgrading
+/// either Release store to Relaxed must be caught as a data race by the
+/// exhaustive exploration. Only exists under `--cfg splitbeam_model`; the
+/// normal build compiles the orderings as constants.
+#[cfg(splitbeam_model)]
+pub mod model_hooks {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    use super::Ordering;
+
+    static WEAKEN_PUBLISH: AtomicBool = AtomicBool::new(false);
+    static WEAKEN_RELEASE: AtomicBool = AtomicBool::new(false);
+
+    /// Downgrade the producer's slot-publish store to Relaxed (seeded bug).
+    pub fn set_weaken_publish(on: bool) {
+        WEAKEN_PUBLISH.store(on, StdOrdering::SeqCst);
+    }
+
+    /// Downgrade the consumer's slot-release store to Relaxed (seeded bug).
+    pub fn set_weaken_release(on: bool) {
+        WEAKEN_RELEASE.store(on, StdOrdering::SeqCst);
+    }
+
+    pub(super) fn publish_ordering() -> Ordering {
+        if WEAKEN_PUBLISH.load(StdOrdering::SeqCst) {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        }
+    }
+
+    pub(super) fn release_ordering() -> Ordering {
+        if WEAKEN_RELEASE.load(StdOrdering::SeqCst) {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        }
+    }
+}
 
 /// One ring slot: the atomic sequence number plus the (possibly
 /// uninitialized) value cell it guards.
@@ -45,6 +112,9 @@ pub struct Ring<T> {
 // that claimed it, so sending values across threads is sound whenever the
 // values themselves are sendable.
 unsafe impl<T: Send> Send for Ring<T> {}
+// SAFETY: same protocol as above — every shared-slot access through `&Ring`
+// is mediated by the sequence counters, so shared references may cross
+// threads too.
 unsafe impl<T: Send> Sync for Ring<T> {}
 
 impl<T> Ring<T> {
@@ -104,8 +174,8 @@ impl<T> Ring<T> {
                         Ok(_) => {
                             // SAFETY: the CAS gave this producer exclusive
                             // ownership of the slot until the seq store below.
-                            unsafe { (*slot.value.get()).write(value) };
-                            slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                            slot.value.with_mut(|p| unsafe { (*p).write(value) });
+                            slot.seq.store(tail.wrapping_add(1), publish_ordering());
                             return Ok(());
                         }
                         Err(current) => tail = current,
@@ -135,11 +205,13 @@ impl<T> Ring<T> {
                     ) {
                         Ok(_) => {
                             // SAFETY: the CAS gave this consumer exclusive
-                            // ownership of the filled slot.
-                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            // ownership of the filled slot, and the acquire
+                            // load of `seq` above ordered the producer's
+                            // write before this read.
+                            let value = slot.value.with(|p| unsafe { (*p).assume_init_read() });
                             slot.seq.store(
                                 head.wrapping_add(self.mask).wrapping_add(1),
-                                Ordering::Release,
+                                release_ordering(),
                             );
                             return Some(value);
                         }

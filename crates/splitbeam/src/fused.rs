@@ -361,39 +361,40 @@ impl QuantizedTail {
                 "empty fused reconstruction batch".into(),
             ));
         }
-        let mut refs: Vec<&QuantizedFeedback> = Vec::with_capacity(batch);
-        for payload in payloads {
-            if refs.len() == batch {
-                return Err(SplitBeamError::DimensionMismatch(format!(
-                    "fused batch declared {batch} payloads, iterator yielded more than {batch}"
-                )));
-            }
-            if payload.codes.len() != self.bottleneck {
-                return Err(SplitBeamError::DimensionMismatch(format!(
-                    "payload carries {} codes, bottleneck width is {}",
-                    payload.codes.len(),
-                    self.bottleneck
-                )));
-            }
-            refs.push(payload);
-        }
-        if refs.len() != batch {
-            return Err(SplitBeamError::DimensionMismatch(format!(
-                "fused batch declared {batch} payloads, iterator yielded {}",
-                refs.len()
-            )));
-        }
         let (first, rest) = self
             .layers
             .split_first()
             .expect("a bound tail always has at least one layer");
-        first.matmul_bias_act_from_rows(
+        // The row filler consumes the iterator directly — payloads are
+        // validated and code-mapped row by row with no intermediate
+        // collection, keeping the serving hot path allocation-free.
+        let mut payloads = payloads;
+        first.try_matmul_bias_act_from_rows(
             batch,
-            |r, dst| quantize_codes_u7(refs[r], dst),
+            |r, dst| {
+                let payload = payloads.next().ok_or_else(|| {
+                    SplitBeamError::DimensionMismatch(format!(
+                        "fused batch declared {batch} payloads, iterator yielded {r}"
+                    ))
+                })?;
+                if payload.codes.len() != self.bottleneck {
+                    return Err(SplitBeamError::DimensionMismatch(format!(
+                        "payload carries {} codes, bottleneck width is {}",
+                        payload.codes.len(),
+                        self.bottleneck
+                    )));
+                }
+                Ok(quantize_codes_u7(payload, dst))
+            },
             &mut scratch.quant,
             &mut scratch.ping,
             kernel,
-        );
+        )?;
+        if payloads.next().is_some() {
+            return Err(SplitBeamError::DimensionMismatch(format!(
+                "fused batch declared {batch} payloads, iterator yielded more than {batch}"
+            )));
+        }
         let mut cur = &mut scratch.ping;
         let mut next = &mut scratch.pong;
         for layer in rest {
