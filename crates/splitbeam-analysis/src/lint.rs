@@ -14,8 +14,13 @@
 //!   through `mimo_math::env`; a raw `env::var("SPLITBEAM_…")` anywhere
 //!   else bypasses the central trim/parse policy.
 //! - **`ingest-unwrap`**: no `.unwrap()`/`.expect(` on the serving ingest
-//!   path (`server.rs`, `session.rs`, `shard.rs`, `ring.rs`, `timing.rs`)
-//!   — a malformed frame must degrade, never abort the shard.
+//!   path (`server.rs`, `session.rs`, `shard.rs`, `ring.rs`, `timing.rs`,
+//!   `slab.rs`, `fleet.rs`) — a malformed frame must degrade, never abort
+//!   the shard.
+//! - **`serve-unordered-map`**: no `HashMap`/`HashSet` in `splitbeam-serve`
+//!   sources — round-close and summary outputs are bit-reproducibility
+//!   contracts, and hash iteration order is a seed away from breaking them.
+//!   Keyed state uses `BTreeMap` or the generational session slab.
 //!
 //! Vetted exceptions live in `lint_allowlist.txt` at the repo root, one
 //! `rule|path|needle|reason` per line; entries that no longer suppress
@@ -35,19 +40,27 @@ pub const RULE_DENY_UNSAFE_OP: &str = "deny-unsafe-op";
 pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_ENV_ACCESS: &str = "env-access";
 pub const RULE_INGEST_UNWRAP: &str = "ingest-unwrap";
+pub const RULE_SERVE_UNORDERED_MAP: &str = "serve-unordered-map";
 
 /// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
 const SAFETY_LOOKBACK: usize = 4;
 
 /// Files covered by the `ingest-unwrap` rule: the serving data path from
 /// wire frame to round close.
-const INGEST_PATH_FILES: [&str; 5] = [
+const INGEST_PATH_FILES: [&str; 7] = [
     "crates/splitbeam-serve/src/server.rs",
     "crates/splitbeam-serve/src/session.rs",
     "crates/splitbeam-serve/src/shard.rs",
     "crates/splitbeam-serve/src/ring.rs",
     "crates/splitbeam-serve/src/timing.rs",
+    "crates/splitbeam-serve/src/slab.rs",
+    "crates/splitbeam-serve/src/fleet.rs",
 ];
+
+/// Sources covered by the `serve-unordered-map` rule: everything in the
+/// serving crate, whose round-close/summary outputs are deterministic
+/// contracts.
+const ORDERED_STATE_PREFIX: &str = "crates/splitbeam-serve/src/";
 
 /// Crates pinned to virtual time by the `wall-clock` rule.
 const VIRTUAL_TIME_PREFIXES: [&str; 2] =
@@ -264,6 +277,7 @@ fn scan_file(rel: &str, text: &str, out: &mut Vec<Violation>) {
         check_wall_clock(rel, i, raw[i], code[i], out);
         check_env_access(rel, i, &raw, code[i], out);
         check_ingest_unwrap(rel, i, raw[i], code[i], out);
+        check_unordered_map(rel, i, raw[i], code[i], out);
     }
     check_safety_comments(rel, &raw, &code, &in_test, out);
 }
@@ -373,6 +387,26 @@ fn check_ingest_unwrap(rel: &str, i: usize, raw: &str, code: &str, out: &mut Vec
                 message: format!(
                     "`{token}` on the serving ingest path — malformed input must degrade, \
                      not abort the shard",
+                ),
+            });
+        }
+    }
+}
+
+fn check_unordered_map(rel: &str, i: usize, raw: &str, code: &str, out: &mut Vec<Violation>) {
+    if !rel.starts_with(ORDERED_STATE_PREFIX) {
+        return;
+    }
+    for token in ["HashMap", "HashSet"] {
+        if has_word(code, token) {
+            out.push(Violation {
+                rule: RULE_SERVE_UNORDERED_MAP,
+                path: rel.to_string(),
+                line: i + 1,
+                excerpt: excerpt(raw),
+                message: format!(
+                    "`{token}` in the serving crate — hash iteration order can leak into \
+                     round-close/summary output; use BTreeMap or the session slab",
                 ),
             });
         }

@@ -1,0 +1,83 @@
+//! Allocation sentinel over the event engine's steady state.
+//!
+//! The timer-wheel scheduler claims zero steady-state heap traffic once its
+//! slot vectors and ready heap are warm: a sliding window of schedules and
+//! pops (the fleet's per-round pattern) must recycle slot capacity across
+//! wheel laps instead of growing it. The binary-heap backend makes the same
+//! claim once its arena is at peak size. This binary registers the counting
+//! allocator, warms both backends over the exact horizon pattern the
+//! assertion replays, then re-runs it under [`assert_no_alloc`].
+//!
+//! One `#[test]` only: the counters are process-global and the libtest
+//! harness spawns an allocating thread per test. Run with
+//! `RAYON_NUM_THREADS=1`.
+
+use splitbeam_analysis::alloc_sentinel::{assert_counting, assert_no_alloc, CountingAlloc};
+use splitbeam_hwsim::EventQueue;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Pending events held in the window; sized so the wheel spans several
+/// levels (delays up to WINDOW * STRIDE_NS cover multiple slot widths).
+const WINDOW: usize = 512;
+/// Virtual time between successive schedules; coarse enough to spread the
+/// window across wheel levels rather than one slot.
+const STRIDE_NS: u64 = 40_000;
+const WARM_STEPS: usize = 6 * WINDOW;
+const HOT_STEPS: usize = 2 * WINDOW;
+
+/// One deterministic sliding-window pass: keep `WINDOW` events pending,
+/// popping the earliest as each new event lands — the fleet's per-round
+/// schedule→drain shape compressed into a steady stream. Delays are a
+/// deterministic spread over [STRIDE_NS, WINDOW*STRIDE_NS], so every wheel
+/// level the warmup touched is revisited by the asserted run.
+fn slide(queue: &mut EventQueue<u64>, start_step: usize, steps: usize) -> u64 {
+    let mut acc = 0u64;
+    for step in start_step..start_step + steps {
+        let now = step as u64 * STRIDE_NS;
+        let spread = (step * 131) % WINDOW + 1;
+        let fire = now + spread as u64 * STRIDE_NS;
+        queue.schedule(fire, (step % 7) as u64, step as u64);
+        if queue.len() > WINDOW {
+            let (key, payload) = queue.pop().expect("window is non-empty");
+            acc = acc.wrapping_add(key.time_ns ^ payload);
+        }
+    }
+    acc
+}
+
+/// Drains the queue without asserting, returning the fold (keeps the
+/// optimizer honest between phases).
+fn drain(queue: &mut EventQueue<u64>) -> u64 {
+    let mut acc = 0u64;
+    while let Some((key, payload)) = queue.pop() {
+        acc = acc.wrapping_add(key.time_ns ^ payload);
+    }
+    acc
+}
+
+#[test]
+fn event_queue_steady_state_is_allocation_free() {
+    assert_counting();
+
+    let mut sink = 0u64;
+    for (label, mut queue) in [
+        (
+            "wheel steady-state schedule/pop",
+            EventQueue::<u64>::wheel(),
+        ),
+        ("heap steady-state schedule/pop", EventQueue::<u64>::heap()),
+    ] {
+        queue.reserve(WINDOW + 1);
+        // Warm: several laps of the sliding window so every slot vector and
+        // the ready heap reach their steady capacity.
+        sink = sink.wrapping_add(slide(&mut queue, 0, WARM_STEPS));
+        // Hot: the identical pattern, continued, must not touch the heap.
+        sink = sink.wrapping_add(assert_no_alloc(label, || {
+            slide(&mut queue, WARM_STEPS, HOT_STEPS)
+        }));
+        sink = sink.wrapping_add(drain(&mut queue));
+    }
+    assert_ne!(sink, 0, "the folds must observe real pops");
+}

@@ -5,7 +5,8 @@
 
 use splitbeam_analysis::lint::{
     format_allowlist, lint_sources, parse_allowlist, Allowlist, LintReport, RULE_DENY_UNSAFE_OP,
-    RULE_ENV_ACCESS, RULE_INGEST_UNWRAP, RULE_SAFETY_COMMENT, RULE_WALL_CLOCK,
+    RULE_ENV_ACCESS, RULE_INGEST_UNWRAP, RULE_SAFETY_COMMENT, RULE_SERVE_UNORDERED_MAP,
+    RULE_WALL_CLOCK,
 };
 
 fn lint_one(path: &str, text: &str) -> LintReport {
@@ -255,4 +256,61 @@ fn test_directories_are_exempt_wholesale() {
     let text = "use std::time::Instant;\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
     assert!(lint_one("crates/splitbeam-serve/tests/ring_stress.rs", text).clean());
     assert!(lint_one("tests/serving_layer.rs", text).clean());
+}
+
+#[test]
+fn hash_collections_are_banned_in_the_serving_crate() {
+    let map = "use std::collections::HashMap;\npub struct S {\n    by_id: HashMap<u64, u32>,\n}\n";
+    let report = lint_one("crates/splitbeam-serve/src/server.rs", map);
+    assert_eq!(
+        rules_of(&report),
+        vec![RULE_SERVE_UNORDERED_MAP, RULE_SERVE_UNORDERED_MAP]
+    );
+    assert_eq!(report.violations[0].line, 1);
+
+    let set = "pub fn dedup(ids: &[u64]) -> usize {\n    let s: std::collections::HashSet<u64> = ids.iter().copied().collect();\n    s.len()\n}\n";
+    let report = lint_one("crates/splitbeam-serve/src/fleet.rs", set);
+    assert_eq!(rules_of(&report), vec![RULE_SERVE_UNORDERED_MAP]);
+
+    // BTreeMap is the blessed keyed store.
+    let good =
+        "use std::collections::BTreeMap;\npub struct S {\n    by_id: BTreeMap<u64, u32>,\n}\n";
+    assert!(lint_one("crates/splitbeam-serve/src/server.rs", good).clean());
+}
+
+#[test]
+fn hash_collections_outside_the_serving_crate_are_fine() {
+    let text = "use std::collections::HashMap;\npub fn f() -> HashMap<u64, u64> {\n    HashMap::new()\n}\n";
+    assert!(lint_one("crates/bench/src/bin/fleet_report.rs", text).clean());
+    assert!(lint_one("crates/splitbeam-analysis/src/lint.rs", text).clean());
+}
+
+#[test]
+fn hash_words_in_comments_strings_and_tests_are_ignored() {
+    let prose = "// A HashMap would be wrong here; see the slab.\npub fn f() -> &'static str {\n    \"no HashSet either\"\n}\n";
+    assert!(lint_one("crates/splitbeam-serve/src/slab.rs", prose).clean());
+
+    let in_tests = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn probe() {\n        let _ = HashMap::<u64, u64>::new();\n    }\n}\n";
+    assert!(lint_one("crates/splitbeam-serve/src/slab.rs", in_tests).clean());
+
+    // Identifier substrings must not trip the word-boundary match.
+    let ident = "pub fn f(rehashmapping: u64) -> u64 {\n    rehashmapping\n}\n";
+    assert!(lint_one("crates/splitbeam-serve/src/server.rs", ident).clean());
+}
+
+#[test]
+fn unordered_map_violations_are_allowlistable() {
+    let text = "use std::collections::HashMap;\npub fn f() {}\n";
+    let allow = parse_allowlist(
+        "serve-unordered-map|crates/splitbeam-serve/src/server.rs|HashMap|vetted: local scratch map, never iterated into output\n",
+    )
+    .unwrap();
+    let report = lint_sources(
+        &[(
+            "crates/splitbeam-serve/src/server.rs".to_string(),
+            text.to_string(),
+        )],
+        &allow,
+    );
+    assert!(report.clean());
 }

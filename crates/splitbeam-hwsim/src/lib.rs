@@ -10,10 +10,13 @@
 //! Table III's scaling behaviour (≈4x per bandwidth doubling and ≈4x from 2x2
 //! to 4x4) and lets the end-to-end delay constraint of the BOP be evaluated.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod accelerator;
 pub mod delay;
 pub mod event;
 pub mod fault;
+mod wheel;
 
 pub use accelerator::{AcceleratorModel, LatencyBreakdown};
 pub use delay::{end_to_end_delay_s, DelayBudget, EndToEndDelay};

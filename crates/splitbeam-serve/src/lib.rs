@@ -76,18 +76,22 @@
 
 pub mod driver;
 pub mod event;
+pub mod fleet;
 pub mod ring;
 pub mod server;
 pub mod session;
 pub mod shard;
+pub mod slab;
 pub mod timing;
 
 pub use driver::StreamServing;
 pub use event::{build_event_driver, EventConfig, EventDriver};
+pub use fleet::{Fleet, FleetConfig, FleetRoundSummary, FleetStats};
 pub use ring::Ring;
 pub use server::{ApServer, HealthPolicy, RoundSummary};
 pub use session::{SessionHealth, StationId, StationSession};
 pub use shard::{env_shards, ShardRoundStats, ShardedApServer, ShardedRoundSummary};
+pub use slab::{SessionHandle, SessionSlab};
 pub use timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 
 /// Errors produced by the serving layer.

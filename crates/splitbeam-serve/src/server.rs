@@ -2,6 +2,7 @@
 
 use crate::ring::Ring;
 use crate::session::{SessionHealth, StationId, StationSession};
+use crate::slab::SessionSlab;
 use crate::timing::{DeadlinePolicy, FrameClass, FrameStamp, RoundDelayStats};
 use crate::ServeError;
 use mimo_math::kernel::Kernel;
@@ -10,7 +11,6 @@ use splitbeam::fused::{QuantizedTail, TailScratch, TailWeights};
 use splitbeam::model::SplitBeamModel;
 use splitbeam::quantization::QuantizedFeedback;
 use splitbeam::wire;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use wifi_phy::precoding::BeamformingFeedback;
 
@@ -280,7 +280,7 @@ impl<'a> TailEngine<'a> {
 /// single-shard and sharded servers are bit-exact by construction.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ShardCore {
-    pub(crate) sessions: BTreeMap<StationId, StationSession>,
+    pub(crate) sessions: SessionSlab,
     pub(crate) arena: RoundArena,
     /// Health thresholds applied to every session of this shard.
     pub(crate) health: HealthPolicy,
@@ -376,7 +376,7 @@ impl ShardCore {
                 "station {id} announced invalid bits_per_value {bits_per_value}"
             )));
         }
-        if self.sessions.contains_key(&id) {
+        if self.sessions.contains(id) {
             return Err(ServeError::DuplicateStation(id));
         }
         Ok(())
@@ -391,16 +391,57 @@ impl ShardCore {
         round: u64,
     ) -> Result<(), ServeError> {
         self.validate_registration(num_models, id, model_key, bits_per_value)?;
-        self.sessions.insert(
-            id,
-            StationSession::new(id, model_key, bits_per_value, round),
-        );
-        Ok(())
+        self.sessions
+            .insert(StationSession::new(id, model_key, bits_per_value, round))
+            .map(|_| ())
+            .map_err(|rejected| ServeError::DuplicateStation(rejected.id()))
+    }
+
+    /// Adopts a roaming station's full session state (payloads, health,
+    /// staleness clocks) rebound to `model_key` on this server — the warm
+    /// half of a fleet handoff; registration validation still applies, minus
+    /// the fresh-join reset a cold re-register would perform.
+    /// On failure the untouched session rides back in the error, so the
+    /// caller can restore it at the source AP instead of dropping the
+    /// station.
+    // The fat Err is the point: the rejected session must ride back to the
+    // caller for restore, and boxing a cold failure path buys nothing.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn adopt_station(
+        &mut self,
+        num_models: usize,
+        mut session: StationSession,
+        model_key: usize,
+    ) -> Result<(), (StationSession, ServeError)> {
+        if let Err(e) = self.validate_registration(
+            num_models,
+            session.id(),
+            model_key,
+            session.bits_per_value(),
+        ) {
+            return Err((session, e));
+        }
+        session.rebind_model(model_key);
+        self.sessions
+            .insert(session)
+            .map(|_| ())
+            .map_err(|rejected| {
+                let id = rejected.id();
+                (rejected, ServeError::DuplicateStation(id))
+            })
+    }
+
+    /// Releases station `id` for a handoff, returning its full session
+    /// state. The inverse of [`ShardCore::adopt_station`].
+    pub(crate) fn release_station(&mut self, id: StationId) -> Result<StationSession, ServeError> {
+        self.sessions
+            .remove(id)
+            .ok_or(ServeError::UnknownStation(id))
     }
 
     pub(crate) fn deregister_station(&mut self, id: StationId) -> Result<(), ServeError> {
         self.sessions
-            .remove(&id)
+            .remove(id)
             .map(|_| ())
             .ok_or(ServeError::UnknownStation(id))
     }
@@ -439,9 +480,7 @@ impl ShardCore {
             round_corrupt,
             ..
         } = self;
-        let session = sessions
-            .get_mut(&id)
-            .ok_or(ServeError::UnknownStation(id))?;
+        let session = sessions.get_mut(id).ok_or(ServeError::UnknownStation(id))?;
         if session.is_quarantined(round) {
             return Err(ServeError::Quarantined(id));
         }
@@ -479,7 +518,7 @@ impl ShardCore {
     ) -> Result<usize, ServeError> {
         let session = self
             .sessions
-            .get_mut(&id)
+            .get_mut(id)
             .ok_or(ServeError::UnknownStation(id))?;
         if session.is_quarantined(round) {
             return Err(ServeError::Quarantined(id));
@@ -520,7 +559,11 @@ impl ShardCore {
     }
 
     pub(crate) fn pending_count(&self) -> usize {
-        self.sessions.values().filter(|s| s.has_pending()).count()
+        // Order-free count: the dense slot walk, not the id-ordered view.
+        self.sessions
+            .values_unordered()
+            .filter(|s| s.has_pending())
+            .count()
     }
 
     /// Post-round health pass. Splits unserved stations into `stale`
@@ -535,7 +578,10 @@ impl ShardCore {
         let mut awaiting = 0usize;
         let mut stale_served = 0usize;
         let policy = self.health;
-        for session in self.sessions.values_mut() {
+        // Per-session counter fold: visit order cannot reach the output, so
+        // the dense unordered walk is safe (and cache-friendly at fleet
+        // session counts).
+        for session in self.sessions.values_unordered_mut() {
             let mut reported = false;
             match session.last_round() {
                 Some(r) if r == round => reported = true,
@@ -561,7 +607,7 @@ impl ShardCore {
     fn expire_pending(&mut self, policy: Option<DeadlinePolicy>, lag_ns: u64) -> usize {
         let Some(policy) = policy else { return 0 };
         let mut expired = 0usize;
-        for session in self.sessions.values_mut() {
+        for session in self.sessions.values_unordered_mut() {
             if session.has_pending()
                 && policy.classify(session.pending_stamp().total_ns().saturating_add(lag_ns))
                     == FrameClass::Expired
@@ -677,7 +723,7 @@ impl ShardCore {
                     let width = flats.cols();
                     for (id, flat) in ids.iter().zip(flats.as_slice().chunks_exact(width)) {
                         let session = sessions
-                            .get_mut(id)
+                            .get_mut(*id)
                             .expect("pending payload from registered station");
                         session.store_feedback(flat, round);
                         session.set_pending(false);
@@ -690,6 +736,8 @@ impl ShardCore {
                             &mut delay,
                         );
                         served += 1;
+                        // Serving is the activity the idle-LRU orders by.
+                        sessions.touch(*id);
                     }
                 }
                 Err(e) => {
@@ -697,7 +745,7 @@ impl ShardCore {
                     // pending traffic is untouched and still gets its batch.
                     for id in ids.iter() {
                         let session = sessions
-                            .get_mut(id)
+                            .get_mut(*id)
                             .expect("pending payload from registered station");
                         session.set_pending(false);
                         session.set_pending_stamp(FrameStamp::default());
@@ -807,7 +855,7 @@ impl ShardCore {
                     for (id, flat) in ids.iter().zip(flats) {
                         let session = self
                             .sessions
-                            .get_mut(id)
+                            .get_mut(*id)
                             .expect("pending payload from registered station");
                         session.store_feedback(&flat, round);
                         session.set_pending(false);
@@ -820,13 +868,14 @@ impl ShardCore {
                             &mut delay,
                         );
                         served += 1;
+                        self.sessions.touch(*id);
                     }
                 }
                 Some(e) => {
                     for id in &ids {
                         let session = self
                             .sessions
-                            .get_mut(id)
+                            .get_mut(*id)
                             .expect("pending payload from registered station");
                         session.set_pending(false);
                         session.set_pending_stamp(FrameStamp::default());
@@ -875,9 +924,7 @@ impl ShardCore {
             lane,
             ..
         } = self;
-        let session = sessions
-            .get_mut(&id)
-            .ok_or(ServeError::UnknownStation(id))?;
+        let session = sessions.get_mut(id).ok_or(ServeError::UnknownStation(id))?;
         if session.is_quarantined(round) {
             return Err(ServeError::Quarantined(id));
         }
@@ -953,7 +1000,7 @@ impl ShardCore {
                 stamp,
                 seq,
             } = frame;
-            match self.sessions.get_mut(&id) {
+            match self.sessions.get_mut(id) {
                 Some(session) => {
                     std::mem::swap(session.payload_slot(), &mut payload);
                     session.set_pending(true);
@@ -986,7 +1033,7 @@ impl ShardCore {
         let trigger = policy.unwrap_or_else(DeadlinePolicy::eq7d);
         let oldest_deadline = self
             .sessions
-            .values()
+            .values_unordered()
             .filter(|s| s.has_pending())
             .map(|s| trigger.service_deadline_ns(s.pending_stamp()))
             .min();
@@ -1044,10 +1091,9 @@ impl ShardCore {
     /// rounds at the just-closed round, returning how many were removed.
     /// Never-reporting stations are measured from their association round.
     pub(crate) fn evict_idle(&mut self, closed_round: u64, max_idle_rounds: u64) -> usize {
-        let before = self.sessions.len();
-        self.sessions
-            .retain(|_, s| s.idle_rounds(closed_round) <= max_idle_rounds);
-        before - self.sessions.len()
+        // The slab walks its idle-LRU list from the cold end and stops at
+        // the first survivor: O(evicted), not O(sessions).
+        self.sessions.evict_idle(closed_round, max_idle_rounds)
     }
 }
 
@@ -1118,6 +1164,38 @@ impl ApServer {
         self.core.deregister_station(id)
     }
 
+    /// Releases station `id` for a fleet handoff, returning its full session
+    /// state (pending payload, feedback history, health and staleness
+    /// clocks) for the target AP to adopt. Unlike deregistration, nothing is
+    /// reset.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownStation`] when the id is not registered.
+    pub fn release_station(&mut self, id: StationId) -> Result<StationSession, ServeError> {
+        self.core.release_station(id)
+    }
+
+    /// Adopts a roaming station's released session, rebound to this server's
+    /// `model_key` — the warm half of a fleet handoff; no cold re-register,
+    /// so the station keeps its feedback, pending payload and health state.
+    ///
+    /// # Errors
+    /// The same registration validations as
+    /// [`ApServer::register_station`] (model key, bit width, duplicate id);
+    /// the rejected session rides back in the error so the caller can
+    /// restore it at the source AP instead of dropping the station.
+    // The fat Err is the point: the rejected session must ride back to the
+    // caller for restore, and boxing a cold failure path buys nothing.
+    #[allow(clippy::result_large_err)]
+    pub fn adopt_station(
+        &mut self,
+        session: StationSession,
+        model_key: usize,
+    ) -> Result<(), (StationSession, ServeError)> {
+        self.core
+            .adopt_station(self.models.len(), session, model_key)
+    }
+
     /// Number of registered stations.
     pub fn num_stations(&self) -> usize {
         self.core.sessions.len()
@@ -1125,7 +1203,7 @@ impl ApServer {
 
     /// The session of station `id`.
     pub fn session(&self, id: StationId) -> Option<&StationSession> {
-        self.core.sessions.get(&id)
+        self.core.sessions.get(id)
     }
 
     /// Iterates over all sessions in station-id order.
@@ -1389,7 +1467,7 @@ impl ApServer {
     pub fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
         self.core
             .sessions
-            .get(&id)
+            .get(id)
             .and_then(StationSession::feedback)
     }
 
@@ -1406,7 +1484,7 @@ impl ApServer {
         let session = self
             .core
             .sessions
-            .get(&id)
+            .get(id)
             .ok_or(ServeError::UnknownStation(id))?;
         let flat = session.feedback().ok_or(ServeError::NoFeedback(id))?;
         self.models[session.model_key()]
@@ -1883,7 +1961,7 @@ mod tests {
             server
                 .core
                 .sessions
-                .get_mut(&3)
+                .get_mut(3)
                 .unwrap()
                 .payload_slot()
                 .codes

@@ -111,6 +111,27 @@ impl StationSession {
         }
     }
 
+    /// A synthetic fresh session, public for store-level benchmarks and
+    /// tests; production sessions are created by server registration.
+    #[doc(hidden)]
+    pub fn synthetic(
+        id: StationId,
+        model_key: usize,
+        bits_per_value: u8,
+        joined_round: u64,
+    ) -> Self {
+        Self::new(id, model_key, bits_per_value, joined_round)
+    }
+
+    /// Rebinds the session to `model_key` on the adopting server during a
+    /// fleet handoff. Only the binding key changes: payloads, feedback,
+    /// health state and staleness clocks all travel untouched, which is what
+    /// makes a roamed station bit-exact with a never-roamed control when the
+    /// model weights behind the two keys are identical.
+    pub(crate) fn rebind_model(&mut self, model_key: usize) {
+        self.model_key = model_key;
+    }
+
     /// Whether this station delivered a payload for the round being collected.
     pub fn has_pending(&self) -> bool {
         self.has_pending

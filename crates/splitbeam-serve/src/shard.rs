@@ -271,6 +271,56 @@ impl ShardedApServer {
         Ok(())
     }
 
+    /// Releases station `id` for a fleet handoff, returning its full session
+    /// state (payloads, health, staleness clocks) for the target AP to
+    /// adopt. Unlike deregistration, nothing is reset.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownStation`] when the id is not registered.
+    pub fn release_station(&mut self, id: StationId) -> Result<StationSession, ServeError> {
+        let shard = self.shard_of(id);
+        let session = self.shards[shard].release_station(id)?;
+        self.stations -= 1;
+        Ok(session)
+    }
+
+    /// Adopts a roaming station's session rebound to this server's
+    /// `model_key` — the warm half of a fleet handoff; no cold re-register,
+    /// so the session keeps its feedback history and health state.
+    ///
+    /// # Errors
+    /// The registration validations, plus [`ServeError::CapacityExceeded`]
+    /// at the configured cap; the rejected session rides back in the error
+    /// so the caller can restore it at the source instead of dropping the
+    /// station.
+    // The fat Err is the point: the rejected session must ride back to the
+    // caller for restore, and boxing a cold failure path buys nothing.
+    #[allow(clippy::result_large_err)]
+    pub fn adopt_station(
+        &mut self,
+        session: StationSession,
+        model_key: usize,
+    ) -> Result<(), (StationSession, ServeError)> {
+        let id = session.id();
+        let shard = self.shard_of(id);
+        if let Err(e) = self.shards[shard].validate_registration(
+            self.models.len(),
+            id,
+            model_key,
+            session.bits_per_value(),
+        ) {
+            return Err((session, e));
+        }
+        if let Some(cap) = self.capacity {
+            if self.stations >= cap {
+                return Err((session, ServeError::CapacityExceeded(id, cap)));
+            }
+        }
+        self.shards[shard].adopt_station(self.models.len(), session, model_key)?;
+        self.stations += 1;
+        Ok(())
+    }
+
     /// Number of registered stations across all shards.
     pub fn num_stations(&self) -> usize {
         self.stations
@@ -278,7 +328,7 @@ impl ShardedApServer {
 
     /// The session of station `id`.
     pub fn session(&self, id: StationId) -> Option<&StationSession> {
-        self.shards[self.shard_of(id)].sessions.get(&id)
+        self.shards[self.shard_of(id)].sessions.get(id)
     }
 
     /// Iterates over all sessions, shard by shard (id order within a shard).
@@ -636,7 +686,7 @@ impl ShardedApServer {
     pub fn feedback_of(&self, id: StationId) -> Option<&[f32]> {
         self.shards[self.shard_of(id)]
             .sessions
-            .get(&id)
+            .get(id)
             .and_then(StationSession::feedback)
     }
 

@@ -1,0 +1,256 @@
+//! Roaming handoff edge cases (PR 10 tentpole 3).
+//!
+//! A fleet handoff moves a station's *entire* [`StationSession`] between APs
+//! — pending payloads, reconstructed feedback, health state, staleness
+//! clocks. These tests pin the contract at the [`ApServer`] level against a
+//! never-roamed control server running the identical schedule: with the same
+//! model weights registered on every AP, roaming must be invisible in the
+//! served bits.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use splitbeam::config::{CompressionLevel, SplitBeamConfig};
+use splitbeam::model::SplitBeamModel;
+use splitbeam_serve::server::ApServer;
+use splitbeam_serve::{ServeError, SessionHealth, StationSession};
+use wifi_phy::channel::{ChannelModel, EnvironmentProfile};
+use wifi_phy::ofdm::{Bandwidth, MimoConfig};
+
+fn model(seed: u64) -> SplitBeamModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    SplitBeamModel::new(
+        SplitBeamConfig::new(
+            MimoConfig::symmetric(2, Bandwidth::Mhz20),
+            CompressionLevel::OneEighth,
+        ),
+        &mut rng,
+    )
+}
+
+fn station_frame(model: &SplitBeamModel, seed: u64, bits: u8) -> Vec<u8> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let channel = ChannelModel::new(EnvironmentProfile::e1(), Bandwidth::Mhz20, 2, 1, 1);
+    let csi: Vec<f32> = channel
+        .sample(&mut rng)
+        .csi_real_vector(0)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let payload = model.compress_quantized(&csi, bits).unwrap();
+    splitbeam::wire::encode_feedback(&payload).unwrap()
+}
+
+/// Two APs with the same model, plus a never-roamed control. All three tick
+/// rounds in lockstep (a fleet closes every AP's round together), so session
+/// clocks stay comparable.
+struct Roamnet {
+    a: ApServer,
+    b: ApServer,
+    control: ApServer,
+    key: usize,
+}
+
+impl Roamnet {
+    fn new(m: &SplitBeamModel) -> Self {
+        let mut a = ApServer::new();
+        let mut b = ApServer::new();
+        let mut control = ApServer::new();
+        let key = a.register_model(m.clone());
+        assert_eq!(b.register_model(m.clone()), key);
+        assert_eq!(control.register_model(m.clone()), key);
+        Self { a, b, control, key }
+    }
+
+    fn close_round(&mut self) {
+        self.a.process_round().unwrap();
+        self.b.process_round().unwrap();
+        self.control.process_round().unwrap();
+    }
+
+    fn handoff(from: &mut ApServer, to: &mut ApServer, id: u64, key: usize) {
+        let session = from.release_station(id).unwrap();
+        to.adopt_station(session, key).map_err(|(_, e)| e).unwrap();
+    }
+
+    fn assert_session_matches_control(&self, roamed: &ApServer, id: u64) {
+        let s = roamed.session(id).unwrap();
+        let c = self.control.session(id).unwrap();
+        assert_eq!(s.feedback(), c.feedback(), "served bits diverged");
+        assert_eq!(s.last_round(), c.last_round());
+        assert_eq!(s.payloads_ingested(), c.payloads_ingested());
+        assert_eq!(s.health(), c.health());
+        assert_eq!(s.has_pending(), c.has_pending());
+    }
+}
+
+#[test]
+fn mid_round_pending_payload_travels_with_the_handoff() {
+    let m = model(31);
+    let mut net = Roamnet::new(&m);
+    net.a.register_station(1, net.key, 4).unwrap();
+    net.control.register_station(1, net.key, 4).unwrap();
+
+    // The station reports mid-round, then roams BEFORE the round closes:
+    // the pending payload must be served by the target AP, not dropped.
+    let frame = station_frame(&m, 70, 4);
+    net.a.ingest_wire(1, &frame).unwrap();
+    net.control.ingest_wire(1, &frame).unwrap();
+    Roamnet::handoff(&mut net.a, &mut net.b, 1, net.key);
+    assert!(net.b.session(1).unwrap().has_pending());
+
+    net.close_round();
+    assert_eq!(net.b.feedback_of(1).unwrap().len(), 224);
+    net.assert_session_matches_control(&net.b, 1);
+}
+
+#[test]
+fn quarantine_travels_and_keeps_rejecting_at_the_target() {
+    let m = model(33);
+    let mut net = Roamnet::new(&m);
+    net.a.register_station(1, net.key, 4).unwrap();
+    net.control.register_station(1, net.key, 4).unwrap();
+
+    let good = station_frame(&m, 71, 4);
+    let mut bad = good.clone();
+    bad[20] ^= 0x10;
+    let threshold = net.a.health_policy().quarantine_after_corrupt;
+    for _ in 0..threshold {
+        assert!(matches!(
+            net.a.ingest_wire(1, &bad),
+            Err(ServeError::Corrupt(1, _))
+        ));
+        assert!(matches!(
+            net.control.ingest_wire(1, &bad),
+            Err(ServeError::Corrupt(1, _))
+        ));
+    }
+    assert_eq!(
+        net.a.session(1).unwrap().health(),
+        SessionHealth::Quarantined
+    );
+
+    // Roaming does not launder a quarantine: the target rejects even
+    // pristine frames until the quarantine expires.
+    Roamnet::handoff(&mut net.a, &mut net.b, 1, net.key);
+    assert_eq!(
+        net.b.session(1).unwrap().health(),
+        SessionHealth::Quarantined
+    );
+    assert_eq!(net.b.ingest_wire(1, &good), Err(ServeError::Quarantined(1)));
+    net.close_round();
+    net.assert_session_matches_control(&net.b, 1);
+
+    // After the quarantine expires (in lockstep on both sides) the station
+    // reports normally at its new AP.
+    let rounds = net.a.health_policy().quarantine_rounds;
+    for _ in 1..rounds {
+        assert_eq!(net.b.ingest_wire(1, &good), Err(ServeError::Quarantined(1)));
+        assert_eq!(
+            net.control.ingest_wire(1, &good),
+            Err(ServeError::Quarantined(1))
+        );
+        net.close_round();
+    }
+    net.b.ingest_wire(1, &good).unwrap();
+    net.control.ingest_wire(1, &good).unwrap();
+    net.close_round();
+    assert_eq!(net.b.session(1).unwrap().health(), SessionHealth::Healthy);
+    net.assert_session_matches_control(&net.b, 1);
+}
+
+#[test]
+fn degraded_health_and_miss_streak_travel() {
+    let m = model(35);
+    let mut net = Roamnet::new(&m);
+    // Station 1 goes silent; station 2 keeps the rounds non-empty so the
+    // health pass actually runs.
+    for server in [&mut net.a, &mut net.control] {
+        server.register_station(1, net.key, 4).unwrap();
+        server.register_station(2, net.key, 4).unwrap();
+    }
+
+    let f1 = station_frame(&m, 72, 4);
+    net.a.ingest_wire(1, &f1).unwrap();
+    net.control.ingest_wire(1, &f1).unwrap();
+    let mut round = 0u64;
+    let misses = net.a.health_policy().degrade_after_misses;
+    loop {
+        let keeper = station_frame(&m, 80 + round, 4);
+        net.a.ingest_wire(2, &keeper).unwrap();
+        net.control.ingest_wire(2, &keeper).unwrap();
+        net.close_round();
+        round += 1;
+        if round > u64::from(misses) {
+            break;
+        }
+    }
+    assert_eq!(net.a.session(1).unwrap().health(), SessionHealth::Degraded);
+
+    Roamnet::handoff(&mut net.a, &mut net.b, 1, net.key);
+    let roamed = net.b.session(1).unwrap();
+    assert_eq!(roamed.health(), SessionHealth::Degraded);
+    assert_eq!(
+        roamed.miss_streak(),
+        net.control.session(1).unwrap().miss_streak()
+    );
+    net.assert_session_matches_control(&net.b, 1);
+}
+
+#[test]
+fn double_handoff_back_to_origin_is_bit_exact_with_never_roamed() {
+    let m = model(37);
+    let mut net = Roamnet::new(&m);
+    net.a.register_station(1, net.key, 4).unwrap();
+    net.control.register_station(1, net.key, 4).unwrap();
+
+    // Round 0 at home.
+    let f0 = station_frame(&m, 90, 4);
+    net.a.ingest_wire(1, &f0).unwrap();
+    net.control.ingest_wire(1, &f0).unwrap();
+    net.close_round();
+
+    // Roam to B; round 1 served there.
+    Roamnet::handoff(&mut net.a, &mut net.b, 1, net.key);
+    let f1 = station_frame(&m, 91, 4);
+    net.b.ingest_wire(1, &f1).unwrap();
+    net.control.ingest_wire(1, &f1).unwrap();
+    net.close_round();
+
+    // Roam home again; round 2 served at the origin.
+    Roamnet::handoff(&mut net.b, &mut net.a, 1, net.key);
+    let f2 = station_frame(&m, 92, 4);
+    net.a.ingest_wire(1, &f2).unwrap();
+    net.control.ingest_wire(1, &f2).unwrap();
+    net.close_round();
+
+    net.assert_session_matches_control(&net.a, 1);
+    assert_eq!(
+        net.a.feedback_of(1).unwrap(),
+        net.control.feedback_of(1).unwrap()
+    );
+    // The round trip left no ghost at B.
+    assert_eq!(net.b.num_stations(), 0);
+}
+
+#[test]
+fn failed_adoption_returns_the_session_for_restore() {
+    let m = model(39);
+    let mut a = ApServer::new();
+    let key = a.register_model(m.clone());
+    a.register_station(1, key, 4).unwrap();
+    a.ingest_wire(1, &station_frame(&m, 95, 4)).unwrap();
+    a.process_round().unwrap();
+    let served = a.feedback_of(1).unwrap().to_vec();
+
+    // The target has no models: adoption must fail and hand the session
+    // back instead of dropping the station.
+    let mut empty = ApServer::new();
+    let session = a.release_station(1).unwrap();
+    let (session, err): (StationSession, ServeError) =
+        empty.adopt_station(session, key).unwrap_err();
+    assert_eq!(err, ServeError::UnknownModel(key));
+
+    // Restore at the source: the station is whole again, feedback intact.
+    a.adopt_station(session, key).map_err(|(_, e)| e).unwrap();
+    assert_eq!(a.feedback_of(1).unwrap(), served.as_slice());
+}
